@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the discrete-event engine: raw event
+//! throughput and a two-host TCP transfer including the full stack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{Context, EventKind, LinkParams, Node, SimDuration, SimTime, Simulator};
+
+/// Node that reschedules itself `remaining` times.
+struct SelfTimer {
+    remaining: u64,
+}
+
+impl Node for SelfTimer {
+    fn on_event(&mut self, _ev: EventKind, ctx: &mut Context<'_>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(SimDuration::from_micros(10), 0);
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let events = 100_000u64;
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("timer_events_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            let n = sim.add_node(Box::new(SelfTimer { remaining: events }));
+            sim.schedule_event(SimTime::ZERO, n, EventKind::Timer { token: 0 });
+            sim.run(events + 10);
+            assert!(sim.events_processed() >= events);
+        });
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use netstack::{start_host, Host, HostConfig, NIC_PORT};
+    use packet::MacAddr;
+    use std::net::Ipv4Addr;
+    use workloads::{FtpClient, FtpDirection, FtpServer};
+
+    let mut g = c.benchmark_group("engine");
+    let size = 1_000_000usize;
+    g.throughput(Throughput::Bytes(size as u64));
+    g.sample_size(20);
+    g.bench_function("tcp_bulk_1mb_full_stack", |b| {
+        b.iter(|| {
+            let ip_c = Ipv4Addr::new(10, 0, 0, 1);
+            let ip_s = Ipv4Addr::new(10, 0, 0, 2);
+            let mut ch = Host::new(
+                HostConfig::new("c", ip_c, MacAddr::local(1)).with_arp(ip_s, MacAddr::local(2)),
+            );
+            let app = ch.add_app(Box::new(FtpClient::new(ip_s, FtpDirection::Send, size)));
+            let mut sh = Host::new(
+                HostConfig::new("s", ip_s, MacAddr::local(2)).with_arp(ip_c, MacAddr::local(1)),
+            );
+            sh.add_app(Box::new(FtpServer::new()));
+            let mut sim = Simulator::new(7);
+            let nc = sim.add_node(Box::new(ch));
+            let ns = sim.add_node(Box::new(sh));
+            sim.connect_sym(nc, NIC_PORT, ns, NIC_PORT, LinkParams::ethernet_10mbps());
+            start_host(&mut sim, ns, SimTime::ZERO);
+            start_host(&mut sim, nc, SimTime::from_millis(1));
+            sim.run_until(SimTime::from_secs(60));
+            assert!(sim.node::<Host>(nc).app::<FtpClient>(app).is_done());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_tcp_transfer);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Criterion benchmarks for the paper's own machinery: distillation
+//! throughput (it must be cheap — one of the model's three constraints,
+//! §3.2.1), modulation-layer per-packet cost, and the kernel ring
+//! buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use distill::{distill, DistillConfig};
+use modulate::{Modulator, TickClock};
+use netsim::{SimRng, SimTime};
+use netstack::{Direction, LinkShim};
+use tracekit::{Dir, PacketRecord, ProtoInfo, ReplayTrace, RingBuffer, Trace, TraceRecord};
+
+/// Synthesize a trace of `secs` perfect ping triplets.
+fn synth_trace(secs: u64) -> Trace {
+    let mut t = Trace::new("h", "synth", 1);
+    let (s1, s2) = (106u32, 542u32);
+    let (f, vb, vr) = (2e-3, 4e-6, 0.8e-6);
+    let v: f64 = vb + vr;
+    for g in 0..secs {
+        let base_ns = g * 1_000_000_000;
+        for k in 0..3u16 {
+            let seq = (g as u16).wrapping_mul(3).wrapping_add(k);
+            let wire = if k == 0 { s1 } else { s2 };
+            let send_ns = base_ns + k as u64;
+            t.records.push(TraceRecord::Packet(PacketRecord {
+                timestamp_ns: send_ns,
+                dir: Dir::Out,
+                wire_len: wire,
+                proto: ProtoInfo::IcmpEcho {
+                    ident: 1,
+                    seq,
+                    payload_len: wire - 42,
+                    gen_ts_ns: send_ns,
+                },
+            }));
+            let s = wire as f64;
+            let rtt = match k {
+                0 | 1 => 2.0 * (f + s * v),
+                _ => 2.0 * (f + s * v) + s * vb,
+            };
+            let rtt_ns = (rtt * 1e9) as u64;
+            t.records.push(TraceRecord::Packet(PacketRecord {
+                timestamp_ns: send_ns + rtt_ns,
+                dir: Dir::In,
+                wire_len: wire,
+                proto: ProtoInfo::IcmpEchoReply {
+                    ident: 1,
+                    seq,
+                    payload_len: wire - 42,
+                    rtt_ns,
+                },
+            }));
+        }
+    }
+    t.records.sort_by_key(|r| r.timestamp_ns());
+    t
+}
+
+fn bench_distillation(c: &mut Criterion) {
+    let trace = synth_trace(600); // 10 minutes of probes
+    let mut g = c.benchmark_group("distill");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.bench_function("distill_10min_trace", |b| {
+        b.iter(|| {
+            let replay = distill(std::hint::black_box(&trace), &DistillConfig::default());
+            assert!(replay.is_valid());
+        });
+    });
+    g.finish();
+}
+
+fn bench_modulation_layer(c: &mut Criterion) {
+    let replay = ReplayTrace::constant(
+        "bench",
+        netsim::SimDuration::from_secs(3600),
+        netsim::SimDuration::from_millis(2),
+        4000.0,
+        800.0,
+        0.01,
+    );
+    let mut g = c.benchmark_group("modulate");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("offer_collect_10k_packets", |b| {
+        b.iter(|| {
+            let mut m = Modulator::from_replay(replay.clone()).with_clock(TickClock::netbsd());
+            let mut rng = SimRng::seed_from_u64(1);
+            m.begin(SimTime::ZERO);
+            let mut released = 0u64;
+            for i in 0..n {
+                let now = SimTime::from_micros(i * 100);
+                let _ = m.offer(Direction::Outbound, vec![0u8; 1514], now, &mut rng);
+                released += m.collect_due(now, &mut rng).len() as u64;
+            }
+            released += m
+                .collect_due(SimTime::from_secs(4000), &mut rng)
+                .len() as u64;
+            assert!(released > 0);
+        });
+    });
+    g.finish();
+}
+
+fn bench_ring_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracekit");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("ringbuf_push_drain_100k", |b| {
+        b.iter(|| {
+            let mut rb = RingBuffer::new(4096);
+            let mut out = 0usize;
+            for i in 0..n {
+                rb.push(TraceRecord::Packet(PacketRecord {
+                    timestamp_ns: i,
+                    dir: Dir::Out,
+                    wire_len: 100,
+                    proto: ProtoInfo::Other { protocol: 1 },
+                }));
+                if i % 1024 == 0 {
+                    out += rb.drain(2048, i).len();
+                }
+            }
+            out += rb.drain(usize::MAX, n).len();
+            assert!(out > 0);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distillation,
+    bench_modulation_layer,
+    bench_ring_buffer
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! **Ablation: scheduling-clock granularity (§3.3, §5.4).**
+//!
+//! The paper blames its Andrew-benchmark under-delays (Wean
+//! ScanDir/ReadAll) on the 10 ms NetBSD clock: short NFS status-check
+//! messages compute delays below half a tick and are sent immediately.
+//! It names two rejected alternatives — a custom hardware clock (ideal)
+//! and raising the interrupt frequency (finer ticks).
+//!
+//! This sweep runs the modulated Andrew benchmark with 10 ms / 1 ms /
+//! ideal clocks against the same distilled Wean trace, isolating exactly
+//! how much accuracy the cheap clock costs.
+
+use bench::trials;
+use emu::{collect_and_distill, live_run, modulated_run, Benchmark, RunConfig};
+use modulate::TickClock;
+use netsim::stats::Summary;
+use netsim::SimDuration;
+use wavelan::Scenario;
+use workloads::Phase;
+
+fn main() {
+    let n = trials();
+    let base = RunConfig::default();
+    let sc = Scenario::wean();
+    println!("=== Ablation: modulation scheduling granularity (Wean, Andrew benchmark, {n} trials) ===\n");
+
+    // Live reference.
+    let mut live_total = Summary::new();
+    let mut live_phases = vec![Summary::new(); 5];
+    for t in 1..=n {
+        let r = live_run(&sc, t, Benchmark::Andrew, &base);
+        if let Some(secs) = r.elapsed {
+            live_total.add(secs);
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if let Some(&(_, s)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
+                live_phases[i].add(s);
+            }
+        }
+    }
+
+    let clocks = [
+        ("10 ms (NetBSD)", TickClock::netbsd()),
+        ("1 ms", TickClock::with_resolution(SimDuration::from_millis(1))),
+        ("ideal", TickClock::ideal()),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "clock", "MakeDir", "Copy", "ScanDir", "ReadAll", "Make", "Total"
+    );
+    let row = |name: &str, phases: &[Summary], total: &Summary| {
+        print!("{name:<16}");
+        for p in phases {
+            print!(" {:>12}", format!("{:.2}", p.mean()));
+        }
+        println!(" {:>12}", format!("{:.2}", total.mean()));
+    };
+    row("live (real)", &live_phases, &live_total);
+
+    for (name, clock) in clocks {
+        let mut total = Summary::new();
+        let mut phases = vec![Summary::new(); 5];
+        for t in 1..=n {
+            let report = collect_and_distill(&sc, t, &base);
+            let mut cfg = base;
+            cfg.clock = clock;
+            let r = modulated_run(&report.replay, t, Benchmark::Andrew, &cfg);
+            if let Some(secs) = r.elapsed {
+                total.add(secs);
+            }
+            for (i, p) in Phase::ALL.iter().enumerate() {
+                if let Some(&(_, s)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
+                    phases[i].add(s);
+                }
+            }
+        }
+        row(name, &phases, &total);
+    }
+    println!("\n(the paper predicts the 10 ms clock under-delays the status-check");
+    println!(" phases — ScanDir and ReadAll — relative to finer clocks)");
+}

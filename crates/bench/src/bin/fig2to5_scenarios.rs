@@ -1,0 +1,49 @@
+//! **Figures 2–5 — Scenario characterization.**
+//!
+//! For each scenario (Porter, Flagstaff, Wean, Chatterbox): collect the
+//! paper's four trials of ping traces, distill each, and render the four
+//! panels — observed signal level, derived latency, bandwidth, and loss
+//! rate — as per-checkpoint ranges (or histograms for the stationary
+//! Chatterbox).
+//!
+//! Usage: `fig2to5_scenarios [porter|flagstaff|wean|chatterbox|all]`
+
+use bench::{maybe_trim, trials};
+use emu::report::scenario_figure_text;
+use emu::{scenario_figure, RunConfig};
+use wavelan::Scenario;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let scenarios: Vec<Scenario> = if arg == "all" {
+        vec![
+            Scenario::porter(),
+            Scenario::flagstaff(),
+            Scenario::wean(),
+            Scenario::chatterbox(),
+        ]
+    } else {
+        vec![Scenario::by_name(&arg).unwrap_or_else(|| {
+            eprintln!("unknown scenario '{arg}' (porter|flagstaff|wean|chatterbox|all)");
+            std::process::exit(2);
+        })]
+    };
+    let n = trials();
+    let cfg = RunConfig::default();
+    let figure_no = |name: &str| match name {
+        "porter" => 2,
+        "flagstaff" => 3,
+        "wean" => 4,
+        _ => 5,
+    };
+    for sc in scenarios {
+        let sc = maybe_trim(sc);
+        println!(
+            "\n################ Figure {}: {} traces ################",
+            figure_no(sc.name),
+            sc.name
+        );
+        let fig = scenario_figure(&sc, n, &cfg);
+        print!("{}", scenario_figure_text(&fig));
+    }
+}

@@ -1,0 +1,40 @@
+//! **Figure 6 — Elapsed Times for the World Wide Web Benchmark.**
+//!
+//! Mean elapsed time of four trials of the Web trace-replay benchmark
+//! for each mobile scenario, real (live wireless) vs modulated
+//! (collect → distill → replay on the isolated Ethernet), plus the
+//! Ethernet reference row.
+
+use bench::{maybe_trim, trials};
+use emu::report::{cell, comparison_row, table};
+use emu::{compare, ethernet_baseline, measure_compensation, Benchmark, RunConfig};
+use wavelan::Scenario;
+
+fn main() {
+    let n = trials();
+    let cfg = RunConfig::default();
+    // Compensation is measured (the paper's procedure) but NOT applied:
+    // unlike the paper's NetBSD implementation, our modulation testbed
+    // shows no inbound/outbound asymmetry to correct (see fig1 and
+    // EXPERIMENTS.md), so the accurate configuration is comp = 0.
+    let comp = measure_compensation(&cfg);
+    println!("=== Figure 6: World Wide Web benchmark ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n");
+
+    let mut rows = Vec::new();
+    for sc in Scenario::all() {
+        let sc = maybe_trim(sc);
+        eprintln!("[fig6] running {} ...", sc.name);
+        let c = compare(&sc, Benchmark::Web, n, &cfg);
+        rows.push(comparison_row(&c));
+    }
+    let eth = ethernet_baseline(Benchmark::Web, n, &cfg);
+    rows.push(vec!["ethernet".into(), cell(&eth), "—".into(), "—".into()]);
+    print!(
+        "{}",
+        table(
+            &["Scenario", "Real (s)", "Modulated (s)", "divergence"],
+            &rows
+        )
+    );
+    println!("\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)");
+}

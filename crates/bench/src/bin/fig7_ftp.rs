@@ -1,0 +1,69 @@
+//! **Figure 7 — Elapsed Times for the FTP Benchmark.**
+//!
+//! 10 MB disk-to-disk transfers, send and receive reported separately —
+//! the benchmark most sensitive to network performance and to the
+//! symmetry assumption (§5.3).
+
+use bench::{maybe_trim, trials};
+use emu::report::{cell, table};
+use emu::{compare, ethernet_baseline, measure_compensation, Benchmark, RunConfig};
+use wavelan::Scenario;
+
+fn main() {
+    let n = trials();
+    let cfg = RunConfig::default();
+    // Compensation is measured (the paper's procedure) but NOT applied:
+    // unlike the paper's NetBSD implementation, our modulation testbed
+    // shows no inbound/outbound asymmetry to correct (see fig1 and
+    // EXPERIMENTS.md), so the accurate configuration is comp = 0.
+    let comp = measure_compensation(&cfg);
+    println!(
+        "=== Figure 7: FTP benchmark, 10 MB ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n"
+    );
+
+    let mut rows = Vec::new();
+    for sc in Scenario::all() {
+        let sc = maybe_trim(sc);
+        for (dir, bench) in [("send", Benchmark::FtpSend), ("recv", Benchmark::FtpRecv)] {
+            eprintln!("[fig7] running {} {dir} ...", sc.name);
+            let c = compare(&sc, bench, n, &cfg);
+            rows.push(vec![
+                if dir == "send" {
+                    sc.name.to_string()
+                } else {
+                    String::new()
+                },
+                dir.into(),
+                cell(&c.real),
+                cell(&c.modulated),
+                format!(
+                    "{:.2}σ{}",
+                    c.sigma_ratio(),
+                    if c.within_one_sigma() { " ✓" } else { "" }
+                ),
+            ]);
+        }
+    }
+    for (dir, bench) in [("send", Benchmark::FtpSend), ("recv", Benchmark::FtpRecv)] {
+        let eth = ethernet_baseline(bench, n, &cfg);
+        rows.push(vec![
+            if dir == "send" {
+                "ethernet".into()
+            } else {
+                String::new()
+            },
+            dir.into(),
+            cell(&eth),
+            "—".into(),
+            "—".into(),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &["Scenario", "", "Real (s)", "Modulated (s)", "divergence"],
+            &rows
+        )
+    );
+    println!("\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)");
+}

@@ -1,0 +1,79 @@
+//! **Figure 8 — Elapsed Times for the Andrew Benchmark Phases.**
+//!
+//! Per-phase (MakeDir / Copy / ScanDir / ReadAll / Make) and total mean
+//! elapsed times over NFS, real vs modulated, for every scenario plus
+//! the Ethernet reference row.
+
+use bench::{maybe_trim, trials};
+use emu::report::{cell, table};
+use emu::{compare, ethernet_run, measure_compensation, Benchmark, RunConfig};
+use netsim::stats::Summary;
+use wavelan::Scenario;
+use workloads::Phase;
+
+fn main() {
+    let n = trials();
+    let cfg = RunConfig::default();
+    // Compensation is measured (the paper's procedure) but NOT applied:
+    // unlike the paper's NetBSD implementation, our modulation testbed
+    // shows no inbound/outbound asymmetry to correct (see fig1 and
+    // EXPERIMENTS.md), so the accurate configuration is comp = 0.
+    let comp = measure_compensation(&cfg);
+    println!(
+        "=== Figure 8: Andrew benchmark on NFS ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n"
+    );
+
+    let headers = [
+        "Scenario", "", "MakeDir (s)", "Copy (s)", "ScanDir (s)", "ReadAll (s)", "Make (s)",
+        "Total (s)",
+    ];
+    let mut rows = Vec::new();
+    for sc in Scenario::all() {
+        let sc = maybe_trim(sc);
+        eprintln!("[fig8] running {} ...", sc.name);
+        let c = compare(&sc, Benchmark::Andrew, n, &cfg);
+        for (label, pick_real) in [("Real", true), ("Mod.", false)] {
+            let mut row = vec![
+                if pick_real {
+                    sc.name.to_string()
+                } else {
+                    String::new()
+                },
+                label.to_string(),
+            ];
+            for p in Phase::ALL {
+                let s = c
+                    .phases
+                    .iter()
+                    .find(|&&(ph, _, _)| ph == p)
+                    .map(|(_, r, m)| if pick_real { r } else { m })
+                    .cloned()
+                    .unwrap_or_default();
+                row.push(cell(&s));
+            }
+            row.push(cell(if pick_real { &c.real } else { &c.modulated }));
+            rows.push(row);
+        }
+    }
+
+    // Ethernet reference row.
+    let mut phase_sums: Vec<Summary> = vec![Summary::new(); 5];
+    let mut total = Summary::new();
+    for t in 1..=n {
+        let r = ethernet_run(t, Benchmark::Andrew, &cfg);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if let Some(&(_, secs)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
+                phase_sums[i].add(secs);
+            }
+        }
+        total.add(r.secs());
+    }
+    let mut row = vec!["ethernet".to_string(), "Real".to_string()];
+    for s in &phase_sums {
+        row.push(cell(s));
+    }
+    row.push(cell(&total));
+    rows.push(row);
+
+    print!("{}", table(&headers, &rows));
+}

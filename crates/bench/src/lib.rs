@@ -1,0 +1,30 @@
+//! Shared helpers for the experiment binaries (`src/bin/fig*.rs`), which
+//! regenerate every figure and table of the paper's evaluation section.
+//! See EXPERIMENTS.md for the recorded outputs.
+
+#![warn(missing_docs)]
+
+/// Number of trials per cell: the paper uses 4; override with the
+/// `TRIALS` environment variable (e.g. `TRIALS=1` for a smoke run).
+pub fn trials() -> u32 {
+    std::env::var("TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Scenario-duration cap in seconds (0 = paper-length). Override with
+/// `SCENARIO_SECS` for quick runs.
+pub fn scenario_secs_override() -> Option<u64> {
+    std::env::var("SCENARIO_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Apply the override to a scenario.
+pub fn maybe_trim(mut sc: wavelan::Scenario) -> wavelan::Scenario {
+    if let Some(secs) = scenario_secs_override() {
+        sc.duration = netsim::SimDuration::from_secs(secs);
+    }
+    sc
+}

@@ -1,0 +1,160 @@
+//! The loss estimator (§3.2.2, equations 9–10).
+//!
+//! Over a window, `a` ECHO probes were sent and `b` ECHOREPLY packets
+//! came back. With per-direction survival probability `P`, a reply
+//! requires two survivals: `b = P²·a`, so `L = 1 − P = 1 − sqrt(b/a)`.
+
+/// Per-probe bookkeeping: when each ECHO was sent (seconds from trace
+/// start) and whether its reply arrived.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeOutcome {
+    /// Send time in seconds.
+    pub at: f64,
+    /// Reply observed?
+    pub replied: bool,
+}
+
+/// Estimate the one-way loss rate from counts (equation 10). Returns
+/// `None` when `a == 0` (no probes in the window).
+pub fn loss_from_counts(a: u64, b: u64) -> Option<f64> {
+    if a == 0 {
+        return None;
+    }
+    let ratio = (b as f64 / a as f64).clamp(0.0, 1.0);
+    Some((1.0 - ratio.sqrt()).clamp(0.0, 1.0))
+}
+
+/// Direct one-way loss from counts: `L = 1 − b/a` — used by the
+/// synchronized-clocks extension where each leg's arrivals are observed
+/// directly (no squaring through a round trip).
+pub fn loss_from_counts_direct(a: u64, b: u64) -> Option<f64> {
+    if a == 0 {
+        return None;
+    }
+    Some((1.0 - (b as f64 / a as f64)).clamp(0.0, 1.0))
+}
+
+/// Windowed loss estimation over probe outcomes (sorted by time): for
+/// each step of `step` seconds covering `[0, span]`, count probes sent in
+/// the surrounding window of `width` seconds and their replies. Windows
+/// with no probes reuse the previous estimate (initially 0).
+pub fn windowed_loss(probes: &[ProbeOutcome], span: f64, width: f64, step: f64) -> Vec<f64> {
+    windowed_with(probes, span, width, step, loss_from_counts)
+}
+
+/// As [`windowed_loss`] but with the direct (one-way) estimator.
+pub fn windowed_loss_direct(probes: &[ProbeOutcome], span: f64, width: f64, step: f64) -> Vec<f64> {
+    windowed_with(probes, span, width, step, loss_from_counts_direct)
+}
+
+fn windowed_with(
+    probes: &[ProbeOutcome],
+    span: f64,
+    width: f64,
+    step: f64,
+    estimator: impl Fn(u64, u64) -> Option<f64>,
+) -> Vec<f64> {
+    assert!(step > 0.0 && width > 0.0, "window parameters must be positive");
+    let steps = (span / step).ceil() as usize;
+    let mut out = Vec::with_capacity(steps);
+    let mut last = 0.0;
+    // Incremental counts (two pointers): linear in |probes| + steps.
+    let (mut head, mut tail) = (0usize, 0usize);
+    let (mut a, mut b) = (0u64, 0u64);
+    for i in 0..steps {
+        let end = (i as f64 + 1.0) * step;
+        let lo = end - width;
+        while head < probes.len() && probes[head].at <= end {
+            a += 1;
+            if probes[head].replied {
+                b += 1;
+            }
+            head += 1;
+        }
+        while tail < head && probes[tail].at <= lo {
+            a -= 1;
+            if probes[tail].replied {
+                b -= 1;
+            }
+            tail += 1;
+        }
+        if let Some(l) = estimator(a, b) {
+            last = l;
+        }
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_delivery_is_zero_loss() {
+        assert_eq!(loss_from_counts(10, 10), Some(0.0));
+    }
+
+    #[test]
+    fn total_loss_is_one() {
+        assert_eq!(loss_from_counts(10, 0), Some(1.0));
+    }
+
+    #[test]
+    fn square_root_inversion() {
+        // If one-way loss is 19% then P = 0.81 and replies = 0.81² =
+        // 65.61% of probes.
+        let l = loss_from_counts(10_000, 6561).unwrap();
+        assert!((l - 0.19).abs() < 1e-3, "{l}");
+    }
+
+    #[test]
+    fn no_probes_is_none() {
+        assert_eq!(loss_from_counts(0, 0), None);
+    }
+
+    #[test]
+    fn excess_replies_clamped() {
+        // Duplicate replies can make b > a; clamp instead of NaN.
+        assert_eq!(loss_from_counts(5, 9), Some(0.0));
+    }
+
+    #[test]
+    fn windowed_loss_tracks_change() {
+        // 0–10 s: all replied. 10–20 s: none replied.
+        let mut probes = Vec::new();
+        for i in 0..60 {
+            let at = i as f64 / 3.0;
+            probes.push(ProbeOutcome {
+                at,
+                replied: at < 10.0,
+            });
+        }
+        let ls = windowed_loss(&probes, 20.0, 5.0, 1.0);
+        assert_eq!(ls.len(), 20);
+        assert_eq!(ls[5], 0.0);
+        // Deep in the outage the window holds only lost probes.
+        assert_eq!(ls[19], 1.0);
+        // Transition region is between.
+        assert!(ls[11] > 0.0 && ls[11] < 1.0);
+    }
+
+    #[test]
+    fn windowed_loss_holds_last_value_through_gaps() {
+        let probes = vec![
+            ProbeOutcome { at: 0.5, replied: true },
+            ProbeOutcome { at: 1.5, replied: false },
+        ];
+        // After t≈6.5 the window is empty; estimate holds.
+        let ls = windowed_loss(&probes, 10.0, 5.0, 1.0);
+        let filled = ls[1];
+        assert!(filled > 0.0);
+        assert_eq!(ls[9], ls[6]);
+    }
+
+    #[test]
+    fn empty_probes_all_zero() {
+        let ls = windowed_loss(&[], 5.0, 5.0, 1.0);
+        assert_eq!(ls, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,293 @@
+//! The one-pass distillation pipeline (§3.2): collected trace → replay
+//! trace. Runs in time linear in the trace length.
+
+use crate::loss::{windowed_loss, ProbeOutcome};
+use crate::solver::{solve_or_correct, DelayEstimate, TripletObservation};
+use crate::window::{slide, TimedEstimate, WindowConfig};
+use std::collections::BTreeMap;
+use tracekit::{ProtoInfo, QualityTuple, ReplayTrace, Trace};
+
+/// Distillation parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistillConfig {
+    /// Sliding-window configuration (5 s window, 1 s step by default).
+    pub window: WindowConfig,
+}
+
+/// Everything the pipeline learned, for diagnostics and the scenario
+/// figures.
+#[derive(Debug)]
+pub struct DistillReport {
+    /// The replay trace (the actual product).
+    pub replay: ReplayTrace,
+    /// Per-group delay estimates before windowing.
+    pub estimates: Vec<TimedEstimate>,
+    /// Groups solved exactly.
+    pub solved: usize,
+    /// Groups that needed the previous-parameters correction.
+    pub corrected: usize,
+    /// Complete triplets found.
+    pub triplets: usize,
+    /// Echo probes sent / replies seen.
+    pub probes_sent: usize,
+    /// Replies observed.
+    pub replies_seen: usize,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct GroupSlot {
+    send_ns: [Option<u64>; 3],
+    wire: [Option<u32>; 3],
+    rtt_ns: [Option<u64>; 3],
+}
+
+/// Distill a collected trace into a replay trace.
+pub fn distill(trace: &Trace, cfg: &DistillConfig) -> ReplayTrace {
+    distill_with_report(trace, cfg).replay
+}
+
+/// Distill, returning the full report.
+pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport {
+    let t0 = trace
+        .records
+        .first()
+        .map(|r| r.timestamp_ns())
+        .unwrap_or(0);
+
+    // Pass 1 (single pass over records): group probes into triplets.
+    let mut groups: BTreeMap<u16, GroupSlot> = BTreeMap::new();
+    let mut probes_sent = 0usize;
+    let mut replies_seen = 0usize;
+    for p in trace.packets() {
+        match p.proto {
+            ProtoInfo::IcmpEcho { seq, .. } if p.dir == tracekit::Dir::Out => {
+                let slot = groups.entry(seq / 3).or_default();
+                let k = (seq % 3) as usize;
+                slot.send_ns[k] = Some(p.timestamp_ns);
+                slot.wire[k] = Some(p.wire_len);
+                probes_sent += 1;
+            }
+            ProtoInfo::IcmpEchoReply { seq, rtt_ns, .. } if p.dir == tracekit::Dir::In => {
+                let slot = groups.entry(seq / 3).or_default();
+                slot.rtt_ns[(seq % 3) as usize] = Some(rtt_ns);
+                replies_seen += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Per-group solve/correct, in time order; build probe outcomes.
+    let mut estimates = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut prev_solved: Option<DelayEstimate> = None;
+    let mut solved_n = 0usize;
+    let mut corrected_n = 0usize;
+    let mut triplets = 0usize;
+    for slot in groups.values() {
+        for k in 0..3 {
+            if let Some(send) = slot.send_ns[k] {
+                outcomes.push(ProbeOutcome {
+                    at: (send.saturating_sub(t0)) as f64 / 1e9,
+                    replied: slot.rtt_ns[k].is_some(),
+                });
+            }
+        }
+        let (Some(send0), Some(w0), Some(w1)) = (slot.send_ns[0], slot.wire[0], slot.wire[1])
+        else {
+            continue;
+        };
+        let (Some(r0), Some(r1), Some(r2)) = (slot.rtt_ns[0], slot.rtt_ns[1], slot.rtt_ns[2])
+        else {
+            continue;
+        };
+        triplets += 1;
+        let obs = TripletObservation {
+            s1: w0 as f64,
+            s2: w1 as f64,
+            t1: r0 as f64 / 1e9,
+            t2: r1 as f64 / 1e9,
+            t3: r2 as f64 / 1e9,
+        };
+        let (est, solved) = solve_or_correct(prev_solved.as_ref(), &obs);
+        if solved {
+            solved_n += 1;
+            // The correction must not cascade: only exact solves become
+            // the baseline for future corrections.
+            prev_solved = Some(est);
+        } else {
+            corrected_n += 1;
+        }
+        estimates.push(TimedEstimate {
+            at: (send0.saturating_sub(t0)) as f64 / 1e9,
+            est,
+        });
+    }
+    outcomes.sort_by(|a, b| a.at.total_cmp(&b.at));
+
+    let span = trace.span_ns() as f64 / 1e9;
+    let delays = slide(&estimates, span, &cfg.window);
+    let losses = windowed_loss(
+        &outcomes,
+        span,
+        cfg.window.width.as_secs_f64(),
+        cfg.window.step.as_secs_f64(),
+    );
+
+    let mut replay = ReplayTrace::new(&format!("{} trial {}", trace.scenario, trace.trial));
+    for (i, d) in delays.iter().enumerate() {
+        let loss = losses.get(i).copied().unwrap_or(0.0);
+        replay.tuples.push(QualityTuple {
+            duration_ns: (d.duration * 1e9).round() as u64,
+            latency_ns: (d.est.f.max(0.0) * 1e9).round() as u64,
+            vb_ns_per_byte: (d.est.vb.max(0.0)) * 1e9,
+            vr_ns_per_byte: (d.est.vr.max(0.0)) * 1e9,
+            loss,
+        });
+    }
+
+    DistillReport {
+        replay,
+        estimates,
+        solved: solved_n,
+        corrected: corrected_n,
+        triplets,
+        probes_sent,
+        replies_seen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracekit::{Dir, PacketRecord, TraceRecord};
+
+    /// Synthesize a trace of perfect ping triplets under constant
+    /// conditions: F (one-way s), Vb/Vr (s per byte), per-direction loss
+    /// handled by the caller omitting replies.
+    fn synth_trace(
+        secs: u64,
+        f: f64,
+        vb: f64,
+        vr: f64,
+        drop_reply: impl Fn(u16) -> bool,
+    ) -> Trace {
+        let mut t = Trace::new("h", "synth", 1);
+        let (s1, s2) = (106u32, 542u32);
+        let v = vb + vr;
+        for g in 0..secs {
+            let base_ns = g * 1_000_000_000;
+            for k in 0..3u16 {
+                let seq = (g as u16) * 3 + k;
+                let wire = if k == 0 { s1 } else { s2 };
+                let send_ns = base_ns + k as u64; // back-to-back
+                t.records.push(TraceRecord::Packet(PacketRecord {
+                    timestamp_ns: send_ns,
+                    dir: Dir::Out,
+                    wire_len: wire,
+                    proto: ProtoInfo::IcmpEcho {
+                        ident: 1,
+                        seq,
+                        payload_len: wire - 42,
+                        gen_ts_ns: send_ns,
+                    },
+                }));
+                if drop_reply(seq) {
+                    continue;
+                }
+                let s = wire as f64;
+                let rtt = match k {
+                    0 => 2.0 * (f + s * v),
+                    1 => 2.0 * (f + s * v),
+                    _ => 2.0 * (f + s * v) + s * vb,
+                };
+                let rtt_ns = (rtt * 1e9) as u64;
+                t.records.push(TraceRecord::Packet(PacketRecord {
+                    timestamp_ns: send_ns + rtt_ns,
+                    dir: Dir::In,
+                    wire_len: wire,
+                    proto: ProtoInfo::IcmpEchoReply {
+                        ident: 1,
+                        seq,
+                        payload_len: wire - 42,
+                        rtt_ns,
+                    },
+                }));
+            }
+        }
+        t.records.sort_by_key(|r| r.timestamp_ns());
+        t
+    }
+
+    #[test]
+    fn recovers_constant_ground_truth() {
+        let (f, vb, vr) = (2e-3, 4e-6, 0.8e-6);
+        let trace = synth_trace(30, f, vb, vr, |_| false);
+        let report = distill_with_report(&trace, &DistillConfig::default());
+        assert_eq!(report.triplets, 30);
+        assert_eq!(report.solved, 30);
+        assert_eq!(report.corrected, 0);
+        let replay = &report.replay;
+        assert!(replay.is_valid());
+        // Every tuple should carry the ground-truth parameters.
+        for q in &replay.tuples {
+            assert!((q.latency_ns as f64 - f * 1e9).abs() < 1e3, "{q:?}");
+            assert!((q.vb_ns_per_byte - vb * 1e9).abs() < 1.0, "{q:?}");
+            assert!((q.vr_ns_per_byte - vr * 1e9).abs() < 1.0, "{q:?}");
+            assert_eq!(q.loss, 0.0);
+        }
+    }
+
+    #[test]
+    fn loss_estimated_from_missing_replies() {
+        // Drop every second group's replies entirely: reply rate 1/2,
+        // so L = 1 − sqrt(0.5) ≈ 0.293.
+        let trace = synth_trace(40, 2e-3, 4e-6, 0.8e-6, |seq| (seq / 3) % 2 == 0);
+        let report = distill_with_report(&trace, &DistillConfig::default());
+        let mean = report.replay.mean_loss();
+        assert!((mean - 0.293).abs() < 0.05, "mean loss {mean}");
+        // Only half the triplets complete.
+        assert_eq!(report.triplets, 20);
+        assert_eq!(report.probes_sent, 120);
+        assert_eq!(report.replies_seen, 60);
+    }
+
+    #[test]
+    fn incomplete_triplets_do_not_produce_estimates() {
+        // Lose only the third packet of each group: no triplet completes,
+        // but probes still contribute to loss accounting.
+        let trace = synth_trace(10, 2e-3, 4e-6, 0.8e-6, |seq| seq % 3 == 2);
+        let report = distill_with_report(&trace, &DistillConfig::default());
+        assert_eq!(report.triplets, 0);
+        assert!(report.estimates.is_empty());
+        // Loss: 2/3 replied → L = 1 − sqrt(2/3) ≈ 0.184.
+        let mean = report.replay.mean_loss();
+        assert!((mean - 0.184).abs() < 0.05, "mean loss {mean}");
+    }
+
+    #[test]
+    fn tuple_durations_cover_trace_span() {
+        let trace = synth_trace(25, 1e-3, 4e-6, 1e-6, |_| false);
+        let replay = distill(&trace, &DistillConfig::default());
+        let total = replay.total_duration().as_secs_f64();
+        let span = trace.span_ns() as f64 / 1e9;
+        assert!((total - span).abs() < 0.1, "total {total}, span {span}");
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_replay() {
+        let trace = Trace::new("h", "empty", 1);
+        let replay = distill(&trace, &DistillConfig::default());
+        assert!(replay.tuples.is_empty());
+    }
+
+    #[test]
+    fn single_pass_is_linear_and_fast() {
+        // 1 hour of probes = 3600 groups; distillation should be
+        // effectively instant (well under a second even in debug builds).
+        let trace = synth_trace(3600, 2e-3, 4e-6, 0.8e-6, |_| false);
+        let start = std::time::Instant::now();
+        let replay = distill(&trace, &DistillConfig::default());
+        assert!(replay.is_valid());
+        assert!(start.elapsed().as_secs_f64() < 5.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The sliding-window averaging step (§3.2.2): convert per-group delay
+//! estimates into the delay components of replay-trace tuples. The
+//! paper's five-second window "balances the desire to discount outlying
+//! estimates with the need to be reactive to true change".
+
+use crate::solver::DelayEstimate;
+use netsim::SimDuration;
+
+/// Window configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Width of the averaging window.
+    pub width: SimDuration,
+    /// Step between emitted tuples (each tuple's duration `d`).
+    pub step: SimDuration,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            width: SimDuration::from_secs(5),
+            step: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// A timestamped delay estimate (seconds since trace start).
+#[derive(Debug, Clone, Copy)]
+pub struct TimedEstimate {
+    /// Observation time in seconds from trace start.
+    pub at: f64,
+    /// The estimate.
+    pub est: DelayEstimate,
+}
+
+/// One averaged window: the delay portion of a quality tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedDelay {
+    /// Tuple start time (seconds from trace start).
+    pub start: f64,
+    /// Tuple duration (seconds) — `d` in the paper.
+    pub duration: f64,
+    /// Averaged parameters.
+    pub est: DelayEstimate,
+}
+
+/// Slide a window of `cfg.width` over `estimates` (which must be sorted
+/// by time), emitting one averaged tuple per `cfg.step` covering
+/// `[0, span]`. Windows are backward-looking: the tuple starting at `t`
+/// averages estimates in `(t + step − width, t + step]`. Empty windows
+/// reuse the nearest preceding average (or the first available one).
+pub fn slide(estimates: &[TimedEstimate], span: f64, cfg: &WindowConfig) -> Vec<WindowedDelay> {
+    let step = cfg.step.as_secs_f64();
+    let width = cfg.width.as_secs_f64();
+    assert!(step > 0.0 && width > 0.0, "window config must be positive");
+    let mut out = Vec::new();
+    if span <= 0.0 {
+        return out;
+    }
+    debug_assert!(
+        estimates.windows(2).all(|w| w[0].at <= w[1].at),
+        "estimates must be time-sorted"
+    );
+
+    // Incremental sliding window (two pointers + running sums): the whole
+    // sweep is linear in |estimates| + steps, honouring the paper's
+    // "single pass, order of the length of the trace" requirement.
+    let mut last: Option<DelayEstimate> = None;
+    let steps = (span / step).ceil() as usize;
+    let (mut head, mut tail) = (0usize, 0usize);
+    let (mut f, mut vb, mut vr) = (0.0f64, 0.0f64, 0.0f64);
+    for i in 0..steps {
+        let start = i as f64 * step;
+        let end = start + step;
+        let lo = end - width;
+        // Admit estimates that entered the window.
+        while head < estimates.len() && estimates[head].at <= end {
+            let e = &estimates[head].est;
+            f += e.f;
+            vb += e.vb;
+            vr += e.vr;
+            head += 1;
+        }
+        // Expire estimates that left it.
+        while tail < head && estimates[tail].at <= lo {
+            let e = &estimates[tail].est;
+            f -= e.f;
+            vb -= e.vb;
+            vr -= e.vr;
+            tail += 1;
+        }
+        let n = head - tail;
+        let est = if n > 0 {
+            let k = n as f64;
+            let avg = DelayEstimate {
+                f: (f / k).max(0.0),
+                vb: (vb / k).max(0.0),
+                vr: (vr / k).max(0.0),
+            };
+            last = Some(avg);
+            avg
+        } else if let Some(prev) = last {
+            prev
+        } else if let Some(first) = estimates.first() {
+            first.est
+        } else {
+            DelayEstimate {
+                f: 0.0,
+                vb: 0.0,
+                vr: 0.0,
+            }
+        };
+        out.push(WindowedDelay {
+            start,
+            duration: (span - start).min(step),
+            est,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(f: f64) -> DelayEstimate {
+        DelayEstimate {
+            f,
+            vb: 4e-6,
+            vr: 1e-6,
+        }
+    }
+
+    fn series(vals: &[(f64, f64)]) -> Vec<TimedEstimate> {
+        vals.iter()
+            .map(|&(at, f)| TimedEstimate { at, est: est(f) })
+            .collect()
+    }
+
+    #[test]
+    fn one_tuple_per_step_covering_span() {
+        let es = series(&[(0.5, 1e-3), (1.5, 2e-3), (2.5, 3e-3)]);
+        let out = slide(&es, 10.0, &WindowConfig::default());
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].start, 0.0);
+        assert_eq!(out[9].start, 9.0);
+        let total: f64 = out.iter().map(|w| w.duration).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_averages_estimates() {
+        // Estimates at 0.5s (F=2ms) and 0.9s (F=4ms): first tuple's
+        // window (−4, 1] holds both → F = 3 ms.
+        let es = series(&[(0.5, 2e-3), (0.9, 4e-3)]);
+        let out = slide(&es, 2.0, &WindowConfig::default());
+        assert!((out[0].est.f - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_second_window_discounts_outliers_slowly() {
+        // Steady 2 ms with one 100 ms spike at t=10: the spike lifts the
+        // five windows that contain it, then vanishes.
+        let mut vals: Vec<(f64, f64)> = (0..30).map(|i| (i as f64 + 0.5, 2e-3)).collect();
+        vals[10].1 = 100e-3;
+        let es = series(&vals);
+        let out = slide(&es, 30.0, &WindowConfig::default());
+        // Window for tuple 10 (covering (6,11]) includes the spike.
+        assert!(out[10].est.f > 20e-3);
+        assert!(out[14].est.f > 20e-3);
+        // By tuple 15 the spike has left the window.
+        assert!((out[15].est.f - 2e-3).abs() < 1e-9);
+        assert!((out[5].est.f - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_windows_reuse_previous() {
+        // Gap between t=2 and t=20 (ping replies lost): tuples in the gap
+        // hold the last known parameters.
+        let es = series(&[(1.0, 2e-3), (2.0, 2e-3), (20.5, 8e-3)]);
+        let out = slide(&es, 22.0, &WindowConfig::default());
+        assert!((out[10].est.f - 2e-3).abs() < 1e-12);
+        assert!((out[15].est.f - 2e-3).abs() < 1e-12);
+        assert!((out[20].est.f - 8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_gap_uses_first_estimate() {
+        let es = series(&[(8.0, 7e-3)]);
+        let out = slide(&es, 10.0, &WindowConfig::default());
+        assert!((out[0].est.f - 7e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_estimates() {
+        let out = slide(&[], 3.0, &WindowConfig::default());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].est.f, 0.0);
+    }
+
+    #[test]
+    fn reactivity_to_step_change() {
+        // F jumps from 2 ms to 50 ms at t=10; within a window-width the
+        // average converges to the new value.
+        let vals: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let t = i as f64 + 0.5;
+                (t, if t < 10.0 { 2e-3 } else { 50e-3 })
+            })
+            .collect();
+        let out = slide(&series(&vals), 30.0, &WindowConfig::default());
+        assert!((out[5].est.f - 2e-3).abs() < 1e-9);
+        // Fully converged five seconds after the change.
+        assert!((out[16].est.f - 50e-3).abs() < 1e-9);
+        // Mid-transition: between the two.
+        assert!(out[12].est.f > 2e-3 && out[12].est.f < 50e-3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the distillation algebra.
+
+use distill::{correct, solve, solve_or_correct, DelayEstimate, TripletObservation};
+use proptest::prelude::*;
+
+fn obs_from(f: f64, vb: f64, vr: f64, s1: f64, s2: f64) -> TripletObservation {
+    let v = vb + vr;
+    TripletObservation {
+        s1,
+        s2,
+        t1: 2.0 * (f + s1 * v),
+        t2: 2.0 * (f + s2 * v),
+        t3: 2.0 * (f + s2 * v) + s2 * vb,
+    }
+}
+
+proptest! {
+    /// Equations 5–8 invert exactly on noiseless observations for any
+    /// physical parameters.
+    #[test]
+    fn solve_inverts_forward_model(
+        f in 0.0f64..0.5,
+        vb in 1e-9f64..1e-4,
+        vr in 0.0f64..1e-4,
+        s1 in 40.0f64..400.0,
+        extra in 10.0f64..2000.0,
+    ) {
+        let s2 = s1 + extra;
+        let obs = obs_from(f, vb, vr, s1, s2);
+        let est = solve(&obs).expect("noiseless observation must solve");
+        prop_assert!((est.f - f).abs() < 1e-9 * (1.0 + f));
+        prop_assert!((est.vb - vb).abs() < 1e-12 + vb * 1e-6);
+        prop_assert!((est.vr - vr).abs() < 1e-12 + (vr + vb) * 1e-6);
+    }
+
+    /// The correction preserves the previous per-byte costs exactly and
+    /// produces a physical estimate for any inputs.
+    #[test]
+    fn correction_is_always_physical(
+        pf in 0.0f64..0.5,
+        pvb in 0.0f64..1e-4,
+        pvr in 0.0f64..1e-4,
+        t1 in 0.0f64..2.0,
+        dt2 in 0.0f64..2.0,
+        dt3 in 0.0f64..2.0,
+        s1 in 40.0f64..400.0,
+        extra in 10.0f64..2000.0,
+    ) {
+        let prev = DelayEstimate { f: pf, vb: pvb, vr: pvr };
+        let obs = TripletObservation {
+            s1,
+            s2: s1 + extra,
+            t1,
+            t2: t1 + dt2,
+            t3: t1 + dt2 + dt3,
+        };
+        let est = correct(&prev, &obs);
+        prop_assert_eq!(est.vb, prev.vb);
+        prop_assert_eq!(est.vr, prev.vr);
+        prop_assert!(est.is_physical());
+    }
+
+    /// solve_or_correct never returns a non-physical estimate, whatever
+    /// the observation (including pathological timings).
+    #[test]
+    fn solve_or_correct_total(
+        t1 in 0.0f64..5.0,
+        t2 in 0.0f64..5.0,
+        t3 in 0.0f64..5.0,
+        s1 in 1.0f64..2000.0,
+        s2 in 1.0f64..2000.0,
+        has_prev in any::<bool>(),
+    ) {
+        let prev = DelayEstimate { f: 1e-3, vb: 4e-6, vr: 1e-6 };
+        let obs = TripletObservation { s1, s2, t1, t2, t3 };
+        let (est, _solved) = solve_or_correct(has_prev.then_some(&prev), &obs);
+        prop_assert!(est.is_physical(), "{est:?} from {obs:?}");
+    }
+
+    /// Replay tuples built from any physical estimate are valid.
+    #[test]
+    fn estimates_make_valid_tuples(
+        f in 0.0f64..1.0,
+        vb in 0.0f64..1e-3,
+        vr in 0.0f64..1e-3,
+        loss in 0.0f64..=1.0,
+    ) {
+        let q = tracekit::QualityTuple {
+            duration_ns: 1_000_000_000,
+            latency_ns: (f * 1e9) as u64,
+            vb_ns_per_byte: vb * 1e9,
+            vr_ns_per_byte: vr * 1e9,
+            loss,
+        };
+        prop_assert!(q.is_valid());
+    }
+}

@@ -1,0 +1,185 @@
+//! Data generation for the scenario figures (Figures 2–5): observed
+//! signal level plus distilled latency / bandwidth / loss, either as
+//! per-checkpoint ranges across trials (moving scenarios) or histograms
+//! (stationary Chatterbox).
+
+use crate::runs::{collect_trace, RunConfig};
+use distill::{distill_with_report, DistillConfig};
+use netsim::stats::{Histogram, Series, Summary};
+use netsim::SimTime;
+use wavelan::Scenario;
+
+/// Per-checkpoint ranges for one plotted quantity: one `Summary` per
+/// checkpoint combining all trials (min/max = the vertical bars).
+#[derive(Debug)]
+pub struct CheckpointSeries {
+    /// Checkpoint labels (X axis).
+    pub labels: Vec<&'static str>,
+    /// One summary per checkpoint.
+    pub buckets: Vec<Summary>,
+}
+
+/// Everything a scenario figure shows.
+#[derive(Debug)]
+pub struct ScenarioFigure {
+    /// Scenario name.
+    pub scenario: String,
+    /// Trials combined.
+    pub trials: u32,
+    /// Observed signal level (device records).
+    pub signal: CheckpointSeries,
+    /// Distilled one-way latency, milliseconds.
+    pub latency_ms: CheckpointSeries,
+    /// Distilled bottleneck bandwidth, kb/s.
+    pub bandwidth_kbps: CheckpointSeries,
+    /// Distilled loss rate, percent.
+    pub loss_pct: CheckpointSeries,
+    /// Histograms for the stationary case: (signal, latency ms,
+    /// bandwidth kb/s, loss %).
+    pub histograms: Option<(Histogram, Histogram, Histogram, Histogram)>,
+}
+
+fn merge_bucketed(all: &mut Vec<Summary>, series: &Series, buckets: usize) {
+    if all.is_empty() {
+        *all = vec![Summary::new(); buckets];
+    }
+    for (i, b) in series.normalized_buckets(buckets).iter().enumerate() {
+        if b.count() > 0 {
+            all[i].add(b.min());
+            if b.max() > b.min() {
+                all[i].add(b.max());
+            }
+            all[i].add(b.mean());
+        }
+    }
+}
+
+/// Collect `trials` traces of `scenario`, distill each, and combine into
+/// the figure's per-checkpoint ranges (and histograms when stationary).
+pub fn scenario_figure(scenario: &Scenario, trials: u32, cfg: &RunConfig) -> ScenarioFigure {
+    let labels = scenario.labels();
+    let buckets = labels.len();
+    let mut signal = Vec::new();
+    let mut latency = Vec::new();
+    let mut bandwidth = Vec::new();
+    let mut loss = Vec::new();
+    let mut hist = (
+        Histogram::new(0.0, 30.0, 15),
+        Histogram::new(0.0, 100.0, 20),
+        Histogram::new(0.0, 2000.0, 20),
+        Histogram::new(0.0, 30.0, 15),
+    );
+
+    for trial in 1..=trials {
+        let trace = collect_trace(scenario, trial, cfg);
+        let report = distill_with_report(&trace, &DistillConfig::default());
+
+        // Signal series from device records.
+        let mut sig = Series::new();
+        for d in trace.device_samples() {
+            sig.push(SimTime::from_nanos(d.timestamp_ns), d.signal as f64);
+        }
+        merge_bucketed(&mut signal, &sig, buckets);
+
+        // Parameter series from the replay trace tuples.
+        let mut lat = Series::new();
+        let mut bw = Series::new();
+        let mut lo = Series::new();
+        let mut t = 0u64;
+        for q in &report.replay.tuples {
+            let at = SimTime::from_nanos(t);
+            lat.push(at, q.latency_ns as f64 / 1e6);
+            let kbps = if q.vb_ns_per_byte > 0.0 {
+                8e6 / q.vb_ns_per_byte
+            } else {
+                2000.0
+            };
+            bw.push(at, kbps);
+            lo.push(at, q.loss * 100.0);
+            t += q.duration_ns;
+        }
+        merge_bucketed(&mut latency, &lat, buckets);
+        merge_bucketed(&mut bandwidth, &bw, buckets);
+        merge_bucketed(&mut loss, &lo, buckets);
+
+        if scenario.stationary {
+            for v in sig.values() {
+                hist.0.add(v);
+            }
+            for v in lat.values() {
+                hist.1.add(v);
+            }
+            for v in bw.values() {
+                hist.2.add(v);
+            }
+            for v in lo.values() {
+                hist.3.add(v);
+            }
+        }
+    }
+
+    ScenarioFigure {
+        scenario: scenario.name.to_string(),
+        trials,
+        signal: CheckpointSeries {
+            labels: labels.clone(),
+            buckets: signal,
+        },
+        latency_ms: CheckpointSeries {
+            labels: labels.clone(),
+            buckets: latency,
+        },
+        bandwidth_kbps: CheckpointSeries {
+            labels: labels.clone(),
+            buckets: bandwidth,
+        },
+        loss_pct: CheckpointSeries {
+            labels,
+            buckets: loss,
+        },
+        histograms: scenario.stationary.then_some(hist),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    #[test]
+    fn porter_figure_has_expected_shape() {
+        let mut sc = Scenario::porter();
+        sc.duration = SimDuration::from_secs(60);
+        let fig = scenario_figure(&sc, 2, &RunConfig::default());
+        assert_eq!(fig.signal.labels.len(), 7);
+        assert_eq!(fig.signal.buckets.len(), 7);
+        assert!(fig.histograms.is_none());
+        // The patio (x3) has better signal than the end of Porter (x6).
+        let x3 = fig.signal.buckets[3].mean();
+        let x6 = fig.signal.buckets[6].mean();
+        assert!(x3 > x6, "x3 {x3} vs x6 {x6}");
+        // Bandwidth sits in WaveLAN territory.
+        let bw = fig.bandwidth_kbps.buckets[3].mean();
+        assert!((800.0..2000.0).contains(&bw), "bw {bw}");
+    }
+
+    #[test]
+    fn chatterbox_figure_builds_histograms() {
+        let mut sc = Scenario::chatterbox();
+        sc.duration = SimDuration::from_secs(40);
+        let fig = scenario_figure(&sc, 1, &RunConfig::default());
+        let (sig, lat, bw, loss) = fig.histograms.expect("stationary → histograms");
+        assert!(sig.total() > 0);
+        assert!(lat.total() > 0);
+        assert!(bw.total() > 0);
+        assert!(loss.total() > 0);
+        // Signal concentrates high (paper: "consistently high, ~18").
+        let norm = sig.normalized();
+        let high_mass: f64 = norm
+            .iter()
+            .filter(|&&(c, _)| c > 12.0)
+            .map(|&(_, f)| f)
+            .sum();
+        assert!(high_mass > 0.7, "high-signal mass {high_mass}");
+    }
+}

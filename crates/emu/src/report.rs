@@ -1,0 +1,188 @@
+//! Plain-text rendering of experiment results: the paper-style tables
+//! (mean with standard deviation in parentheses) and ASCII range plots
+//! for the scenario figures.
+
+use crate::experiment::Comparison;
+use crate::figures::{CheckpointSeries, ScenarioFigure};
+use netsim::stats::{Histogram, Summary};
+
+/// `"123.45 (6.78)"` — the paper's cell format.
+pub fn cell(s: &Summary) -> String {
+    format!("{:.2} ({:.2})", s.mean(), s.stddev())
+}
+
+/// Render an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", c, width = widths[i.min(widths.len() - 1)]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render one comparison as a table row: scenario, real, modulated,
+/// agreement marker.
+pub fn comparison_row(c: &Comparison) -> Vec<String> {
+    vec![
+        c.scenario.clone(),
+        cell(&c.real),
+        cell(&c.modulated),
+        format!(
+            "{:.2}σ{}",
+            c.sigma_ratio(),
+            if c.within_one_sigma() { " ✓" } else { "" }
+        ),
+    ]
+}
+
+/// ASCII range plot of a checkpoint series (the paper's vertical-bar
+/// plots): one line per checkpoint, `min──mean──max` scaled to `width`.
+pub fn range_plot(title: &str, series: &CheckpointSeries, unit: &str, width: usize) -> String {
+    let mut out = format!("{title} [{unit}]\n");
+    let hi = series
+        .buckets
+        .iter()
+        .map(Summary::max)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for (label, b) in series.labels.iter().zip(&series.buckets) {
+        if b.count() == 0 {
+            out.push_str(&format!("  {label:>4} | (no data)\n"));
+            continue;
+        }
+        let pos = |v: f64| ((v / hi) * (width as f64 - 1.0)).round() as usize;
+        let (lo_i, mean_i, hi_i) = (pos(b.min()), pos(b.mean()), pos(b.max()));
+        let mut bar: Vec<char> = vec![' '; width];
+        for slot in bar.iter_mut().take(hi_i + 1).skip(lo_i) {
+            *slot = '─';
+        }
+        bar[lo_i] = '├';
+        bar[hi_i] = '┤';
+        bar[mean_i] = '●';
+        out.push_str(&format!(
+            "  {label:>4} |{} {:.2}..{:.2}\n",
+            bar.into_iter().collect::<String>(),
+            b.min(),
+            b.max()
+        ));
+    }
+    out
+}
+
+/// ASCII histogram (Figure 5's distributions).
+pub fn histogram_plot(title: &str, h: &Histogram, unit: &str, width: usize) -> String {
+    let mut out = format!("{title} [{unit}]\n");
+    let norm = h.normalized();
+    let peak = norm.iter().map(|&(_, f)| f).fold(0.0f64, f64::max).max(1e-9);
+    for (center, frac) in norm {
+        if frac == 0.0 {
+            continue;
+        }
+        let n = ((frac / peak) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {center:>8.1} |{} {:.1}%\n",
+            "█".repeat(n.max(1)),
+            frac * 100.0
+        ));
+    }
+    out
+}
+
+/// Render a whole scenario figure (Figures 2–5).
+pub fn scenario_figure_text(fig: &ScenarioFigure) -> String {
+    let mut out = format!(
+        "=== Scenario '{}' ({} trials) ===\n",
+        fig.scenario, fig.trials
+    );
+    match &fig.histograms {
+        Some((sig, lat, bw, loss)) => {
+            out.push_str(&histogram_plot("Signal level", sig, "WaveLAN units", 40));
+            out.push_str(&histogram_plot("Latency", lat, "ms", 40));
+            out.push_str(&histogram_plot("Bandwidth", bw, "kb/s", 40));
+            out.push_str(&histogram_plot("Loss rate", loss, "%", 40));
+        }
+        None => {
+            out.push_str(&range_plot("Signal level", &fig.signal, "WaveLAN units", 48));
+            out.push_str(&range_plot("Latency", &fig.latency_ms, "ms", 48));
+            out.push_str(&range_plot("Bandwidth", &fig.bandwidth_kbps, "kb/s", 48));
+            out.push_str(&range_plot("Loss rate", &fig.loss_pct, "%", 48));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_format_matches_paper() {
+        let s = Summary::of(&[160.0, 162.0, 158.0, 164.0]);
+        assert_eq!(cell(&s), "161.00 (2.58)");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["Scenario", "Real (s)", "Modulated (s)"],
+            &[
+                vec!["Wean".into(), "161.47 (7.82)".into(), "160.04 (2.60)".into()],
+                vec!["Porter".into(), "159.83 (5.07)".into(), "150.65 (5.83)".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Scenario"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Real" column starts at the same offset.
+        let off = lines[0].find("Real").unwrap();
+        assert_eq!(&lines[2][off..off + 6], "161.47");
+    }
+
+    #[test]
+    fn range_plot_renders_bars() {
+        let series = CheckpointSeries {
+            labels: vec!["x0", "x1"],
+            buckets: vec![Summary::of(&[1.0, 5.0, 3.0]), Summary::new()],
+        };
+        let p = range_plot("Latency", &series, "ms", 20);
+        assert!(p.contains("x0"));
+        assert!(p.contains('●'));
+        assert!(p.contains("(no data)"));
+    }
+
+    #[test]
+    fn histogram_plot_renders() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [1.0, 1.2, 1.4, 7.0] {
+            h.add(x);
+        }
+        let p = histogram_plot("Signal", &h, "units", 20);
+        assert!(p.contains('█'));
+        assert!(p.contains("75.0%"));
+    }
+}

@@ -1,0 +1,315 @@
+//! The three phases of the methodology as runnable operations:
+//! collection (§3.1), live benchmark runs (§5.1's "real" columns), and
+//! modulated runs (§3.3 + §5.1's "modulated" columns), plus the one-time
+//! compensation measurement of the modulating network.
+
+use crate::testbed::{build_ethernet, build_wireless, Hardware, SERVER_IP};
+use crate::workload::{install, run_to_completion, Benchmark, RunResult};
+use distill::{distill_with_report, DistillConfig, DistillReport};
+use modulate::{Modulator, TickClock};
+use netsim::{SimDuration, SimRng, SimTime};
+use tracekit::{CollectionDaemon, Collector, PseudoDevice, ReplayTrace, Trace};
+use wavelan::Scenario;
+use workloads::{PingConfig, PingWorkload};
+
+/// Everything configurable about an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Host hardware model.
+    pub hw: Hardware,
+    /// Modulation scheduling clock.
+    pub clock: TickClock,
+    /// Apply inbound delay compensation with this measured Vb (ns/byte);
+    /// `None` disables compensation.
+    pub compensation: Option<f64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            hw: Hardware::default(),
+            clock: TickClock::netbsd(),
+            compensation: None,
+        }
+    }
+}
+
+/// Derive the deterministic seed for (scenario, trial, purpose).
+fn seed_for(scenario: &str, trial: u32, purpose: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ purpose;
+    for b in scenario.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (trial as u64) << 32
+}
+
+/// **Collection phase**: traverse `scenario` (trial `trial`) with the
+/// instrumented laptop running the ping workload; return the collected
+/// trace.
+pub fn collect_trace(scenario: &Scenario, trial: u32, cfg: &RunConfig) -> Trace {
+    let mut trial_rng = SimRng::seed_from_u64(seed_for(scenario.name, trial, 1));
+    let channel = scenario.channel(&mut trial_rng);
+    let meter = channel.meter();
+    let dev = PseudoDevice::new(65_536);
+
+    let scenario_secs = scenario.duration.as_secs_f64() as u64;
+    let (mut tb, (_ping, daemon)) = build_wireless(
+        seed_for(scenario.name, trial, 2),
+        cfg.hw,
+        channel,
+        |laptop, _server| {
+            let collector = Collector::new(dev.clone()).with_signal_source(Box::new(move || {
+                meter.lock().quantized()
+            }));
+            laptop.set_tracer(Box::new(collector));
+            let mut ping_cfg = PingConfig::paper(SERVER_IP);
+            ping_cfg.duration = SimDuration::from_secs(scenario_secs);
+            let ping = laptop.add_app(Box::new(PingWorkload::new(ping_cfg)));
+            let daemon = laptop.add_app(Box::new(CollectionDaemon::new(
+                dev.clone(),
+                "thinkpad",
+                "scenario",
+                trial,
+            )));
+            (ping, daemon)
+        },
+    );
+    tb.start();
+    tb.sim
+        .run_until(SimTime::from_secs(scenario_secs + 5));
+    let now_ns = tb.sim.now().as_nanos();
+    let host: &mut netstack::Host = tb.sim.node_mut(tb.laptop);
+    let mut trace = host.app_mut::<CollectionDaemon>(daemon).finish(now_ns);
+    trace.scenario = scenario.name.to_string();
+    trace
+}
+
+/// Collection + distillation in one step.
+pub fn collect_and_distill(scenario: &Scenario, trial: u32, cfg: &RunConfig) -> DistillReport {
+    let trace = collect_trace(scenario, trial, cfg);
+    distill_with_report(&trace, &DistillConfig::default())
+}
+
+/// **Two-sided collection** (the §6 synchronized-clocks extension):
+/// tracers on *both* endpoints; the simulation's global clock plays the
+/// role of the synchronized clocks. Returns (mobile trace, target
+/// trace).
+pub fn collect_trace_two_sided(
+    scenario: &Scenario,
+    trial: u32,
+    cfg: &RunConfig,
+) -> (tracekit::Trace, tracekit::Trace) {
+    let mut trial_rng = SimRng::seed_from_u64(seed_for(scenario.name, trial, 1));
+    let channel = scenario.channel(&mut trial_rng);
+    let meter = channel.meter();
+    let dev_m = PseudoDevice::new(65_536);
+    let dev_t = PseudoDevice::new(65_536);
+
+    let scenario_secs = scenario.duration.as_secs_f64() as u64;
+    let (mut tb, (daemon_m, daemon_t)) = build_wireless(
+        seed_for(scenario.name, trial, 2),
+        cfg.hw,
+        channel,
+        |laptop, server| {
+            let collector = Collector::new(dev_m.clone()).with_signal_source(Box::new(move || {
+                meter.lock().quantized()
+            }));
+            laptop.set_tracer(Box::new(collector));
+            server.set_tracer(Box::new(Collector::new(dev_t.clone())));
+            let mut ping_cfg = PingConfig::paper(SERVER_IP);
+            ping_cfg.duration = SimDuration::from_secs(scenario_secs);
+            laptop.add_app(Box::new(PingWorkload::new(ping_cfg)));
+            let daemon_m = laptop.add_app(Box::new(CollectionDaemon::new(
+                dev_m.clone(),
+                "thinkpad",
+                scenario.name,
+                trial,
+            )));
+            let daemon_t = server.add_app(Box::new(CollectionDaemon::new(
+                dev_t.clone(),
+                "server",
+                scenario.name,
+                trial,
+            )));
+            (daemon_m, daemon_t)
+        },
+    );
+    tb.start();
+    tb.sim.run_until(SimTime::from_secs(scenario_secs + 5));
+    let now_ns = tb.sim.now().as_nanos();
+    let mobile = {
+        let host: &mut netstack::Host = tb.sim.node_mut(tb.laptop);
+        host.app_mut::<CollectionDaemon>(daemon_m).finish(now_ns)
+    };
+    let target = {
+        let host: &mut netstack::Host = tb.sim.node_mut(tb.server);
+        host.app_mut::<CollectionDaemon>(daemon_t).finish(now_ns)
+    };
+    (mobile, target)
+}
+
+/// **Live run**: execute `benchmark` over the real (simulated-wireless)
+/// scenario — the paper's "Real" columns.
+pub fn live_run(
+    scenario: &Scenario,
+    trial: u32,
+    benchmark: Benchmark,
+    cfg: &RunConfig,
+) -> RunResult {
+    let mut trial_rng = SimRng::seed_from_u64(seed_for(scenario.name, trial, 3));
+    let channel = scenario.channel(&mut trial_rng);
+    let (mut tb, inst) = build_wireless(
+        seed_for(scenario.name, trial, 4),
+        cfg.hw,
+        channel,
+        |laptop, server| install(benchmark, laptop, server),
+    );
+    run_to_completion(&mut tb, &inst)
+}
+
+/// **Modulated run**: execute `benchmark` on the isolated Ethernet with
+/// the modulation layer playing back `replay` — the paper's "Modulated"
+/// columns.
+pub fn modulated_run(
+    replay: &ReplayTrace,
+    trial: u32,
+    benchmark: Benchmark,
+    cfg: &RunConfig,
+) -> RunResult {
+    let mut modulator = Modulator::from_replay(replay.clone()).with_clock(cfg.clock);
+    if let Some(vb) = cfg.compensation {
+        modulator = modulator.with_compensation(vb);
+    }
+    let (mut tb, inst) = build_ethernet(
+        seed_for(&replay.source, trial, 5),
+        cfg.hw,
+        |laptop, server| {
+            laptop.set_shim(Box::new(modulator));
+            install(benchmark, laptop, server)
+        },
+    );
+    run_to_completion(&mut tb, &inst)
+}
+
+/// **Asymmetric modulated run** (the §6 extension): per-direction
+/// replay traces drive outbound and inbound traffic independently; no
+/// symmetry assumption, no compensation.
+pub fn modulated_run_asymmetric(
+    up: &tracekit::ReplayTrace,
+    down: &tracekit::ReplayTrace,
+    trial: u32,
+    benchmark: Benchmark,
+    cfg: &RunConfig,
+) -> RunResult {
+    let modulator =
+        Modulator::from_asymmetric(up.clone(), down.clone()).with_clock(cfg.clock);
+    let (mut tb, inst) = build_ethernet(
+        seed_for(&up.source, trial, 8),
+        cfg.hw,
+        |laptop, server| {
+            laptop.set_shim(Box::new(modulator));
+            install(benchmark, laptop, server)
+        },
+    );
+    run_to_completion(&mut tb, &inst)
+}
+
+/// **Ethernet baseline**: the benchmark on the bare modulation testbed
+/// (the tables' final rows).
+pub fn ethernet_run(trial: u32, benchmark: Benchmark, cfg: &RunConfig) -> RunResult {
+    let (mut tb, inst) = build_ethernet(
+        seed_for("ethernet", trial, 6),
+        cfg.hw,
+        |laptop, server| install(benchmark, laptop, server),
+    );
+    run_to_completion(&mut tb, &inst)
+}
+
+/// **Compensation measurement** (§3.3): run the ping workload + tracer
+/// over the bare modulation Ethernet, distill, and return the long-term
+/// mean bottleneck per-byte cost (ns/byte). Independent of any traced
+/// network; needs to be done only once per testbed.
+pub fn measure_compensation(cfg: &RunConfig) -> f64 {
+    let dev = PseudoDevice::new(65_536);
+    let (mut tb, daemon) = build_ethernet(seed_for("comp", 0, 7), cfg.hw, |laptop, _server| {
+        laptop.set_tracer(Box::new(Collector::new(dev.clone())));
+        let mut ping_cfg = PingConfig::paper(SERVER_IP);
+        ping_cfg.duration = SimDuration::from_secs(60);
+        laptop.add_app(Box::new(PingWorkload::new(ping_cfg)));
+        laptop.add_app(Box::new(CollectionDaemon::new(
+            dev.clone(),
+            "thinkpad",
+            "ethernet",
+            0,
+        )))
+    });
+    tb.start();
+    tb.sim.run_until(SimTime::from_secs(66));
+    let now_ns = tb.sim.now().as_nanos();
+    let host: &mut netstack::Host = tb.sim.node_mut(tb.laptop);
+    let trace = host.app_mut::<CollectionDaemon>(daemon).finish(now_ns);
+    let report = distill_with_report(&trace, &DistillConfig::default());
+    modulate::compensation_from_replay(&report.replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_produces_probe_records_and_signal_samples() {
+        let mut sc = Scenario::porter();
+        sc.duration = SimDuration::from_secs(30);
+        let trace = collect_trace(&sc, 1, &RunConfig::default());
+        assert_eq!(trace.scenario, "porter");
+        let echoes = trace
+            .packets()
+            .filter(|p| matches!(p.proto, tracekit::ProtoInfo::IcmpEcho { .. }))
+            .count();
+        assert!((28..=92).contains(&echoes), "echo records: {echoes}");
+        let dev = trace.device_samples().count();
+        assert!(dev > 100, "device samples: {dev}");
+        // Signal levels must reflect the scenario (nonzero most of run).
+        let nonzero = trace.device_samples().filter(|d| d.signal > 0).count();
+        assert!(nonzero > dev / 2);
+    }
+
+    #[test]
+    fn distilled_parameters_near_channel_ground_truth() {
+        // A constant-conditions scenario distills back to its own
+        // parameters — the end-to-end version of the solver test.
+        let mut sc = Scenario::chatterbox();
+        sc.cross = None; // no contention: clean recovery check
+        sc.duration = SimDuration::from_secs(60);
+        sc.checkpoints = vec![
+            wavelan::Checkpoint {
+                label: "c",
+                signal: (18.0, 18.0),
+                latency_ms: (3.0, 3.0),
+                bw_kbps: (1500.0, 1500.0),
+                loss: (0.0, 0.0),
+            };
+            2
+        ];
+        let report = collect_and_distill(&sc, 1, &RunConfig::default());
+        assert!(report.triplets >= 50, "triplets {}", report.triplets);
+        let replay = &report.replay;
+        assert!(replay.is_valid());
+        // One-way latency ≈ 3 ms (+ MAC overhead ~0.3 ms + queueing).
+        let lat_ms = replay.mean_latency().as_millis_f64();
+        assert!((2.5..6.5).contains(&lat_ms), "latency {lat_ms} ms");
+        // Bottleneck bandwidth ≈ 1.5 Mb/s → Vb ≈ 5333 ns/B (±40%).
+        let vb = replay.mean_vb();
+        assert!((3200.0..7500.0).contains(&vb), "vb {vb}");
+        assert!(replay.mean_loss() < 0.05, "loss {}", replay.mean_loss());
+    }
+
+    #[test]
+    fn compensation_near_ethernet_per_byte_cost() {
+        let vb = measure_compensation(&RunConfig::default());
+        // 10 Mb/s Ethernet → 800 ns/B; host CPU pacing adds apparent
+        // per-byte cost, so accept a broad band around it.
+        assert!((400.0..2500.0).contains(&vb), "vb {vb}");
+    }
+}

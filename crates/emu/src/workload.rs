@@ -1,0 +1,197 @@
+//! Benchmark installation and completion polling, shared by the live and
+//! modulated experiment paths.
+
+use crate::testbed::{Testbed, SERVER_IP};
+use netsim::{SimDuration, SimTime};
+use netstack::{AppId, Host};
+use workloads::{
+    AndrewBenchmark, AndrewConfig, FtpClient, FtpDirection, FtpServer, NfsServer, Phase,
+    WebClient, WebServer,
+};
+
+/// Which benchmark to run (the three of §4.2, FTP split by direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// The World-Wide-Web trace replay.
+    Web,
+    /// FTP: laptop uploads 10 MB.
+    FtpSend,
+    /// FTP: laptop downloads 10 MB.
+    FtpRecv,
+    /// The Andrew benchmark on NFS.
+    Andrew,
+}
+
+impl Benchmark {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Web => "Web",
+            Benchmark::FtpSend => "FTP send",
+            Benchmark::FtpRecv => "FTP recv",
+            Benchmark::Andrew => "Andrew",
+        }
+    }
+
+    /// Hard wall on simulated benchmark time.
+    pub fn deadline(&self) -> SimDuration {
+        match self {
+            Benchmark::Web => SimDuration::from_secs(1800),
+            Benchmark::FtpSend | Benchmark::FtpRecv => SimDuration::from_secs(1800),
+            Benchmark::Andrew => SimDuration::from_secs(2400),
+        }
+    }
+}
+
+/// The FTP transfer size (§4.2: "a single 10MB file").
+pub const FTP_SIZE: usize = 10_000_000;
+/// Fixed seed for the Web reference trace: the benchmark input is the
+/// same across every trial and scenario (only the network varies).
+pub const WEB_TRACE_SEED: u64 = 0x7EB;
+
+/// Handle to an installed benchmark's client application.
+pub struct Installed {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Client app on the laptop.
+    pub client: AppId,
+}
+
+/// Install a benchmark's apps on the two hosts. Called from the testbed
+/// `setup` closure.
+pub fn install(benchmark: Benchmark, laptop: &mut Host, server: &mut Host) -> Installed {
+    let client = match benchmark {
+        Benchmark::Web => {
+            server.add_app(Box::new(WebServer::new(WEB_TRACE_SEED)));
+            let trace = workloads::search_task_trace(5, 48, WEB_TRACE_SEED);
+            laptop.add_app(Box::new(WebClient::new(SERVER_IP, trace)))
+        }
+        Benchmark::FtpSend => {
+            server.add_app(Box::new(FtpServer::new()));
+            laptop.add_app(Box::new(FtpClient::new(
+                SERVER_IP,
+                FtpDirection::Send,
+                FTP_SIZE,
+            )))
+        }
+        Benchmark::FtpRecv => {
+            server.add_app(Box::new(FtpServer::new()));
+            laptop.add_app(Box::new(FtpClient::new(
+                SERVER_IP,
+                FtpDirection::Recv,
+                FTP_SIZE,
+            )))
+        }
+        Benchmark::Andrew => {
+            server.add_app(Box::new(NfsServer::new()));
+            laptop.add_app(Box::new(AndrewBenchmark::new(
+                SERVER_IP,
+                AndrewConfig::default(),
+            )))
+        }
+    };
+    Installed { benchmark, client }
+}
+
+/// The outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Total elapsed seconds (None if the deadline was hit).
+    pub elapsed: Option<f64>,
+    /// Per-phase seconds (Andrew only).
+    pub phases: Vec<(Phase, f64)>,
+}
+
+impl RunResult {
+    /// Elapsed time, panicking on a failed run (experiment harness use).
+    pub fn secs(&self) -> f64 {
+        self.elapsed.expect("benchmark run hit its deadline")
+    }
+}
+
+fn is_done(tb: &Testbed, inst: &Installed) -> bool {
+    let host = tb.laptop_host();
+    match inst.benchmark {
+        Benchmark::Web => host.app::<WebClient>(inst.client).is_done(),
+        Benchmark::FtpSend | Benchmark::FtpRecv => host.app::<FtpClient>(inst.client).is_done(),
+        Benchmark::Andrew => host.app::<AndrewBenchmark>(inst.client).finished,
+    }
+}
+
+/// Run the testbed until the benchmark completes (or its deadline), then
+/// extract the result.
+pub fn run_to_completion(tb: &mut Testbed, inst: &Installed) -> RunResult {
+    tb.start();
+    let deadline = SimTime::ZERO + inst.benchmark.deadline();
+    let slice = SimDuration::from_secs(1);
+    let mut now = SimTime::ZERO;
+    while now < deadline {
+        now = (now + slice).min(deadline);
+        tb.sim.run_until(now);
+        if is_done(tb, inst) {
+            break;
+        }
+    }
+    extract(tb, inst)
+}
+
+fn extract(tb: &Testbed, inst: &Installed) -> RunResult {
+    let host = tb.laptop_host();
+    match inst.benchmark {
+        Benchmark::Web => {
+            let c = host.app::<WebClient>(inst.client);
+            RunResult {
+                benchmark: inst.benchmark,
+                elapsed: c.elapsed().map(|d| d.as_secs_f64()),
+                phases: Vec::new(),
+            }
+        }
+        Benchmark::FtpSend | Benchmark::FtpRecv => {
+            let c = host.app::<FtpClient>(inst.client);
+            RunResult {
+                benchmark: inst.benchmark,
+                elapsed: c.elapsed().map(|d| d.as_secs_f64()),
+                phases: Vec::new(),
+            }
+        }
+        Benchmark::Andrew => {
+            let c = host.app::<AndrewBenchmark>(inst.client);
+            RunResult {
+                benchmark: inst.benchmark,
+                elapsed: c.total.map(|d| d.as_secs_f64()),
+                phases: c.results.iter().map(|r| (r.phase, r.secs())).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{build_ethernet, Hardware};
+
+    #[test]
+    fn web_benchmark_on_ethernet_near_paper_baseline() {
+        // Paper Figure 6, Ethernet row: 140.3 s (σ 3.07).
+        let (mut tb, inst) = build_ethernet(3, Hardware::default(), |l, s| {
+            install(Benchmark::Web, l, s)
+        });
+        let r = run_to_completion(&mut tb, &inst);
+        let secs = r.secs();
+        assert!((120.0..160.0).contains(&secs), "{secs}");
+    }
+
+    #[test]
+    fn andrew_benchmark_reports_phases() {
+        let (mut tb, inst) = build_ethernet(4, Hardware::default(), |l, s| {
+            install(Benchmark::Andrew, l, s)
+        });
+        let r = run_to_completion(&mut tb, &inst);
+        assert_eq!(r.phases.len(), 5);
+        // Paper Figure 8, Ethernet row total: 124 s (σ 1.63).
+        let secs = r.secs();
+        assert!((110.0..140.0).contains(&secs), "{secs}");
+    }
+}

@@ -1,0 +1,613 @@
+//! The in-kernel modulation layer (§3.3): a [`LinkShim`] placed between
+//! IP and the device that delays and drops every inbound and outbound
+//! packet according to the replay trace's quality tuples.
+//!
+//! Model realization, per the paper:
+//!
+//! * a **single unified delay queue** — outbound and inbound packets
+//!   share one bottleneck, so they interfere with one another;
+//! * per-packet delay `F + s·(Vb + Vr)`, with the bottleneck term
+//!   (`s·Vb`) serialized: a packet may queue behind the previous
+//!   packet's bottleneck departure;
+//! * random **drop with probability L applied after the bottleneck**
+//!   (lost packets still consume bottleneck time);
+//! * departures quantized to the host's clock resolution
+//!   ([`TickClock`]);
+//! * **delay compensation**: the modulating network's measured mean
+//!   `Vb` is subtracted from the replay `Vb` for inbound packets.
+
+use crate::clock::{Quantized, TickClock};
+use crate::daemon::TupleBuffer;
+use netsim::{SimRng, SimTime};
+use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
+use std::collections::BinaryHeap;
+use tracekit::{QualityTuple, ReplayTrace};
+
+/// Where the modulator gets its quality tuples.
+enum TupleSource {
+    /// Whole replay trace held in memory.
+    Trace {
+        replay: ReplayTrace,
+        start: Option<SimTime>,
+        looping: bool,
+    },
+    /// Streamed through the bounded kernel buffer by the daemon.
+    Buffer {
+        buf: TupleBuffer,
+        current: Option<QualityTuple>,
+        until: SimTime,
+    },
+    /// Per-direction replay traces from one-way (synchronized-clocks)
+    /// distillation: outbound packets follow `up`, inbound follow
+    /// `down`. Clamped playback, shared start.
+    Asymmetric {
+        up: ReplayTrace,
+        down: ReplayTrace,
+        start: Option<SimTime>,
+    },
+}
+
+/// Modulation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModStats {
+    /// Packets offered to the layer.
+    pub offered: u64,
+    /// Packets released with no hold (sub-half-tick delay).
+    pub immediate: u64,
+    /// Packets held for later release.
+    pub held: u64,
+    /// Packets dropped by the loss process.
+    pub dropped: u64,
+    /// Packets passed through because no tuple was available yet.
+    pub unmodulated: u64,
+}
+
+#[derive(Debug)]
+struct HeldPkt {
+    due: SimTime,
+    seq: u64,
+    dir: Direction,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for HeldPkt {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for HeldPkt {}
+impl PartialOrd for HeldPkt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldPkt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The modulation layer.
+///
+/// ```
+/// use modulate::{Modulator, TickClock};
+/// use netstack::{Direction, LinkShim, ShimVerdict};
+/// use netsim::{SimDuration, SimRng, SimTime};
+/// use tracekit::ReplayTrace;
+///
+/// // Emulate a 2 Mb/s, 5 ms network with an ideal clock.
+/// let replay = ReplayTrace::constant(
+///     "demo", SimDuration::from_secs(60),
+///     SimDuration::from_millis(5), 4000.0, 0.0, 0.0,
+/// );
+/// let mut m = Modulator::from_replay(replay).with_clock(TickClock::ideal());
+/// let mut rng = SimRng::seed_from_u64(1);
+/// m.begin(SimTime::ZERO);
+/// // A 1000-byte packet: 4 ms bottleneck service + 5 ms latency.
+/// let v = m.offer(Direction::Outbound, vec![0; 1000], SimTime::ZERO, &mut rng);
+/// assert!(matches!(v, ShimVerdict::Hold));
+/// assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(9)));
+/// ```
+pub struct Modulator {
+    source: TupleSource,
+    clock: TickClock,
+    /// Mean bottleneck per-byte cost of the modulating (physical)
+    /// network, in ns/byte, subtracted from inbound `Vb`.
+    compensation_vb: f64,
+    bottleneck_free: SimTime,
+    held: BinaryHeap<HeldPkt>,
+    /// Latest release time per direction ([out, in]): releases are kept
+    /// monotone so a tuple transition to lower latency cannot reorder
+    /// packets within a direction (a real serial path never would).
+    last_due: [SimTime; 2],
+    seq: u64,
+    stats: ModStats,
+}
+
+impl Modulator {
+    /// Modulator playing a whole in-memory replay trace. Playback starts
+    /// at the first packet offered, or at [`begin`](Modulator::begin).
+    /// When the trace runs out the final tuple stays in effect (matching
+    /// a mobile user who has stopped moving); use
+    /// [`looping`](Modulator::looping) to replay the file until
+    /// interrupted instead, as the paper's daemon optionally does.
+    pub fn from_replay(replay: ReplayTrace) -> Self {
+        Modulator {
+            source: TupleSource::Trace {
+                replay,
+                start: None,
+                looping: false,
+            },
+            clock: TickClock::netbsd(),
+            compensation_vb: 0.0,
+            bottleneck_free: SimTime::ZERO,
+            held: BinaryHeap::new(),
+            last_due: [SimTime::ZERO; 2],
+            seq: 0,
+            stats: ModStats::default(),
+        }
+    }
+
+    /// Modulator playing per-direction replay traces (the
+    /// synchronized-clocks extension): outbound traffic follows the
+    /// uplink trace, inbound the downlink trace. No symmetry assumption
+    /// and no compensation needed.
+    pub fn from_asymmetric(up: ReplayTrace, down: ReplayTrace) -> Self {
+        Modulator {
+            source: TupleSource::Asymmetric {
+                up,
+                down,
+                start: None,
+            },
+            clock: TickClock::netbsd(),
+            compensation_vb: 0.0,
+            bottleneck_free: SimTime::ZERO,
+            held: BinaryHeap::new(),
+            last_due: [SimTime::ZERO; 2],
+            seq: 0,
+            stats: ModStats::default(),
+        }
+    }
+
+    /// Modulator reading tuples from the daemon-fed kernel buffer.
+    pub fn from_buffer(buf: TupleBuffer) -> Self {
+        Modulator {
+            source: TupleSource::Buffer {
+                buf,
+                current: None,
+                until: SimTime::ZERO,
+            },
+            clock: TickClock::netbsd(),
+            compensation_vb: 0.0,
+            bottleneck_free: SimTime::ZERO,
+            held: BinaryHeap::new(),
+            last_due: [SimTime::ZERO; 2],
+            seq: 0,
+            stats: ModStats::default(),
+        }
+    }
+
+    /// Use a specific scheduling clock (default: the 10 ms NetBSD tick).
+    pub fn with_clock(mut self, clock: TickClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Loop the replay trace until the experiment ends instead of holding
+    /// the final tuple.
+    pub fn looping(mut self, on: bool) -> Self {
+        if let TupleSource::Trace { looping, .. } = &mut self.source {
+            *looping = on;
+        }
+        self
+    }
+
+    /// Enable inbound delay compensation with the measured mean `Vb`
+    /// (ns/byte) of the modulating network.
+    pub fn with_compensation(mut self, vb_ns_per_byte: f64) -> Self {
+        self.compensation_vb = vb_ns_per_byte.max(0.0);
+        self
+    }
+
+    /// Pin the replay start time (otherwise the first packet starts it).
+    pub fn begin(&mut self, at: SimTime) {
+        match &mut self.source {
+            TupleSource::Trace { start, .. } | TupleSource::Asymmetric { start, .. } => {
+                *start = Some(at)
+            }
+            TupleSource::Buffer { .. } => {}
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ModStats {
+        self.stats
+    }
+
+    fn params_at(&mut self, dir: Direction, now: SimTime) -> Option<QualityTuple> {
+        match &mut self.source {
+            TupleSource::Asymmetric { up, down, start } => {
+                let s = *start.get_or_insert(now);
+                let trace = match dir {
+                    Direction::Outbound => up,
+                    Direction::Inbound => down,
+                };
+                trace.at_clamped(now.since(s)).copied()
+            }
+            TupleSource::Trace {
+                replay,
+                start,
+                looping,
+            } => {
+                let s = *start.get_or_insert(now);
+                let elapsed = now.since(s);
+                if *looping {
+                    replay.at(elapsed).copied()
+                } else {
+                    replay.at_clamped(elapsed).copied()
+                }
+            }
+            TupleSource::Buffer {
+                buf,
+                current,
+                until,
+            } => {
+                // Advance through expired tuples; hold the last one if the
+                // daemon has not kept up (or the trace ended).
+                loop {
+                    match current {
+                        None => match buf.pop() {
+                            Some(t) => {
+                                *until = now + t.duration();
+                                *current = Some(t);
+                            }
+                            None => return None,
+                        },
+                        Some(c) => {
+                            if now < *until {
+                                return Some(*c);
+                            }
+                            match buf.pop() {
+                                Some(t) => {
+                                    *until += t.duration();
+                                    *current = Some(t);
+                                }
+                                None => return Some(*c), // starved: stretch
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl LinkShim for Modulator {
+    fn offer(
+        &mut self,
+        dir: Direction,
+        bytes: Vec<u8>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ShimVerdict {
+        self.stats.offered += 1;
+        let Some(q) = self.params_at(dir, now) else {
+            // No tuples yet (daemon still priming): transparent.
+            self.stats.unmodulated += 1;
+            return ShimVerdict::Pass(bytes);
+        };
+        let s = bytes.len() as f64;
+
+        // Bottleneck serialization, shared by both directions, with the
+        // inbound compensation applied to Vb.
+        let vb = match dir {
+            Direction::Inbound => (q.vb_ns_per_byte - self.compensation_vb).max(0.0),
+            Direction::Outbound => q.vb_ns_per_byte,
+        };
+        let service = netsim::SimDuration::from_nanos((s * vb).round().max(0.0) as u64);
+        let start = self.bottleneck_free.max(now);
+        let leave_bottleneck = start + service;
+        self.bottleneck_free = leave_bottleneck;
+
+        // Loss applied after the bottleneck: a lost packet has already
+        // consumed bottleneck time.
+        if rng.chance(q.loss) {
+            self.stats.dropped += 1;
+            return ShimVerdict::Drop;
+        }
+
+        let mut due = leave_bottleneck + q.latency() + q.residual_delay(bytes.len());
+        // Keep per-direction releases monotone (no reordering when the
+        // active tuple's delay shrinks).
+        let dir_idx = match dir {
+            Direction::Outbound => 0,
+            Direction::Inbound => 1,
+        };
+        if due < self.last_due[dir_idx] {
+            due = self.last_due[dir_idx];
+        }
+        self.last_due[dir_idx] = due.max(now);
+        match self.clock.quantize(now, due) {
+            Quantized::Immediate => {
+                self.stats.immediate += 1;
+                ShimVerdict::Pass(bytes)
+            }
+            Quantized::At(t) => {
+                self.stats.held += 1;
+                self.seq += 1;
+                self.held.push(HeldPkt {
+                    due: t,
+                    seq: self.seq,
+                    dir,
+                    bytes,
+                });
+                ShimVerdict::Hold
+            }
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        self.held.peek().map(|p| p.due)
+    }
+
+    fn collect_due(&mut self, now: SimTime, _rng: &mut SimRng) -> Vec<ShimRelease> {
+        let mut out = Vec::new();
+        while matches!(self.held.peek(), Some(p) if p.due <= now) {
+            let p = self.held.pop().expect("peeked entry exists");
+            out.push(ShimRelease {
+                dir: p.dir,
+                bytes: p.bytes,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn trace(latency_ms: u64, vb: f64, vr: f64, loss: f64) -> ReplayTrace {
+        ReplayTrace::constant(
+            "test",
+            SimDuration::from_secs(3600),
+            SimDuration::from_millis(latency_ms),
+            vb,
+            vr,
+            loss,
+        )
+    }
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(42)
+    }
+
+    fn offer(m: &mut Modulator, dir: Direction, n: usize, now: SimTime, r: &mut SimRng) -> ShimVerdict {
+        m.offer(dir, vec![0u8; n], now, r)
+    }
+
+    #[test]
+    fn delay_formula_f_plus_s_v() {
+        // F = 50 ms, Vb = 4000 ns/B, Vr = 1000 ns/B, ideal clock.
+        let mut m = Modulator::from_replay(trace(50, 4000.0, 1000.0, 0.0))
+            .with_clock(TickClock::ideal());
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        let v = offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
+        assert!(matches!(v, ShimVerdict::Hold));
+        // due = s·Vb (4 ms) + F (50 ms) + s·Vr (1 ms) = 55 ms.
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(55)));
+        let rel = m.collect_due(SimTime::from_millis(55), &mut r);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].bytes.len(), 1000);
+    }
+
+    #[test]
+    fn unified_bottleneck_couples_directions() {
+        let mut m = Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0))
+            .with_clock(TickClock::ideal());
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        // Outbound then inbound at t=0, 1000 B each: bottleneck services
+        // them serially (4 ms each).
+        offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
+        offer(&mut m, Direction::Inbound, 1000, SimTime::ZERO, &mut r);
+        let due1 = m.next_wakeup().unwrap();
+        assert_eq!(due1, SimTime::from_millis(4));
+        let rel = m.collect_due(SimTime::from_millis(8), &mut r);
+        assert_eq!(rel.len(), 2);
+        assert!(matches!(rel[0].dir, Direction::Outbound));
+        assert!(matches!(rel[1].dir, Direction::Inbound));
+    }
+
+    #[test]
+    fn inbound_compensation_reduces_vb_only_inbound() {
+        let mut m = Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0))
+            .with_clock(TickClock::ideal())
+            .with_compensation(800.0); // the Ethernet's per-byte cost
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        offer(&mut m, Direction::Inbound, 1000, SimTime::ZERO, &mut r);
+        // Inbound service = (4000−800) ns/B × 1000 B = 3.2 ms.
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_nanos(3_200_000)));
+        m.collect_due(SimTime::from_secs(1), &mut r);
+        offer(&mut m, Direction::Outbound, 1000, SimTime::from_secs(2), &mut r);
+        // Outbound unchanged: 4 ms after its start.
+        assert_eq!(
+            m.next_wakeup(),
+            Some(SimTime::from_secs(2) + SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn compensation_clamps_at_zero() {
+        let mut m = Modulator::from_replay(trace(0, 500.0, 0.0, 0.0))
+            .with_clock(TickClock::ideal())
+            .with_compensation(800.0);
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        // Vb − comp < 0 → clamped: only F (0) remains → immediate.
+        let v = offer(&mut m, Direction::Inbound, 1000, SimTime::ZERO, &mut r);
+        assert!(matches!(v, ShimVerdict::Pass(_)));
+    }
+
+    #[test]
+    fn loss_applied_after_bottleneck() {
+        let mut m = Modulator::from_replay(trace(0, 4000.0, 0.0, 1.0))
+            .with_clock(TickClock::ideal());
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        let v = offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
+        assert!(matches!(v, ShimVerdict::Drop));
+        // The dropped packet still consumed bottleneck time: the next
+        // packet queues behind it.
+        let mut m2 = Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0))
+            .with_clock(TickClock::ideal());
+        m2.begin(SimTime::ZERO);
+        m2.bottleneck_free = m.bottleneck_free;
+        offer(&mut m2, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
+        assert_eq!(m2.next_wakeup(), Some(SimTime::from_millis(8)));
+    }
+
+    #[test]
+    fn ten_ms_tick_sends_short_delays_immediately() {
+        // Delay = 2 ms < half tick → immediate: the paper's under-delay
+        // artifact for short NFS messages.
+        let mut m = Modulator::from_replay(trace(2, 0.0, 0.0, 0.0));
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        let v = offer(&mut m, Direction::Outbound, 100, SimTime::ZERO, &mut r);
+        assert!(matches!(v, ShimVerdict::Pass(_)));
+        assert_eq!(m.stats().immediate, 1);
+        // Delay = 8 ms → due at 1.008 s rounds to the 1.010 s tick.
+        let mut m8 = Modulator::from_replay(trace(8, 0.0, 0.0, 0.0));
+        m8.begin(SimTime::ZERO);
+        let v = offer(&mut m8, Direction::Outbound, 100, SimTime::from_secs(1), &mut r);
+        assert!(matches!(v, ShimVerdict::Hold));
+        assert_eq!(
+            m8.next_wakeup(),
+            Some(SimTime::from_secs(1) + SimDuration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn buffer_source_streams_tuples() {
+        let buf = TupleBuffer::new(8);
+        buf.write(&[
+            QualityTuple {
+                duration_ns: 1_000_000_000,
+                latency_ns: 5_000_000,
+                vb_ns_per_byte: 0.0,
+                vr_ns_per_byte: 0.0,
+                loss: 0.0,
+            },
+            QualityTuple {
+                duration_ns: 1_000_000_000,
+                latency_ns: 40_000_000,
+                vb_ns_per_byte: 0.0,
+                vr_ns_per_byte: 0.0,
+                loss: 0.0,
+            },
+        ]);
+        let mut m = Modulator::from_buffer(buf.clone()).with_clock(TickClock::ideal());
+        let mut r = rng();
+        // First tuple: 5 ms latency.
+        offer(&mut m, Direction::Outbound, 10, SimTime::ZERO, &mut r);
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(5)));
+        m.collect_due(SimTime::from_secs(1), &mut r);
+        // Second tuple active after 1 s: 40 ms latency.
+        offer(
+            &mut m,
+            Direction::Outbound,
+            10,
+            SimTime::from_millis(1500),
+            &mut r,
+        );
+        assert_eq!(
+            m.next_wakeup(),
+            Some(SimTime::from_millis(1540))
+        );
+        // Starved buffer: last tuple stretches.
+        m.collect_due(SimTime::from_secs(10), &mut r);
+        offer(
+            &mut m,
+            Direction::Outbound,
+            10,
+            SimTime::from_secs(30),
+            &mut r,
+        );
+        assert_eq!(
+            m.next_wakeup(),
+            Some(SimTime::from_secs(30) + SimDuration::from_millis(40))
+        );
+    }
+
+    #[test]
+    fn empty_buffer_passes_through() {
+        let buf = TupleBuffer::new(8);
+        let mut m = Modulator::from_buffer(buf);
+        let mut r = rng();
+        let v = offer(&mut m, Direction::Inbound, 500, SimTime::ZERO, &mut r);
+        assert!(matches!(v, ShimVerdict::Pass(_)));
+        assert_eq!(m.stats().unmodulated, 1);
+    }
+
+    #[test]
+    fn fifo_release_order() {
+        let mut m = Modulator::from_replay(trace(20, 1000.0, 0.0, 0.0))
+            .with_clock(TickClock::ideal());
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        for i in 0..5 {
+            offer(
+                &mut m,
+                Direction::Outbound,
+                100 + i * 10,
+                SimTime::ZERO,
+                &mut r,
+            );
+        }
+        let rel = m.collect_due(SimTime::from_secs(1), &mut r);
+        assert_eq!(rel.len(), 5);
+        let sizes: Vec<usize> = rel.iter().map(|p| p.bytes.len()).collect();
+        assert_eq!(sizes, vec![100, 110, 120, 130, 140]);
+    }
+
+    #[test]
+    fn asymmetric_source_uses_per_direction_tuples() {
+        let up = trace(10, 6000.0, 0.0, 0.0); // slow uplink
+        let down = trace(2, 2000.0, 0.0, 0.0); // fast downlink
+        let mut m = Modulator::from_asymmetric(up, down).with_clock(TickClock::ideal());
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
+        // Outbound: 6 ms bottleneck + 10 ms latency = 16 ms.
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(16)));
+        m.collect_due(SimTime::from_secs(1), &mut r);
+        // Inbound at t=2s: 2 ms bottleneck + 2 ms latency = 4 ms.
+        offer(&mut m, Direction::Inbound, 1000, SimTime::from_secs(2), &mut r);
+        assert_eq!(
+            m.next_wakeup(),
+            Some(SimTime::from_secs(2) + SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut m = Modulator::from_replay(trace(50, 0.0, 0.0, 0.0));
+        let mut r = rng();
+        m.begin(SimTime::ZERO);
+        for _ in 0..10 {
+            offer(&mut m, Direction::Outbound, 100, SimTime::ZERO, &mut r);
+        }
+        let s = m.stats();
+        assert_eq!(s.offered, 10);
+        assert_eq!(s.held, 10);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.immediate, 0);
+    }
+}

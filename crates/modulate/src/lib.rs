@@ -1,0 +1,27 @@
+//! # modulate — the trace modulation layer (§3.3)
+//!
+//! Reproduces the paper's kernel modulation machinery:
+//!
+//! * [`Modulator`] — a [`netstack::LinkShim`] between IP and the device
+//!   that subjects all inbound and outbound traffic to the replay
+//!   trace's ⟨d, F, Vb, Vr, L⟩ tuples through a single unified delay
+//!   queue (drop-after-bottleneck, per the model);
+//! * [`TickClock`] — the 10 ms scheduling-granularity quantizer
+//!   (round to nearest tick; sub-half-tick delays sent immediately);
+//! * [`TupleBuffer`] + [`ModulationDaemon`] — the user-level daemon that
+//!   streams tuples from a replay-trace file into the fixed-size kernel
+//!   buffer, optionally looping until interrupted;
+//! * [`compensation`] — the inbound delay-compensation term measured
+//!   once on the modulating network (Figure 1).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod compensation;
+pub mod daemon;
+pub mod layer;
+
+pub use clock::{Quantized, TickClock};
+pub use compensation::{compensation_from_replay, link_vb_ns_per_byte};
+pub use daemon::{ModulationDaemon, TupleBuffer};
+pub use layer::{ModStats, Modulator};

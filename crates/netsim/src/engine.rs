@@ -1,0 +1,379 @@
+//! The discrete-event simulator: owns nodes, links, and the event queue.
+
+use crate::event::{EventKind, NodeId, PortId, Scheduled};
+use crate::link::{Link, LinkId, LinkParams, LinkStats};
+use crate::node::{Context, Node, PortBinding};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A deterministic discrete-event network simulator.
+///
+/// Construction: add nodes, connect ports with links, seed initial events,
+/// then [`run`](Simulator::run) / [`run_until`](Simulator::run_until). The
+/// same seed and topology always produce the same event trace.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    links: Vec<Link>,
+    ports: HashMap<(NodeId, PortId), PortBinding>,
+    rng: SimRng,
+    pending: Vec<Scheduled>,
+    processed: u64,
+}
+
+impl Simulator {
+    /// Create a simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            ports: HashMap::new(),
+            rng: SimRng::seed_from_u64(seed),
+            pending: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Fork an independent RNG stream (e.g. to pre-generate workloads).
+    pub fn fork_rng(&mut self, salt: u64) -> SimRng {
+        self.rng.fork(salt)
+    }
+
+    /// Register a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(Some(node));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connect `a`'s port `pa` to `b`'s port `pb` with the given per
+    /// direction parameters (`ab` carries a→b). Panics if either port is
+    /// already bound.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        ab: LinkParams,
+        ba: LinkParams,
+    ) -> LinkId {
+        assert!(
+            !self.ports.contains_key(&(a, pa)),
+            "port {pa:?} of node {a:?} already connected"
+        );
+        assert!(
+            !self.ports.contains_key(&(b, pb)),
+            "port {pb:?} of node {b:?} already connected"
+        );
+        self.links.push(Link::new(ab, ba));
+        let link = self.links.len() - 1;
+        self.ports.insert(
+            (a, pa),
+            PortBinding {
+                link,
+                dir: 0,
+                peer: b,
+                peer_port: pb,
+            },
+        );
+        self.ports.insert(
+            (b, pb),
+            PortBinding {
+                link,
+                dir: 1,
+                peer: a,
+                peer_port: pa,
+            },
+        );
+        LinkId(link)
+    }
+
+    /// Connect with identical parameters in both directions.
+    pub fn connect_sym(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        params: LinkParams,
+    ) -> LinkId {
+        self.connect(a, pa, b, pb, params, params)
+    }
+
+    /// Counters for one direction of a link (0 = a→b as passed to
+    /// `connect`).
+    pub fn link_stats(&self, link: LinkId, dir: usize) -> LinkStats {
+        self.links[link.0].dirs[dir].stats
+    }
+
+    /// Seed an event from outside any node (e.g. to kick off an
+    /// application at t=0).
+    pub fn schedule_event(&mut self, time: SimTime, target: NodeId, kind: EventKind) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time,
+            seq: self.seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Borrow a node, downcast to its concrete type. Panics on a type
+    /// mismatch or if called re-entrantly for a node being dispatched.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.0]
+            .as_deref()
+            .expect("node is currently being dispatched");
+        (node as &dyn std::any::Any)
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node, downcast to its concrete type.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node = self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node is currently being dispatched");
+        (node as &mut dyn std::any::Any)
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Process the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.processed += 1;
+
+        let mut node = self.nodes[ev.target.0]
+            .take()
+            .expect("re-entrant dispatch of a node");
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node: ev.target,
+                seq: &mut self.seq,
+                pending: &mut self.pending,
+                links: &mut self.links,
+                ports: &self.ports,
+                rng: &mut self.rng,
+            };
+            node.on_event(ev.kind, &mut ctx);
+        }
+        self.nodes[ev.target.0] = Some(node);
+        for s in self.pending.drain(..) {
+            self.queue.push(s);
+        }
+        true
+    }
+
+    /// Run until the queue is empty or `limit` events have been processed.
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        let start = self.processed;
+        while self.processed - start < limit {
+            if !self.step() {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// Run until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Frame;
+    use crate::time::SimDuration;
+
+    /// Test node: echoes every delivered frame back out the same port after
+    /// a fixed delay, and counts everything it sees.
+    struct Echo {
+        delay: SimDuration,
+        received: Vec<(SimTime, usize)>,
+        timers: Vec<u64>,
+        bounce: bool,
+    }
+
+    impl Echo {
+        fn new(bounce: bool) -> Self {
+            Echo {
+                delay: SimDuration::from_millis(1),
+                received: Vec::new(),
+                timers: Vec::new(),
+                bounce,
+            }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_event(&mut self, event: EventKind, ctx: &mut Context<'_>) {
+            match event {
+                EventKind::Deliver { port, frame } => {
+                    self.received.push((ctx.now(), frame.len()));
+                    if self.bounce {
+                        ctx.schedule_in(self.delay, port.0 as u64);
+                    }
+                }
+                EventKind::Timer { token } => {
+                    self.timers.push(token);
+                    if self.bounce {
+                        let f = Frame::new(vec![0u8; 100], ctx.now());
+                        ctx.send(PortId(token as usize), f);
+                        self.bounce = false; // only once
+                    }
+                }
+                EventKind::Message { .. } => {}
+            }
+        }
+    }
+
+    fn two_node_sim() -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        let b = sim.add_node(Box::new(Echo::new(true)));
+        sim.connect_sym(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkParams::new(8_000_000, SimDuration::from_micros(100), 16),
+        );
+        (sim, a, b)
+    }
+
+    #[test]
+    fn frame_travels_and_bounces() {
+        let (mut sim, a, b) = two_node_sim();
+        // Inject a frame as if node a sent it: seed a Deliver on b directly
+        // is easier, but we want to exercise links, so use a timer on b
+        // that makes it transmit. Instead: seed a Deliver at a's port via
+        // schedule_event from outside.
+        sim.schedule_event(
+            SimTime::ZERO,
+            b,
+            EventKind::Deliver {
+                port: PortId(0),
+                frame: Frame::new(vec![0u8; 200], SimTime::ZERO),
+            },
+        );
+        sim.run(1000);
+        // b received the injected frame at t=0, then after 1ms sent 100
+        // bytes back: 100B at 8Mb/s = 100us serialization + 100us
+        // propagation → arrives at a at 1.2ms.
+        let bn: &Echo = sim.node(b);
+        assert_eq!(bn.received, vec![(SimTime::ZERO, 200)]);
+        let an: &Echo = sim.node(a);
+        assert_eq!(an.received, vec![(SimTime::from_micros(1200), 100)]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let (mut sim, _a, _b) = two_node_sim();
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let trace = |seed: u64| {
+            let (mut sim, _a, b) = two_node_sim();
+            for i in 0..10 {
+                sim.schedule_event(
+                    SimTime::from_millis(i * 3),
+                    b,
+                    EventKind::Deliver {
+                        port: PortId(0),
+                        frame: Frame::new(vec![0u8; 64 + i as usize], SimTime::ZERO),
+                    },
+                );
+            }
+            let _ = seed;
+            sim.run(10_000);
+            let bn: &Echo = sim.node(b);
+            bn.received.clone()
+        };
+        assert_eq!(trace(1), trace(1));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        sim.schedule_event(SimTime::from_millis(5), a, EventKind::Timer { token: 2 });
+        sim.schedule_event(SimTime::from_millis(1), a, EventKind::Timer { token: 1 });
+        sim.schedule_event(SimTime::from_millis(9), a, EventKind::Timer { token: 3 });
+        sim.run(100);
+        let an: &Echo = sim.node(a);
+        assert_eq!(an.timers, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(9));
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let (mut sim, a, _b) = two_node_sim();
+        let c = sim.add_node(Box::new(Echo::new(false)));
+        sim.connect_sym(a, PortId(0), c, PortId(0), LinkParams::instant());
+    }
+
+    #[test]
+    fn link_stats_account_traffic() {
+        let (mut sim, _a, b) = two_node_sim();
+        sim.schedule_event(
+            SimTime::ZERO,
+            b,
+            EventKind::Deliver {
+                port: PortId(0),
+                frame: Frame::new(vec![0u8; 200], SimTime::ZERO),
+            },
+        );
+        sim.run(1000);
+        // b sent one 100-byte frame back on direction 1 (b→a).
+        let stats = sim.link_stats(LinkId(0), 1);
+        assert_eq!(stats.delivered_frames, 1);
+        assert_eq!(stats.delivered_bytes, 100);
+        assert_eq!(stats.dropped_frames, 0);
+    }
+}

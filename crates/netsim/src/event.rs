@@ -1,0 +1,136 @@
+//! Events, node identity, and frames carried by the engine.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Identifies a node registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies one of a node's attachment points to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// A raw frame as carried on a link: opaque bytes, plus the simulation
+/// timestamp at which it was originally handed to the sending device.
+///
+/// Keeping frames as bytes (rather than a typed packet enum) mirrors a real
+/// NIC boundary: every layer above must parse, which is exactly where the
+/// paper's tracing and modulation hooks sit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Serialized frame contents (link header + payload).
+    pub data: Vec<u8>,
+    /// When the original sender queued this frame.
+    pub born: SimTime,
+}
+
+impl Frame {
+    /// Construct a frame born at `born`.
+    pub fn new(data: Vec<u8>, born: SimTime) -> Self {
+        Frame { data, born }
+    }
+
+    /// Size on the wire in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// What happened, from the perspective of the receiving node.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A frame finished propagating across a link and arrived on `port`.
+    Deliver {
+        /// The local port the frame arrived on.
+        port: PortId,
+        /// The frame itself.
+        frame: Frame,
+    },
+    /// A timer set by this node fired. `token` is caller-defined.
+    Timer {
+        /// Caller-defined discriminator set when the timer was scheduled.
+        token: u64,
+    },
+    /// An out-of-band message from another node (control plane, not wire
+    /// traffic): used for daemon/kernel style coordination.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// Caller-defined discriminator.
+        tag: u64,
+        /// Opaque payload.
+        data: Vec<u8>,
+    },
+}
+
+/// An entry in the global event queue.
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub time: SimTime,
+    pub seq: u64,
+    pub target: NodeId,
+    pub kind: EventKind,
+}
+
+// Order by (time, seq) ascending; BinaryHeap is a max-heap so invert.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(t: u64, seq: u64) -> Scheduled {
+        Scheduled {
+            time: SimTime::from_nanos(t),
+            seq,
+            target: NodeId(0),
+            kind: EventKind::Timer { token: 0 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_in_time_then_seq_order() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 2));
+        h.push(ev(5, 3));
+        h.push(ev(10, 1));
+        h.push(ev(1, 4));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop())
+            .map(|e| (e.time.as_nanos(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 4), (5, 3), (10, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn frame_len() {
+        let f = Frame::new(vec![0u8; 42], SimTime::ZERO);
+        assert_eq!(f.len(), 42);
+        assert!(!f.is_empty());
+        assert!(Frame::new(vec![], SimTime::ZERO).is_empty());
+    }
+}

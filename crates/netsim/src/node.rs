@@ -1,0 +1,138 @@
+//! The [`Node`] trait and the [`Context`] handed to nodes during dispatch.
+
+use crate::event::{EventKind, Frame, NodeId, PortId, Scheduled};
+use crate::link::Link;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Where a node's port attaches: which link, which direction index for
+/// transmission, and who is on the far end.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortBinding {
+    pub link: usize,
+    /// Index into `Link::dirs` for frames sent *out* of this port.
+    pub dir: usize,
+    pub peer: NodeId,
+    pub peer_port: PortId,
+}
+
+/// A simulated component: a host, a wireless channel, a router, a daemon.
+///
+/// Nodes receive [`EventKind`]s and react by sending frames, setting
+/// timers, and posting control messages through the [`Context`]. All state
+/// lives inside the node; the engine owns scheduling and links.
+pub trait Node: Any {
+    /// Handle one event. Called with monotonically non-decreasing
+    /// `ctx.now()` values.
+    fn on_event(&mut self, event: EventKind, ctx: &mut Context<'_>);
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "node"
+    }
+}
+
+/// Engine services available to a node while it handles an event.
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) seq: &'a mut u64,
+    pub(crate) pending: &'a mut Vec<Scheduled>,
+    pub(crate) links: &'a mut Vec<Link>,
+    pub(crate) ports: &'a HashMap<(NodeId, PortId), PortBinding>,
+    pub(crate) rng: &'a mut SimRng,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being dispatched.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn push(&mut self, time: SimTime, target: NodeId, kind: EventKind) {
+        *self.seq += 1;
+        self.pending.push(Scheduled {
+            time,
+            seq: *self.seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Transmit `frame` out of `port`. Returns `true` if the link accepted
+    /// it (it may tail-drop). Panics if the port is not connected — that is
+    /// always a topology-construction bug.
+    pub fn send(&mut self, port: PortId, frame: Frame) -> bool {
+        let binding = *self
+            .ports
+            .get(&(self.node, port))
+            .unwrap_or_else(|| panic!("node {:?} port {:?} is not connected", self.node, port));
+        let dir = &mut self.links[binding.link].dirs[binding.dir];
+        match dir.offer(self.now, frame.len()) {
+            Some(arrival) => {
+                self.push(
+                    arrival,
+                    binding.peer,
+                    EventKind::Deliver {
+                        port: binding.peer_port,
+                        frame,
+                    },
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of frames currently queued (or in service) on the outgoing
+    /// direction of `port`.
+    pub fn send_queue_len(&mut self, port: PortId) -> usize {
+        let binding = *self
+            .ports
+            .get(&(self.node, port))
+            .unwrap_or_else(|| panic!("node {:?} port {:?} is not connected", self.node, port));
+        self.links[binding.link].dirs[binding.dir].occupancy(self.now)
+    }
+
+    /// Arrange for a `Timer { token }` event on this node after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
+        let t = self.now + delay;
+        let node = self.node;
+        self.push(t, node, EventKind::Timer { token });
+    }
+
+    /// Arrange for a `Timer { token }` event on this node at absolute time
+    /// `at` (clamped to now if already past).
+    pub fn schedule_at(&mut self, at: SimTime, token: u64) {
+        let t = at.max(self.now);
+        let node = self.node;
+        self.push(t, node, EventKind::Timer { token });
+    }
+
+    /// Deliver an out-of-band control message to another node at the
+    /// current instant (it is processed after the current event completes).
+    pub fn post(&mut self, target: NodeId, tag: u64, data: Vec<u8>) {
+        let now = self.now;
+        let from = self.node;
+        self.push(now, target, EventKind::Message { from, tag, data });
+    }
+
+    /// Deliver an out-of-band control message after `delay`.
+    pub fn post_in(&mut self, delay: SimDuration, target: NodeId, tag: u64, data: Vec<u8>) {
+        let t = self.now + delay;
+        let from = self.node;
+        self.push(t, target, EventKind::Message { from, tag, data });
+    }
+}

@@ -1,0 +1,282 @@
+//! Statistics helpers shared by experiments: running summaries, time
+//! series with range reduction (the paper's per-checkpoint min/max bars),
+//! and simple histograms (Figure 5).
+
+use crate::time::SimTime;
+
+/// Online mean / standard deviation / extrema (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator; 0 for fewer than two
+    /// observations). This matches the parenthesized figures in the
+    /// paper's tables.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A `(time, value)` series with helpers for bucketing into normalized
+/// intervals — used to combine multiple trials of a scenario onto a common
+/// checkpoint axis, as in Figures 2–4.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new() -> Self {
+        Series { points: Vec::new() }
+    }
+
+    /// Append an observation; times must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(t >= last, "series must be time-ordered");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Split the series into `buckets` equal spans of *normalized* time
+    /// (position along the trace, 0..1) and summarize each — this is the
+    /// paper's normalization of inter-checkpoint intervals across trials.
+    /// Empty buckets yield empty summaries.
+    pub fn normalized_buckets(&self, buckets: usize) -> Vec<Summary> {
+        let mut out = vec![Summary::new(); buckets];
+        if self.points.is_empty() || buckets == 0 {
+            return out;
+        }
+        let t0 = self.points[0].0.as_nanos();
+        let t1 = self.points[self.points.len() - 1].0.as_nanos();
+        let span = (t1 - t0).max(1);
+        for &(t, v) in &self.points {
+            let frac = (t.as_nanos() - t0) as f64 / span as f64;
+            let idx = ((frac * buckets as f64) as usize).min(buckets - 1);
+            out[idx].add(v);
+        }
+        out
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)`; out-of-range values clamp into
+/// the first/last bin. Used for the Chatterbox distributions (Figure 5).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins across `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = if x < self.lo {
+            0
+        } else {
+            (((x - self.lo) / w) as usize).min(self.bins.len() - 1)
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bin_center, fraction_of_total)` pairs for display.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + w * (i as f64 + 0.5);
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.stddev(), 0.0);
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn series_bucketing_normalizes_time() {
+        let mut s = Series::new();
+        for i in 0..100u64 {
+            s.push(SimTime::from_millis(i * 10), i as f64);
+        }
+        let buckets = s.normalized_buckets(4);
+        assert_eq!(buckets.len(), 4);
+        // First bucket covers roughly values 0..25.
+        assert!(buckets[0].max() <= 25.0);
+        assert!(buckets[3].min() >= 74.0);
+        let n: u64 = buckets.iter().map(|b| b.count()).sum();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn series_bucketing_edge_cases() {
+        let s = Series::new();
+        assert_eq!(s.normalized_buckets(3).len(), 3);
+        let mut one = Series::new();
+        one.push(SimTime::ZERO, 1.0);
+        let b = one.normalized_buckets(2);
+        assert_eq!(b[0].count(), 1);
+    }
+
+    #[test]
+    fn histogram_clamps_and_normalizes() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.5, 3.0, 9.9, 42.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bins()[0], 2); // -1.0 clamped, 0.5
+        assert_eq!(h.bins()[4], 2); // 9.9, 42.0 clamped
+        let norm = h.normalized();
+        let total: f64 = norm.iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(norm[0].0, 1.0); // center of first bin
+    }
+}

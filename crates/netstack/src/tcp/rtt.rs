@@ -1,0 +1,159 @@
+//! Jacobson/Karels RTT estimation with Karn's algorithm and exponential
+//! backoff — the retransmission-timeout machinery of a BSD Reno stack.
+
+use crate::config::TcpConfig;
+use netsim::SimDuration;
+
+/// Smoothed RTT state for one connection.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    /// Smoothed RTT (None until the first sample).
+    srtt: Option<f64>,
+    /// RTT variation, seconds.
+    rttvar: f64,
+    /// Current backoff multiplier (doubles on each RTO, resets on ACK).
+    backoff: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    initial_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Estimator with the connection's configured bounds.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            backoff: 0,
+            min_rto: cfg.min_rto,
+            max_rto: cfg.max_rto,
+            initial_rto: cfg.initial_rto,
+        }
+    }
+
+    /// Incorporate a new RTT measurement (from an un-retransmitted
+    /// segment, per Karn's algorithm — the caller enforces that).
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                // RFC 6298 initialization.
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                const ALPHA: f64 = 1.0 / 8.0;
+                const BETA: f64 = 1.0 / 4.0;
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Double the timeout after a retransmission timeout fires.
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(12);
+    }
+
+    /// Reset backoff (on any forward progress).
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 0;
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => {
+                let rto = srtt + (4.0 * self.rttvar).max(0.010);
+                SimDuration::from_secs_f64(rto)
+            }
+        };
+        let base = base.max(self.min_rto);
+        let scaled = base * (1u64 << self.backoff.min(12));
+        scaled.min(self.max_rto)
+    }
+
+    /// Smoothed RTT estimate, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(&TcpConfig::default())
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        let e = est();
+        assert_eq!(e.rto(), SimDuration::from_secs(3));
+        assert!(e.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_sets_srtt() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        let srtt = e.srtt().unwrap();
+        assert_eq!(srtt, SimDuration::from_millis(100));
+        // rto = srtt + 4*rttvar = 100 + 4*50 = 300ms, clamped to min 500ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.sample(SimDuration::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 80.0).abs() < 1.0, "srtt {srtt}");
+        // Variance decays toward zero so RTO approaches the floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.sample(SimDuration::from_secs(1));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(64)); // max_rto clamp
+        e.reset_backoff();
+        assert_eq!(e.rto(), base);
+    }
+
+    #[test]
+    fn sample_resets_backoff() {
+        let mut e = est();
+        e.sample(SimDuration::from_secs(1));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.sample(SimDuration::from_secs(1));
+        // Backoff cleared; RTO back to (shrinking-variance) base range.
+        assert!(e.rto() <= base);
+    }
+
+    #[test]
+    fn high_variance_raises_rto() {
+        let mut e = est();
+        for i in 0..20 {
+            let ms = if i % 2 == 0 { 50 } else { 950 };
+            e.sample(SimDuration::from_millis(ms));
+        }
+        assert!(e.rto() > SimDuration::from_secs(1), "rto {}", e.rto());
+    }
+}

@@ -1,0 +1,60 @@
+//! Parse errors for the wire-format codecs.
+
+use std::fmt;
+
+/// Why a buffer failed to parse as a given header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the fixed header (or declared length).
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// IP version nibble was not 4.
+    BadVersion(u8),
+    /// Header-length field was out of range.
+    BadHeaderLen(u8),
+    /// Checksum verification failed.
+    BadChecksum {
+        /// Checksum carried in the packet.
+        expected: u16,
+        /// Checksum computed over the contents.
+        computed: u16,
+    },
+    /// A length field disagreed with the buffer.
+    BadLength {
+        /// Length the header declared.
+        declared: usize,
+        /// Length actually available.
+        available: usize,
+    },
+    /// Unknown or unsupported protocol/type discriminator.
+    Unsupported(u8),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated: need {needed} bytes, have {got}")
+            }
+            ParseError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            ParseError::BadHeaderLen(l) => write!(f, "bad header length {l}"),
+            ParseError::BadChecksum { expected, computed } => {
+                write!(f, "bad checksum: packet {expected:#06x}, computed {computed:#06x}")
+            }
+            ParseError::BadLength {
+                declared,
+                available,
+            } => write!(f, "bad length: declared {declared}, available {available}"),
+            ParseError::Unsupported(x) => write!(f, "unsupported discriminator {x}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, ParseError>;

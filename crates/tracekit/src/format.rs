@@ -1,0 +1,481 @@
+//! Compact self-descriptive binary encoding for traces and replay traces,
+//! alongside the serde/JSON representation for human inspection.
+
+use crate::record::{
+    DeviceRecord, Dir, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord,
+};
+use crate::replay::{QualityTuple, ReplayTrace};
+use std::fmt;
+
+/// Magic for collected traces ("Mobile Network TRace").
+pub const TRACE_MAGIC: [u8; 4] = *b"MNTR";
+/// Magic for replay traces.
+pub const REPLAY_MAGIC: [u8; 4] = *b"MNRP";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors decoding a binary trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Ran out of bytes mid-record.
+    Truncated,
+    /// Unknown record/protocol tag.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadString,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "bad magic"),
+            FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::Truncated => write!(f, "truncated file"),
+            FormatError::BadTag(t) => write!(f, "unknown tag {t}"),
+            FormatError::BadString => write!(f, "invalid UTF-8 string"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.pos + n > self.data.len() {
+            return Err(FormatError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, FormatError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, FormatError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn str(&mut self) -> Result<String, FormatError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FormatError::BadString)
+    }
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+/// Encode a collected trace to bytes.
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&TRACE_MAGIC);
+    w.u16(VERSION);
+    w.str(&trace.host);
+    w.str(&trace.scenario);
+    w.u32(trace.trial);
+    w.u32(trace.records.len() as u32);
+    for r in &trace.records {
+        match r {
+            TraceRecord::Packet(p) => {
+                w.u8(1);
+                w.u64(p.timestamp_ns);
+                w.u8(match p.dir {
+                    Dir::Out => 0,
+                    Dir::In => 1,
+                });
+                w.u32(p.wire_len);
+                match &p.proto {
+                    ProtoInfo::IcmpEcho {
+                        ident,
+                        seq,
+                        payload_len,
+                        gen_ts_ns,
+                    } => {
+                        w.u8(1);
+                        w.u16(*ident);
+                        w.u16(*seq);
+                        w.u32(*payload_len);
+                        w.u64(*gen_ts_ns);
+                    }
+                    ProtoInfo::IcmpEchoReply {
+                        ident,
+                        seq,
+                        payload_len,
+                        rtt_ns,
+                    } => {
+                        w.u8(2);
+                        w.u16(*ident);
+                        w.u16(*seq);
+                        w.u32(*payload_len);
+                        w.u64(*rtt_ns);
+                    }
+                    ProtoInfo::Udp {
+                        src_port,
+                        dst_port,
+                        payload_len,
+                    } => {
+                        w.u8(3);
+                        w.u16(*src_port);
+                        w.u16(*dst_port);
+                        w.u32(*payload_len);
+                    }
+                    ProtoInfo::Tcp {
+                        src_port,
+                        dst_port,
+                        seq,
+                        ack,
+                        flags,
+                        payload_len,
+                    } => {
+                        w.u8(4);
+                        w.u16(*src_port);
+                        w.u16(*dst_port);
+                        w.u32(*seq);
+                        w.u32(*ack);
+                        w.u8(*flags);
+                        w.u32(*payload_len);
+                    }
+                    ProtoInfo::Other { protocol } => {
+                        w.u8(5);
+                        w.u8(*protocol);
+                    }
+                }
+            }
+            TraceRecord::Device(d) => {
+                w.u8(2);
+                w.u64(d.timestamp_ns);
+                w.u32(d.signal);
+                w.u32(d.quality);
+                w.u32(d.silence);
+            }
+            TraceRecord::Overrun(o) => {
+                w.u8(3);
+                w.u64(o.timestamp_ns);
+                w.u64(o.lost_packets);
+                w.u64(o.lost_device);
+            }
+        }
+    }
+    w.buf
+}
+
+/// Decode a collected trace.
+pub fn decode_trace(data: &[u8]) -> Result<Trace, FormatError> {
+    let mut r = Reader::new(data);
+    if r.take(4)? != TRACE_MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let v = r.u16()?;
+    if v != VERSION {
+        return Err(FormatError::BadVersion(v));
+    }
+    let host = r.str()?;
+    let scenario = r.str()?;
+    let trial = r.u32()?;
+    let count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let rec = match tag {
+            1 => {
+                let timestamp_ns = r.u64()?;
+                let dir = match r.u8()? {
+                    0 => Dir::Out,
+                    1 => Dir::In,
+                    d => return Err(FormatError::BadTag(d)),
+                };
+                let wire_len = r.u32()?;
+                let ptag = r.u8()?;
+                let proto = match ptag {
+                    1 => ProtoInfo::IcmpEcho {
+                        ident: r.u16()?,
+                        seq: r.u16()?,
+                        payload_len: r.u32()?,
+                        gen_ts_ns: r.u64()?,
+                    },
+                    2 => ProtoInfo::IcmpEchoReply {
+                        ident: r.u16()?,
+                        seq: r.u16()?,
+                        payload_len: r.u32()?,
+                        rtt_ns: r.u64()?,
+                    },
+                    3 => ProtoInfo::Udp {
+                        src_port: r.u16()?,
+                        dst_port: r.u16()?,
+                        payload_len: r.u32()?,
+                    },
+                    4 => ProtoInfo::Tcp {
+                        src_port: r.u16()?,
+                        dst_port: r.u16()?,
+                        seq: r.u32()?,
+                        ack: r.u32()?,
+                        flags: r.u8()?,
+                        payload_len: r.u32()?,
+                    },
+                    5 => ProtoInfo::Other { protocol: r.u8()? },
+                    t => return Err(FormatError::BadTag(t)),
+                };
+                TraceRecord::Packet(PacketRecord {
+                    timestamp_ns,
+                    dir,
+                    wire_len,
+                    proto,
+                })
+            }
+            2 => TraceRecord::Device(DeviceRecord {
+                timestamp_ns: r.u64()?,
+                signal: r.u32()?,
+                quality: r.u32()?,
+                silence: r.u32()?,
+            }),
+            3 => TraceRecord::Overrun(OverrunRecord {
+                timestamp_ns: r.u64()?,
+                lost_packets: r.u64()?,
+                lost_device: r.u64()?,
+            }),
+            t => return Err(FormatError::BadTag(t)),
+        };
+        records.push(rec);
+    }
+    Ok(Trace {
+        host,
+        scenario,
+        trial,
+        records,
+    })
+}
+
+/// Encode a replay trace (the list S of quality tuples) to bytes.
+pub fn encode_replay(replay: &ReplayTrace) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&REPLAY_MAGIC);
+    w.u16(VERSION);
+    w.str(&replay.source);
+    w.u32(replay.tuples.len() as u32);
+    for t in &replay.tuples {
+        w.u64(t.duration_ns);
+        w.u64(t.latency_ns);
+        w.f64(t.vb_ns_per_byte);
+        w.f64(t.vr_ns_per_byte);
+        w.f64(t.loss);
+    }
+    w.buf
+}
+
+/// Decode a replay trace.
+pub fn decode_replay(data: &[u8]) -> Result<ReplayTrace, FormatError> {
+    let mut r = Reader::new(data);
+    if r.take(4)? != REPLAY_MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let v = r.u16()?;
+    if v != VERSION {
+        return Err(FormatError::BadVersion(v));
+    }
+    let source = r.str()?;
+    let count = r.u32()? as usize;
+    let mut tuples = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        tuples.push(QualityTuple {
+            duration_ns: r.u64()?,
+            latency_ns: r.u64()?,
+            vb_ns_per_byte: r.f64()?,
+            vr_ns_per_byte: r.f64()?,
+            loss: r.f64()?,
+        });
+    }
+    if !r.done() {
+        // Trailing garbage is tolerated (future extension area), matching
+        // the "flexible and extensible" goal of the trace format.
+    }
+    Ok(ReplayTrace { source, tuples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("thinkpad", "wean", 2);
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 1,
+            dir: Dir::Out,
+            wire_len: 98,
+            proto: ProtoInfo::IcmpEcho {
+                ident: 9,
+                seq: 4,
+                payload_len: 56,
+                gen_ts_ns: 1,
+            },
+        }));
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 5,
+            dir: Dir::In,
+            wire_len: 98,
+            proto: ProtoInfo::IcmpEchoReply {
+                ident: 9,
+                seq: 4,
+                payload_len: 56,
+                rtt_ns: 4,
+            },
+        }));
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 9,
+            dir: Dir::Out,
+            wire_len: 600,
+            proto: ProtoInfo::Tcp {
+                src_port: 40001,
+                dst_port: 21,
+                seq: 1234,
+                ack: 99,
+                flags: 0x18,
+                payload_len: 512,
+            },
+        }));
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 11,
+            dir: Dir::In,
+            wire_len: 142,
+            proto: ProtoInfo::Udp {
+                src_port: 2049,
+                dst_port: 50001,
+                payload_len: 100,
+            },
+        }));
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 12,
+            dir: Dir::In,
+            wire_len: 60,
+            proto: ProtoInfo::Other { protocol: 89 },
+        }));
+        t.records.push(TraceRecord::Device(DeviceRecord {
+            timestamp_ns: 15,
+            signal: 18,
+            quality: 10,
+            silence: 2,
+        }));
+        t.records.push(TraceRecord::Overrun(OverrunRecord {
+            timestamp_ns: 20,
+            lost_packets: 3,
+            lost_device: 0,
+        }));
+        t
+    }
+
+    #[test]
+    fn trace_binary_round_trip() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trace_bad_magic() {
+        let mut bytes = encode_trace(&sample());
+        bytes[0] = b'X';
+        assert_eq!(decode_trace(&bytes), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn trace_truncation_detected() {
+        let bytes = encode_trace(&sample());
+        for cut in [5, 10, bytes.len() - 1] {
+            assert!(decode_trace(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trace_bad_version() {
+        let mut bytes = encode_trace(&sample());
+        bytes[4] = 0xff;
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(FormatError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn replay_binary_round_trip() {
+        let r = ReplayTrace {
+            source: "porter trial 3".into(),
+            tuples: vec![
+                QualityTuple {
+                    duration_ns: 5_000_000_000,
+                    latency_ns: 2_500_000,
+                    vb_ns_per_byte: 4000.0,
+                    vr_ns_per_byte: 800.0,
+                    loss: 0.03,
+                },
+                QualityTuple {
+                    duration_ns: 5_000_000_000,
+                    latency_ns: 8_000_000,
+                    vb_ns_per_byte: 5200.0,
+                    vr_ns_per_byte: 790.0,
+                    loss: 0.11,
+                },
+            ],
+        };
+        let bytes = encode_replay(&r);
+        assert_eq!(decode_replay(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn replay_magic_distinct_from_trace() {
+        let r = ReplayTrace {
+            source: "x".into(),
+            tuples: vec![],
+        };
+        let bytes = encode_replay(&r);
+        assert_eq!(decode_trace(&bytes), Err(FormatError::BadMagic));
+    }
+}

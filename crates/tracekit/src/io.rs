@@ -1,0 +1,131 @@
+//! File I/O for traces and replay traces: binary (`.mntr` / `.mnrp`) or
+//! JSON (`.json`), chosen by extension.
+
+use crate::format::{decode_replay, decode_trace, encode_replay, encode_trace};
+use crate::record::Trace;
+use crate::replay::ReplayTrace;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+fn is_json(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "json")
+}
+
+fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Write a collected trace to `path` (JSON if the extension is `.json`,
+/// binary otherwise).
+pub fn write_trace(path: &Path, trace: &Trace) -> io::Result<()> {
+    let bytes = if is_json(path) {
+        serde_json::to_vec_pretty(trace).map_err(invalid)?
+    } else {
+        encode_trace(trace)
+    };
+    fs::write(path, bytes)
+}
+
+/// Read a collected trace from `path`.
+pub fn read_trace(path: &Path) -> io::Result<Trace> {
+    let bytes = fs::read(path)?;
+    if is_json(path) {
+        serde_json::from_slice(&bytes).map_err(invalid)
+    } else {
+        decode_trace(&bytes).map_err(invalid)
+    }
+}
+
+/// Write a replay trace to `path`.
+pub fn write_replay(path: &Path, replay: &ReplayTrace) -> io::Result<()> {
+    let bytes = if is_json(path) {
+        serde_json::to_vec_pretty(replay).map_err(invalid)?
+    } else {
+        encode_replay(replay)
+    };
+    fs::write(path, bytes)
+}
+
+/// Read a replay trace from `path`.
+pub fn read_replay(path: &Path) -> io::Result<ReplayTrace> {
+    let bytes = fs::read(path)?;
+    if is_json(path) {
+        serde_json::from_slice(&bytes).map_err(invalid)
+    } else {
+        decode_replay(&bytes).map_err(invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Dir, PacketRecord, ProtoInfo, TraceRecord};
+    use crate::replay::QualityTuple;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tracekit-io-{}", std::process::id()));
+        fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("h", "porter", 1);
+        t.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 7,
+            dir: Dir::In,
+            wire_len: 98,
+            proto: ProtoInfo::Other { protocol: 1 },
+        }));
+        t
+    }
+
+    fn sample_replay() -> ReplayTrace {
+        ReplayTrace {
+            source: "test".into(),
+            tuples: vec![QualityTuple {
+                duration_ns: 5_000_000_000,
+                latency_ns: 2_000_000,
+                vb_ns_per_byte: 4000.0,
+                vr_ns_per_byte: 800.0,
+                loss: 0.05,
+            }],
+        }
+    }
+
+    #[test]
+    fn trace_binary_and_json_round_trip() {
+        let dir = tmpdir();
+        for name in ["t.mntr", "t.json"] {
+            let p = dir.join(name);
+            write_trace(&p, &sample_trace()).unwrap();
+            assert_eq!(read_trace(&p).unwrap(), sample_trace());
+        }
+    }
+
+    #[test]
+    fn replay_binary_and_json_round_trip() {
+        let dir = tmpdir();
+        for name in ["r.mnrp", "r.json"] {
+            let p = dir.join(name);
+            write_replay(&p, &sample_replay()).unwrap();
+            assert_eq!(read_replay(&p).unwrap(), sample_replay());
+        }
+    }
+
+    #[test]
+    fn corrupt_file_is_invalid_data() {
+        let dir = tmpdir();
+        let p = dir.join("junk.mntr");
+        fs::write(&p, b"not a trace").unwrap();
+        let err = read_trace(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let p = tmpdir().join("nonexistent.mnrp");
+        let err = read_replay(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

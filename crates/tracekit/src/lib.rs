@@ -1,0 +1,36 @@
+//! # tracekit — trace collection substrate
+//!
+//! Everything the paper's *collection phase* needs (§3.1), rebuilt
+//! against the simulated stack:
+//!
+//! * a self-descriptive trace [record format](record) in the spirit of
+//!   RFC 2041: packet records with protocol-specific fields, device
+//!   (signal) records, and explicit overrun accounting;
+//! * a fixed-size in-kernel [`RingBuffer`] behind a [`PseudoDevice`]
+//!   (open = enable tracing, close = disable, read = extract);
+//! * the [`Collector`], a device tap that parses every frame crossing
+//!   the device boundary and samples signal status;
+//! * the user-level [`CollectionDaemon`] that drains the pseudo-device
+//!   to "disk";
+//! * the [`ReplayTrace`] type — the distilled ⟨d, F, Vb, Vr, L⟩ quality
+//!   tuples that the modulation layer plays back — with binary and JSON
+//!   [I/O](io).
+
+#![warn(missing_docs)]
+
+mod collector;
+mod daemon;
+pub mod format;
+pub mod io;
+mod pseudodev;
+pub mod record;
+mod replay;
+mod ringbuf;
+
+pub use collector::{Collector, SignalSource};
+pub use daemon::CollectionDaemon;
+pub use format::FormatError;
+pub use pseudodev::PseudoDevice;
+pub use record::{Dir, DeviceRecord, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord};
+pub use replay::{QualityTuple, ReplayTrace};
+pub use ringbuf::RingBuffer;

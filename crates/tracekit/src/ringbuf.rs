@@ -1,0 +1,192 @@
+//! The fixed-size in-kernel circular buffer behind the tracing
+//! pseudo-device (§3.1.2). When full it drops new records, counting the
+//! losses by type so the drained stream can carry an explicit
+//! [`OverrunRecord`].
+
+use crate::record::{OverrunRecord, TraceRecord};
+use std::collections::VecDeque;
+
+/// A bounded record buffer with overrun accounting.
+#[derive(Debug)]
+pub struct RingBuffer {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    lost_packets: u64,
+    lost_device: u64,
+    total_pushed: u64,
+}
+
+impl RingBuffer {
+    /// Buffer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity");
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            lost_packets: 0,
+            lost_device: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records ever offered (including dropped).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Records lost since the last drain, by type (packets, device).
+    pub fn lost(&self) -> (u64, u64) {
+        (self.lost_packets, self.lost_device)
+    }
+
+    /// Offer a record. If the buffer is full the record is dropped and
+    /// counted, mirroring a kernel buffer that cannot grow. Returns
+    /// whether it was stored.
+    pub fn push(&mut self, rec: TraceRecord) -> bool {
+        self.total_pushed += 1;
+        if self.buf.len() >= self.capacity {
+            match rec {
+                TraceRecord::Packet(_) => self.lost_packets += 1,
+                TraceRecord::Device(_) => self.lost_device += 1,
+                TraceRecord::Overrun(_) => {}
+            }
+            return false;
+        }
+        self.buf.push_back(rec);
+        true
+    }
+
+    /// Remove up to `max` records. If any records were lost since the
+    /// last drain, the result is prefixed with an [`OverrunRecord`]
+    /// stamped `now_ns` and the loss counters reset.
+    pub fn drain(&mut self, max: usize, now_ns: u64) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        if self.lost_packets > 0 || self.lost_device > 0 {
+            out.push(TraceRecord::Overrun(OverrunRecord {
+                timestamp_ns: now_ns,
+                lost_packets: self.lost_packets,
+                lost_device: self.lost_device,
+            }));
+            self.lost_packets = 0;
+            self.lost_device = 0;
+        }
+        while out.len() < max {
+            match self.buf.pop_front() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Discard everything (used when the pseudo-device is closed).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.lost_packets = 0;
+        self.lost_device = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DeviceRecord, Dir, PacketRecord, ProtoInfo};
+
+    fn pkt(ts: u64) -> TraceRecord {
+        TraceRecord::Packet(PacketRecord {
+            timestamp_ns: ts,
+            dir: Dir::Out,
+            wire_len: 64,
+            proto: ProtoInfo::Other { protocol: 1 },
+        })
+    }
+
+    fn dev(ts: u64) -> TraceRecord {
+        TraceRecord::Device(DeviceRecord {
+            timestamp_ns: ts,
+            signal: 10,
+            quality: 5,
+            silence: 2,
+        })
+    }
+
+    #[test]
+    fn push_and_drain_in_order() {
+        let mut rb = RingBuffer::new(10);
+        for i in 0..5 {
+            assert!(rb.push(pkt(i)));
+        }
+        assert_eq!(rb.len(), 5);
+        let out = rb.drain(10, 99);
+        assert_eq!(out.len(), 5);
+        let ts: Vec<u64> = out.iter().map(TraceRecord::timestamp_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn overrun_counts_by_type_and_reports_once() {
+        let mut rb = RingBuffer::new(2);
+        assert!(rb.push(pkt(0)));
+        assert!(rb.push(pkt(1)));
+        assert!(!rb.push(pkt(2)));
+        assert!(!rb.push(dev(3)));
+        assert!(!rb.push(dev(4)));
+        assert_eq!(rb.lost(), (1, 2));
+        let out = rb.drain(10, 50);
+        match &out[0] {
+            TraceRecord::Overrun(o) => {
+                assert_eq!(o.timestamp_ns, 50);
+                assert_eq!(o.lost_packets, 1);
+                assert_eq!(o.lost_device, 2);
+            }
+            other => panic!("expected overrun first, got {other:?}"),
+        }
+        assert_eq!(out.len(), 3);
+        // Counters reset: next drain carries no overrun.
+        rb.push(pkt(5));
+        let out = rb.drain(10, 60);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], TraceRecord::Packet(_)));
+    }
+
+    #[test]
+    fn partial_drain_respects_max() {
+        let mut rb = RingBuffer::new(100);
+        for i in 0..10 {
+            rb.push(pkt(i));
+        }
+        let first = rb.drain(4, 0);
+        assert_eq!(first.len(), 4);
+        assert_eq!(rb.len(), 6);
+        let rest = rb.drain(100, 0);
+        assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut rb = RingBuffer::new(1);
+        rb.push(pkt(0));
+        rb.push(pkt(1)); // lost
+        rb.clear();
+        assert!(rb.is_empty());
+        assert_eq!(rb.lost(), (0, 0));
+        assert_eq!(rb.total_pushed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RingBuffer::new(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! SynRGen-like interfering traffic for the Chatterbox scenario.
+//!
+//! The paper places the traced host in a room with five laptops running
+//! SynRGen, a synthetic file-reference generator modeling users in an
+//! edit-debug cycle over NFS. We reproduce the *channel-visible* effect:
+//! bursts of medium occupancy (frames on the air) separated by think
+//! times, plus elevated collision loss while bursts overlap.
+
+use netsim::{SimDuration, SimRng, SimTime};
+
+/// Configuration of the interfering-user population.
+#[derive(Debug, Clone)]
+pub struct CrossTrafficCfg {
+    /// Number of interfering laptops.
+    pub users: usize,
+    /// Frames per burst (min, max).
+    pub burst_frames: (u64, u64),
+    /// Bytes per interfering frame (min, max) — NFS traffic mixes small
+    /// status checks with 1 KB data blocks.
+    pub frame_bytes: (u64, u64),
+    /// Think time between bursts in seconds (min, max) — the edit phase
+    /// of the edit-debug cycle.
+    pub think_secs: (f64, f64),
+    /// Additional loss probability applied to foreground packets while at
+    /// least one burst is occupying the medium (collisions/capture).
+    pub collision_loss: f64,
+}
+
+impl CrossTrafficCfg {
+    /// The Chatterbox configuration: five SynRGen users.
+    pub fn chatterbox() -> Self {
+        // Duty cycle per user ≈ 5% (mean burst ≈ 0.15 s of air, mean
+        // think ≈ 3 s), so five users contend for ~25% of the medium —
+        // enough to degrade latency and bandwidth visibly (Figure 5)
+        // without saturating it.
+        CrossTrafficCfg {
+            users: 5,
+            burst_frames: (10, 60),
+            frame_bytes: (80, 1100),
+            think_secs: (1.0, 5.0),
+            collision_loss: 0.008,
+        }
+    }
+}
+
+/// Runtime state of the interfering population (driven by the channel's
+/// timers; this struct just does the math).
+#[derive(Debug)]
+pub struct CrossTraffic {
+    /// Configuration.
+    pub cfg: CrossTrafficCfg,
+    /// Medium is contended until this instant.
+    pub burst_active_until: SimTime,
+    /// Total interfering frames generated (diagnostics).
+    pub frames_generated: u64,
+}
+
+impl CrossTraffic {
+    /// New idle population.
+    pub fn new(cfg: CrossTrafficCfg) -> Self {
+        CrossTraffic {
+            cfg,
+            burst_active_until: SimTime::ZERO,
+            frames_generated: 0,
+        }
+    }
+
+    /// Draw the initial per-user offset so users do not start in phase.
+    pub fn initial_delay(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.range_f64(0.0, self.cfg.think_secs.1))
+    }
+
+    /// One user's burst fires: returns the total air time the burst
+    /// occupies at `bandwidth_bps`, and updates contention state.
+    pub fn burst(&mut self, now: SimTime, bandwidth_bps: u64, rng: &mut SimRng) -> SimDuration {
+        let frames = rng.range_u64(self.cfg.burst_frames.0, self.cfg.burst_frames.1 + 1);
+        let mut air = SimDuration::ZERO;
+        for _ in 0..frames {
+            let bytes = rng.range_u64(self.cfg.frame_bytes.0, self.cfg.frame_bytes.1 + 1);
+            air += SimDuration::transmission(bytes as usize, bandwidth_bps);
+        }
+        self.frames_generated += frames;
+        let end = now + air;
+        if end > self.burst_active_until {
+            self.burst_active_until = end;
+        }
+        air
+    }
+
+    /// Think time until this user's next burst.
+    pub fn next_think(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.range_f64(self.cfg.think_secs.0, self.cfg.think_secs.1))
+    }
+
+    /// Extra loss imposed on a foreground packet sent at `now`.
+    pub fn contention_loss(&self, now: SimTime) -> f64 {
+        if now < self.burst_active_until {
+            self.cfg.collision_loss
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_occupies_air_and_raises_loss() {
+        let mut ct = CrossTraffic::new(CrossTrafficCfg::chatterbox());
+        let mut rng = SimRng::seed_from_u64(1);
+        let now = SimTime::from_secs(1);
+        assert_eq!(ct.contention_loss(now), 0.0);
+        let air = ct.burst(now, 2_000_000, &mut rng);
+        assert!(!air.is_zero());
+        assert!(ct.burst_active_until > now);
+        assert!(ct.contention_loss(now) > 0.0);
+        assert_eq!(ct.contention_loss(ct.burst_active_until), 0.0);
+        assert!(ct.frames_generated >= 10);
+    }
+
+    #[test]
+    fn overlapping_bursts_extend_contention() {
+        let mut ct = CrossTraffic::new(CrossTrafficCfg::chatterbox());
+        let mut rng = SimRng::seed_from_u64(2);
+        ct.burst(SimTime::from_secs(1), 2_000_000, &mut rng);
+        let first_end = ct.burst_active_until;
+        ct.burst(first_end - SimDuration::from_millis(1), 2_000_000, &mut rng);
+        assert!(ct.burst_active_until > first_end);
+    }
+
+    #[test]
+    fn think_times_within_range() {
+        let ct = CrossTraffic::new(CrossTrafficCfg::chatterbox());
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let t = ct.next_think(&mut rng).as_secs_f64();
+            assert!((1.0..=5.0).contains(&t), "{t}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Mobility paths: the experimenter's physical traversal, as positions
+//! over time. The scenario checkpoints of Figures 2–4 are empirical; this
+//! module (with [`crate::wavepoint`]) provides the *physical* alternative
+//! — walks through a floor plan with speeds and pauses, from which signal
+//! (and hence channel conditions) are derived by propagation modeling.
+
+use netsim::{SimDuration, SimTime};
+
+/// A position in meters on the campus plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Position {
+    /// East-west coordinate.
+    pub x: f64,
+    /// North-south coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    fn lerp(&self, other: &Position, t: f64) -> Position {
+        Position {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+/// A timed waypoint.
+#[derive(Debug, Clone, Copy)]
+struct TimedPoint {
+    at: SimTime,
+    pos: Position,
+}
+
+/// A piecewise-linear walk: positions interpolated between timed
+/// waypoints; stationary before the first and after the last.
+#[derive(Debug, Clone)]
+pub struct MobilityPath {
+    points: Vec<TimedPoint>,
+}
+
+/// Builder for walks expressed as segments with speeds and pauses.
+#[derive(Debug)]
+pub struct WalkBuilder {
+    points: Vec<TimedPoint>,
+    now: SimTime,
+    here: Position,
+}
+
+impl WalkBuilder {
+    /// Start at `start` at t = 0.
+    pub fn start_at(start: Position) -> Self {
+        WalkBuilder {
+            points: vec![TimedPoint {
+                at: SimTime::ZERO,
+                pos: start,
+            }],
+            now: SimTime::ZERO,
+            here: start,
+        }
+    }
+
+    /// Walk to `dest` at `speed_mps` meters per second.
+    pub fn walk_to(mut self, dest: Position, speed_mps: f64) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        let d = self.here.distance(&dest);
+        self.now += SimDuration::from_secs_f64(d / speed_mps);
+        self.here = dest;
+        self.points.push(TimedPoint {
+            at: self.now,
+            pos: dest,
+        });
+        self
+    }
+
+    /// Pause in place (waiting for an elevator, say).
+    pub fn pause(mut self, d: SimDuration) -> Self {
+        self.now += d;
+        self.points.push(TimedPoint {
+            at: self.now,
+            pos: self.here,
+        });
+        self
+    }
+
+    /// Finish the walk.
+    pub fn build(self) -> MobilityPath {
+        MobilityPath {
+            points: self.points,
+        }
+    }
+}
+
+impl MobilityPath {
+    /// A path that never moves.
+    pub fn stationary(pos: Position) -> Self {
+        MobilityPath {
+            points: vec![TimedPoint {
+                at: SimTime::ZERO,
+                pos,
+            }],
+        }
+    }
+
+    /// Position at time `t`.
+    pub fn position_at(&self, t: SimTime) -> Position {
+        let pts = &self.points;
+        if t <= pts[0].at {
+            return pts[0].pos;
+        }
+        for w in pts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if t <= b.at {
+                let span = (b.at - a.at).as_secs_f64();
+                if span <= 0.0 {
+                    return b.pos;
+                }
+                let frac = (t - a.at).as_secs_f64() / span;
+                return a.pos.lerp(&b.pos, frac);
+            }
+        }
+        pts[pts.len() - 1].pos
+    }
+
+    /// Total traversal duration.
+    pub fn duration(&self) -> SimDuration {
+        self.points[self.points.len() - 1].at - self.points[0].at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.x - 1.5).abs() < 1e-12 && (mid.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_timing_from_speed() {
+        // 100 m at 1.25 m/s = 80 s, then a 20 s pause, then 50 m at 1 m/s.
+        let path = WalkBuilder::start_at(Position::new(0.0, 0.0))
+            .walk_to(Position::new(100.0, 0.0), 1.25)
+            .pause(SimDuration::from_secs(20))
+            .walk_to(Position::new(100.0, 50.0), 1.0)
+            .build();
+        assert_eq!(path.duration(), SimDuration::from_secs(150));
+        // Halfway through the first leg.
+        let p = path.position_at(SimTime::from_secs(40));
+        assert!((p.x - 50.0).abs() < 1e-9);
+        // During the pause we are at the corner.
+        let p = path.position_at(SimTime::from_secs(90));
+        assert!((p.x - 100.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+        // After the end we stay put.
+        let p = path.position_at(SimTime::from_secs(500));
+        assert!((p.y - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_path() {
+        let path = MobilityPath::stationary(Position::new(7.0, 7.0));
+        assert_eq!(path.duration(), SimDuration::ZERO);
+        let p = path.position_at(SimTime::from_secs(100));
+        assert_eq!(p, Position::new(7.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = WalkBuilder::start_at(Position::new(0.0, 0.0))
+            .walk_to(Position::new(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The paper's four evaluation scenarios (§4.1), expressed as checkpoint
+//! tables whose parameter ranges match Figures 2–5:
+//!
+//! * **Porter** — inter-building travel: Wean lobby → outdoor patio →
+//!   Porter Hall; variable start, good patio, degrading interior.
+//! * **Flagstaff** — outdoor travel through Schenley Park; signal drops
+//!   sharply on park entry, loss grows late in the traversal.
+//! * **Wean** — office → elevator → classroom; an elevator ride with
+//!   atrocious loss and 350 ms latency spikes.
+//! * **Chatterbox** — stationary in a conference room with five SynRGen
+//!   users; high signal, degraded latency/bandwidth from contention.
+
+use crate::channel::WirelessChannel;
+use crate::crosstraffic::CrossTrafficCfg;
+use crate::model::{Checkpoint, PiecewiseModel};
+use netsim::{SimDuration, SimRng};
+
+/// A named mobile scenario: path checkpoints plus optional cross traffic.
+///
+/// ```
+/// use wavelan::{ChannelModel, Scenario};
+/// use netsim::{SimRng, SimTime};
+///
+/// let wean = Scenario::wean();
+/// let mut trial_rng = SimRng::seed_from_u64(1);
+/// let mut model = wean.model(&mut trial_rng);
+/// let mut rng = SimRng::seed_from_u64(2);
+/// // Mid-elevator, conditions are dire.
+/// let ride = model.sample(SimTime::from_secs(100), &mut rng);
+/// assert!(ride.loss > 0.2 || ride.latency.as_millis_f64() > 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name ("porter", "flagstaff", "wean", "chatterbox").
+    pub name: &'static str,
+    /// Checkpoint targets along the traversal.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Traversal duration.
+    pub duration: SimDuration,
+    /// Interfering traffic, if any.
+    pub cross: Option<CrossTrafficCfg>,
+    /// True when there is no physical motion (Chatterbox): figures use
+    /// histograms instead of checkpoint plots.
+    pub stationary: bool,
+    /// Uplink loss multiplier (see `WirelessChannel::loss_asym_up`):
+    /// reproduces the send/recv asymmetry of the real WaveLAN (§5.3).
+    pub loss_asym_up: f64,
+}
+
+const fn cp(
+    label: &'static str,
+    signal: (f64, f64),
+    latency_ms: (f64, f64),
+    bw_kbps: (f64, f64),
+    loss: (f64, f64),
+) -> Checkpoint {
+    Checkpoint {
+        label,
+        signal,
+        latency_ms,
+        bw_kbps,
+        loss,
+    }
+}
+
+impl Scenario {
+    /// Porter: inter-building travel (Figure 2).
+    pub fn porter() -> Scenario {
+        Scenario {
+            name: "porter",
+            checkpoints: vec![
+                cp("x0", (8.0, 22.0), (1.5, 30.0), (1300.0, 1550.0), (0.005, 0.04)),
+                cp("x1", (10.0, 20.0), (1.5, 12.0), (1350.0, 1600.0), (0.003, 0.03)),
+                cp("x2", (14.0, 22.0), (1.5, 10.0), (1400.0, 1600.0), (0.001, 0.02)),
+                cp("x3", (17.0, 23.0), (1.5, 8.0), (1450.0, 1620.0), (0.001, 0.01)),
+                cp("x4", (17.0, 22.0), (1.5, 8.0), (1400.0, 1600.0), (0.001, 0.015)),
+                cp("x5", (6.0, 18.0), (2.0, 100.0), (900.0, 1500.0), (0.005, 0.04)),
+                cp("x6", (5.0, 14.0), (2.0, 60.0), (1000.0, 1450.0), (0.01, 0.05)),
+            ],
+            duration: SimDuration::from_secs(180),
+            cross: None,
+            stationary: false,
+            loss_asym_up: 1.05,
+        }
+    }
+
+    /// Flagstaff: outdoor travel (Figure 3).
+    pub fn flagstaff() -> Scenario {
+        Scenario {
+            name: "flagstaff",
+            checkpoints: vec![
+                cp("y0", (10.0, 20.0), (1.0, 8.0), (1450.0, 1700.0), (0.004, 0.012)),
+                cp("y1", (8.0, 18.0), (1.0, 6.0), (1450.0, 1700.0), (0.004, 0.012)),
+                cp("y2", (6.0, 10.0), (1.0, 5.0), (1500.0, 1700.0), (0.006, 0.02)),
+                cp("y3", (5.0, 9.0), (1.0, 5.0), (1500.0, 1700.0), (0.008, 0.025)),
+                cp("y4", (5.0, 8.0), (1.0, 5.0), (1500.0, 1700.0), (0.01, 0.03)),
+                cp("y5", (5.0, 8.0), (1.0, 5.0), (1500.0, 1700.0), (0.012, 0.035)),
+                cp("y6", (5.0, 8.0), (1.0, 5.0), (1450.0, 1650.0), (0.015, 0.04)),
+                cp("y7", (5.0, 7.0), (1.0, 5.0), (1450.0, 1650.0), (0.018, 0.045)),
+                cp("y8", (5.0, 7.0), (1.0, 5.0), (1450.0, 1650.0), (0.02, 0.05)),
+                cp("y9", (5.0, 8.0), (1.0, 5.0), (1450.0, 1650.0), (0.018, 0.045)),
+            ],
+            duration: SimDuration::from_secs(240),
+            cross: None,
+            stationary: false,
+            // The paper's Flagstaff runs were strongly asymmetric: real
+            // send 88.2 s vs recv 61.9 s (§5.3).
+            loss_asym_up: 1.7,
+        }
+    }
+
+    /// Wean: office → elevator → classroom (Figure 4).
+    pub fn wean() -> Scenario {
+        Scenario {
+            name: "wean",
+            checkpoints: vec![
+                cp("z0", (8.0, 16.0), (2.0, 15.0), (1200.0, 1400.0), (0.005, 0.02)),
+                cp("z1", (10.0, 18.0), (1.5, 10.0), (1250.0, 1450.0), (0.001, 0.01)),
+                cp("z2", (10.0, 18.0), (1.5, 10.0), (1250.0, 1450.0), (0.001, 0.01)),
+                cp("z2b", (12.0, 18.0), (1.5, 8.0), (1250.0, 1450.0), (0.001, 0.01)),
+                cp("z3", (17.0, 22.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.008)),
+                cp("z4", (14.0, 20.0), (2.0, 10.0), (1250.0, 1400.0), (0.002, 0.015)),
+                // The elevator ride: signal collapses, latency peaks at
+                // 350 ms, loss is atrocious.
+                cp("z4e", (1.0, 4.0), (20.0, 350.0), (60.0, 400.0), (0.45, 0.80)),
+                cp("z5", (12.0, 20.0), (1.5, 8.0), (1250.0, 1450.0), (0.002, 0.015)),
+                cp("z6", (14.0, 20.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.01)),
+                cp("z7", (15.0, 20.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.01)),
+            ],
+            duration: SimDuration::from_secs(150),
+            cross: None,
+            stationary: false,
+            loss_asym_up: 1.25,
+        }
+    }
+
+    /// Chatterbox: busy conference room (Figure 5).
+    pub fn chatterbox() -> Scenario {
+        let steady = cp(
+            "c",
+            (16.0, 20.0),
+            (2.0, 40.0),
+            (900.0, 1300.0),
+            (0.001, 0.01),
+        );
+        Scenario {
+            name: "chatterbox",
+            checkpoints: vec![steady, steady],
+            duration: SimDuration::from_secs(180),
+            cross: Some(CrossTrafficCfg::chatterbox()),
+            stationary: true,
+            loss_asym_up: 1.0,
+        }
+    }
+
+    /// All four, in the paper's order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::wean(),
+            Scenario::porter(),
+            Scenario::flagstaff(),
+            Scenario::chatterbox(),
+        ]
+    }
+
+    /// Look a scenario up by name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// Build one trial's channel model. `trial_rng` should be seeded from
+    /// the trial number so trials vary but reproduce.
+    pub fn model(&self, trial_rng: &mut SimRng) -> PiecewiseModel {
+        PiecewiseModel::new(
+            self.name,
+            self.checkpoints.clone(),
+            self.duration,
+            trial_rng,
+        )
+    }
+
+    /// Build one trial's complete wireless channel.
+    pub fn channel(&self, trial_rng: &mut SimRng) -> WirelessChannel {
+        let model = self.model(trial_rng);
+        let mut ch = WirelessChannel::new(Box::new(model));
+        ch.loss_asym_up = self.loss_asym_up;
+        if let Some(cfg) = &self.cross {
+            // Per-trial activity level: how hard the interfering users
+            // work varies a lot between sessions — the source of the
+            // paper's very large Chatterbox standard deviations (§5.5).
+            let mut cfg = cfg.clone();
+            let activity = trial_rng.range_f64(0.45, 1.35);
+            cfg.burst_frames = (
+                ((cfg.burst_frames.0 as f64 * activity) as u64).max(1),
+                ((cfg.burst_frames.1 as f64 * activity) as u64).max(2),
+            );
+            ch = ch.with_cross_traffic(cfg);
+        }
+        ch
+    }
+
+    /// Checkpoint labels (the X axis of Figures 2–4).
+    pub fn labels(&self) -> Vec<&'static str> {
+        self.checkpoints.iter().map(|c| c.label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ChannelModel;
+    use netsim::SimTime;
+
+    #[test]
+    fn four_scenarios_with_expected_shapes() {
+        let all = Scenario::all();
+        assert_eq!(all.len(), 4);
+        let names: Vec<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["wean", "porter", "flagstaff", "chatterbox"]);
+        assert!(Scenario::by_name("porter").is_some());
+        assert!(Scenario::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn chatterbox_is_stationary_with_cross_traffic() {
+        let c = Scenario::chatterbox();
+        assert!(c.stationary);
+        assert!(c.cross.is_some());
+        assert!(!Scenario::porter().stationary);
+        assert!(Scenario::porter().cross.is_none());
+    }
+
+    #[test]
+    fn wean_elevator_is_the_worst_region() {
+        let w = Scenario::wean();
+        let worst = w
+            .checkpoints
+            .iter()
+            .max_by(|a, b| a.loss.1.total_cmp(&b.loss.1))
+            .unwrap();
+        assert_eq!(worst.label, "z4e");
+        assert!(worst.loss.1 >= 0.75);
+        assert!(worst.latency_ms.1 >= 350.0);
+        assert!(worst.signal.1 <= 5.0);
+    }
+
+    #[test]
+    fn flagstaff_loss_grows_late() {
+        let f = Scenario::flagstaff();
+        let early = f.checkpoints[1].loss.1;
+        let late = f.checkpoints[8].loss.1;
+        assert!(late > 2.0 * early);
+    }
+
+    #[test]
+    fn models_sample_in_range() {
+        let mut trial = SimRng::seed_from_u64(11);
+        for sc in Scenario::all() {
+            let mut m = sc.model(&mut trial);
+            let mut rng = SimRng::seed_from_u64(12);
+            for i in 0..200 {
+                let t = SimTime::from_nanos(sc.duration.as_nanos() * i / 200);
+                let c = m.sample(t, &mut rng);
+                assert!(c.loss >= 0.0 && c.loss <= 0.95, "{}: loss {}", sc.name, c.loss);
+                assert!(c.bandwidth_bps >= 1000, "{}: bw {}", sc.name, c.bandwidth_bps);
+                assert!(
+                    c.latency.as_millis_f64() < 600.0,
+                    "{}: latency {}",
+                    sc.name,
+                    c.latency
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The known collection workload (§3.1.1, §3.2.2): a modified `ping`
+//! sending one group of three probes each second — a small ECHO of size
+//! `s1`, then (once its reply returns) two back-to-back large ECHOs of
+//! size `s2`. Sequence numbers encode the group: group `g` uses
+//! `3g, 3g+1, 3g+2`.
+
+use netsim::{SimDuration, SimTime};
+use netstack::{App, AppEvent, HostApi};
+use std::net::Ipv4Addr;
+
+const TIMER_GROUP: u32 = 1;
+const TIMER_STAGE1_TIMEOUT: u32 = 2;
+
+/// Configuration of the probing workload.
+#[derive(Debug, Clone)]
+pub struct PingConfig {
+    /// Target host.
+    pub target: Ipv4Addr,
+    /// ICMP identifier (the pinger's "process id").
+    pub ident: u16,
+    /// Payload bytes of the small probe (`s1` counts the echo payload).
+    pub s1: usize,
+    /// Payload bytes of each large probe.
+    pub s2: usize,
+    /// Group interval.
+    pub interval: SimDuration,
+    /// How long to wait for the stage-1 reply before giving up on the
+    /// group's second stage.
+    pub stage1_timeout: SimDuration,
+    /// Total probing duration; the workload stops afterwards.
+    pub duration: SimDuration,
+}
+
+impl PingConfig {
+    /// The paper's collection workload against `target`.
+    pub fn paper(target: Ipv4Addr) -> Self {
+        PingConfig {
+            target,
+            ident: 77,
+            s1: 64,
+            s2: 500,
+            interval: SimDuration::from_secs(1),
+            stage1_timeout: SimDuration::from_millis(900),
+            duration: SimDuration::from_secs(180),
+        }
+    }
+}
+
+/// The probing application. It does not itself record anything — the
+/// trace collector at the device layer observes its packets, exactly as
+/// in the paper. It does keep counters for diagnostics.
+pub struct PingWorkload {
+    cfg: PingConfig,
+    group: u16,
+    started: Option<SimTime>,
+    awaiting_stage1: Option<u16>,
+    /// Groups begun.
+    pub groups_sent: u32,
+    /// Stage-1 replies that arrived in time.
+    pub stage1_replies: u32,
+    /// Replies seen in total (all stages).
+    pub replies: u32,
+    /// True once the configured duration has elapsed.
+    pub finished: bool,
+}
+
+impl PingWorkload {
+    /// New workload from a configuration.
+    pub fn new(cfg: PingConfig) -> Self {
+        PingWorkload {
+            cfg,
+            group: 0,
+            started: None,
+            awaiting_stage1: None,
+            groups_sent: 0,
+            stage1_replies: 0,
+            replies: 0,
+            finished: false,
+        }
+    }
+
+    fn start_group(&mut self, api: &mut HostApi<'_, '_>) {
+        let started = self.started.expect("start_group after Start");
+        if api.now().since(started) >= self.cfg.duration {
+            self.finished = true;
+            return;
+        }
+        let seq = self.group.wrapping_mul(3);
+        api.send_ping(self.cfg.target, self.cfg.ident, seq, self.cfg.s1);
+        self.awaiting_stage1 = Some(seq);
+        self.groups_sent += 1;
+        api.set_timer(self.cfg.stage1_timeout, TIMER_STAGE1_TIMEOUT);
+        api.set_timer(self.cfg.interval, TIMER_GROUP);
+    }
+}
+
+impl App for PingWorkload {
+    fn on_event(&mut self, event: AppEvent, api: &mut HostApi<'_, '_>) {
+        match event {
+            AppEvent::Start => {
+                api.icmp_listen();
+                self.started = Some(api.now());
+                self.start_group(api);
+            }
+            AppEvent::Timer { token: TIMER_GROUP } => {
+                self.group = self.group.wrapping_add(1);
+                self.awaiting_stage1 = None;
+                self.start_group(api);
+            }
+            AppEvent::Timer {
+                token: TIMER_STAGE1_TIMEOUT,
+            } => {
+                // Reply never came: the group stays incomplete (loss
+                // accounting still sees the unanswered probe).
+                self.awaiting_stage1 = None;
+            }
+            AppEvent::IcmpEchoReply { ident, seq, .. } if ident == self.cfg.ident => {
+                self.replies += 1;
+                if self.awaiting_stage1 == Some(seq) {
+                    self.awaiting_stage1 = None;
+                    self.stage1_replies += 1;
+                    // Stage 2: two large probes, back to back.
+                    api.send_ping(self.cfg.target, self.cfg.ident, seq + 1, self.cfg.s2);
+                    api.send_ping(self.cfg.target, self.cfg.ident, seq + 2, self.cfg.s2);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ping-workload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkParams, Simulator};
+    use netstack::{start_host, Host, HostConfig};
+    use packet::MacAddr;
+
+    fn setup(cfg: PingConfig) -> (Simulator, netsim::NodeId, netstack::AppId) {
+        let ip_a = Ipv4Addr::new(10, 0, 0, 1);
+        let ip_b = Ipv4Addr::new(10, 0, 0, 2);
+        let mut a = Host::new(
+            HostConfig::new("pinger", ip_a, MacAddr::local(1)).with_arp(ip_b, MacAddr::local(2)),
+        );
+        let app = a.add_app(Box::new(PingWorkload::new(cfg)));
+        let b = Host::new(
+            HostConfig::new("target", ip_b, MacAddr::local(2)).with_arp(ip_a, MacAddr::local(1)),
+        );
+        let mut sim = Simulator::new(3);
+        let na = sim.add_node(Box::new(a));
+        let nb = sim.add_node(Box::new(b));
+        sim.connect_sym(
+            na,
+            netstack::NIC_PORT,
+            nb,
+            netstack::NIC_PORT,
+            LinkParams::ethernet_10mbps(),
+        );
+        start_host(&mut sim, na, SimTime::ZERO);
+        start_host(&mut sim, nb, SimTime::ZERO);
+        (sim, na, app)
+    }
+
+    #[test]
+    fn sends_triplet_groups_once_per_second() {
+        let mut cfg = PingConfig::paper(Ipv4Addr::new(10, 0, 0, 2));
+        cfg.duration = SimDuration::from_secs(10);
+        let (mut sim, na, app) = setup(cfg);
+        sim.run_until(SimTime::from_secs(15));
+        let host: &Host = sim.node(na);
+        let w: &PingWorkload = host.app(app);
+        assert_eq!(w.groups_sent, 10);
+        assert_eq!(w.stage1_replies, 10);
+        // All 30 probes answered on a clean Ethernet.
+        assert_eq!(w.replies, 30);
+        assert!(w.finished);
+        // 3 frames out per group.
+        assert_eq!(host.core().stats().frames_out, 30);
+    }
+
+    #[test]
+    fn stage1_timeout_skips_stage_two() {
+        // Target never answers (no route: point ping at an absent IP).
+        let mut cfg = PingConfig::paper(Ipv4Addr::new(10, 0, 0, 99));
+        cfg.duration = SimDuration::from_secs(5);
+        let (mut sim, na, app) = setup(cfg);
+        sim.run_until(SimTime::from_secs(10));
+        let host: &Host = sim.node(na);
+        let w: &PingWorkload = host.app(app);
+        assert_eq!(w.groups_sent, 5);
+        assert_eq!(w.replies, 0);
+        // Only the small probes went out.
+        assert_eq!(host.core().stats().frames_out, 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! A SynRGen-style synthetic file-reference generator (§4.1.4).
+//!
+//! SynRGen models a user in an edit-debug cycle over NFS: bursts of file
+//! activity (reads of sources, writes of objects) separated by think
+//! time. The Chatterbox *channel* reproduces the medium-level effect of
+//! five such users; this application-level generator exists for running
+//! real interfering load against an [`crate::nfs::NfsServer`] in
+//! end-to-end experiments and examples.
+
+use crate::nfs::{name_hash, NfsProc, RpcClient, RPC_RETRANS_TIMER, ROOT_HANDLE};
+use netsim::SimDuration;
+use netstack::{App, AppEvent, HostApi};
+use std::net::Ipv4Addr;
+
+const THINK_TIMER: u32 = 0x51;
+
+/// Edit-debug cycle parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SynRGenConfig {
+    /// Operations per burst (the "debug" half of the cycle).
+    pub burst_ops: (u32, u32),
+    /// Think time between bursts, seconds (the "edit" half).
+    pub think_secs: (f64, f64),
+    /// Fraction of burst ops that are data ops (READ/WRITE) vs status
+    /// checks.
+    pub data_fraction: f64,
+    /// Stop after this many bursts (0 = run forever).
+    pub max_bursts: u32,
+}
+
+impl Default for SynRGenConfig {
+    fn default() -> Self {
+        SynRGenConfig {
+            burst_ops: (15, 80),
+            think_secs: (0.5, 4.0),
+            data_fraction: 0.4,
+            max_bursts: 0,
+        }
+    }
+}
+
+/// One synthetic user.
+pub struct SynRGenUser {
+    rpc: RpcClient,
+    cfg: SynRGenConfig,
+    file: u32,
+    ops_left: u32,
+    bursts: u32,
+    /// Operations completed (diagnostics).
+    pub ops_done: u64,
+    /// True when `max_bursts` reached.
+    pub finished: bool,
+    seed_salt: u64,
+}
+
+impl SynRGenUser {
+    /// A user working against the NFS server at `server`.
+    pub fn new(server: Ipv4Addr, cfg: SynRGenConfig, seed_salt: u64) -> Self {
+        SynRGenUser {
+            rpc: RpcClient::new(server),
+            cfg,
+            file: 0,
+            ops_left: 0,
+            bursts: 0,
+            ops_done: 0,
+            finished: false,
+            seed_salt,
+        }
+    }
+
+    fn begin_burst(&mut self, api: &mut HostApi<'_, '_>) {
+        if self.cfg.max_bursts > 0 && self.bursts >= self.cfg.max_bursts {
+            self.finished = true;
+            return;
+        }
+        self.bursts += 1;
+        let (lo, hi) = self.cfg.burst_ops;
+        self.ops_left = api.rng().range_u64(lo as u64, hi as u64 + 1) as u32;
+        self.next_op(api);
+    }
+
+    fn next_op(&mut self, api: &mut HostApi<'_, '_>) {
+        if self.ops_left == 0 {
+            // Think, then burst again.
+            let (lo, hi) = self.cfg.think_secs;
+            let think = api.rng().range_f64(lo, hi);
+            api.set_timer(SimDuration::from_secs_f64(think), THINK_TIMER);
+            return;
+        }
+        self.ops_left -= 1;
+        let data = {
+            let f = self.cfg.data_fraction;
+            api.rng().chance(f)
+        };
+        if self.file == 0 {
+            // Ensure a working file exists.
+            let name = name_hash(&format!("synrgen-{}", self.seed_salt));
+            self.rpc
+                .call(api, NfsProc::Create, ROOT_HANDLE, name, 0, 0);
+        } else if data {
+            if api.rng().chance(0.5) {
+                self.rpc
+                    .call(api, NfsProc::Write, self.file, 0, crate::nfs::BLOCK as u32, crate::nfs::BLOCK);
+            } else {
+                self.rpc
+                    .call(api, NfsProc::Read, self.file, 0, crate::nfs::BLOCK as u32, 0);
+            }
+        } else {
+            self.rpc.call(api, NfsProc::GetAttr, self.file, 0, 0, 0);
+        }
+    }
+}
+
+impl App for SynRGenUser {
+    fn on_event(&mut self, event: AppEvent, api: &mut HostApi<'_, '_>) {
+        match event {
+            AppEvent::Start => {
+                self.rpc.port = api.udp_bind_ephemeral();
+                self.begin_burst(api);
+            }
+            AppEvent::UdpDatagram { data, .. } => {
+                if let Some((status, value, _)) = self.rpc.on_datagram(&data) {
+                    if self.file == 0 && status == 0 {
+                        self.file = value;
+                    }
+                    self.ops_done += 1;
+                    self.next_op(api);
+                }
+            }
+            AppEvent::Timer { token: THINK_TIMER } => self.begin_burst(api),
+            AppEvent::Timer {
+                token: RPC_RETRANS_TIMER,
+            } => self.rpc.on_timer(api),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "synrgen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs::NfsServer;
+    use netsim::{LinkParams, SimTime, Simulator};
+    use netstack::{start_host, Host, HostConfig, NIC_PORT};
+    use packet::MacAddr;
+
+    #[test]
+    fn user_generates_bursty_traffic_and_finishes() {
+        let ip_c = Ipv4Addr::new(10, 0, 0, 1);
+        let ip_s = Ipv4Addr::new(10, 0, 0, 2);
+        let mut ch = Host::new(
+            HostConfig::new("laptop", ip_c, MacAddr::local(1)).with_arp(ip_s, MacAddr::local(2)),
+        );
+        let cfg = SynRGenConfig {
+            max_bursts: 5,
+            ..Default::default()
+        };
+        let app = ch.add_app(Box::new(SynRGenUser::new(ip_s, cfg, 1)));
+        let mut sh = Host::new(
+            HostConfig::new("nfs", ip_s, MacAddr::local(2)).with_arp(ip_c, MacAddr::local(1)),
+        );
+        sh.add_app(Box::new(NfsServer::new()));
+        let mut sim = Simulator::new(21);
+        let nc = sim.add_node(Box::new(ch));
+        let ns = sim.add_node(Box::new(sh));
+        sim.connect_sym(nc, NIC_PORT, ns, NIC_PORT, LinkParams::ethernet_10mbps());
+        start_host(&mut sim, ns, SimTime::ZERO);
+        start_host(&mut sim, nc, SimTime::from_millis(1));
+        sim.run_until(SimTime::from_secs(120));
+        let u: &SynRGenUser = sim.node::<Host>(nc).app(app);
+        assert!(u.finished);
+        assert!(u.ops_done >= 5 * 15, "{}", u.ops_done);
+        // Both message classes were exercised.
+        let srv_served = sim.node::<Host>(ns).app::<NfsServer>(netstack::AppId(0)).served;
+        assert!(srv_served.0 > 0, "no status checks");
+        assert!(srv_served.1 > 0, "no data ops");
+    }
+
+    #[test]
+    fn two_users_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let ip_c = Ipv4Addr::new(10, 0, 0, 1);
+            let ip_s = Ipv4Addr::new(10, 0, 0, 2);
+            let mut ch = Host::new(
+                HostConfig::new("laptop", ip_c, MacAddr::local(1))
+                    .with_arp(ip_s, MacAddr::local(2)),
+            );
+            let cfg = SynRGenConfig {
+                max_bursts: 3,
+                ..Default::default()
+            };
+            let a1 = ch.add_app(Box::new(SynRGenUser::new(ip_s, cfg, 1)));
+            let a2 = ch.add_app(Box::new(SynRGenUser::new(ip_s, cfg, 2)));
+            let mut sh = Host::new(
+                HostConfig::new("nfs", ip_s, MacAddr::local(2)).with_arp(ip_c, MacAddr::local(1)),
+            );
+            sh.add_app(Box::new(NfsServer::new()));
+            let mut sim = Simulator::new(seed);
+            let nc = sim.add_node(Box::new(ch));
+            let ns = sim.add_node(Box::new(sh));
+            sim.connect_sym(nc, NIC_PORT, ns, NIC_PORT, LinkParams::ethernet_10mbps());
+            start_host(&mut sim, ns, SimTime::ZERO);
+            start_host(&mut sim, nc, SimTime::from_millis(1));
+            sim.run_until(SimTime::from_secs(120));
+            let h: &Host = sim.node(nc);
+            (
+                h.app::<SynRGenUser>(a1).ops_done,
+                h.app::<SynRGenUser>(a2).ops_done,
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

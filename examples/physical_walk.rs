@@ -1,0 +1,93 @@
+//! Physically-grounded collection: instead of the empirical checkpoint
+//! scenarios, build a campus walk through WavePoint base stations and let
+//! signal (and thus latency/bandwidth/loss) emerge from log-distance path
+//! loss, shadowing, and roaming handoffs — then run the usual
+//! collect → distill → modulate loop on it.
+//!
+//! Run with: `cargo run --release --example physical_walk`
+
+use emu::{build_wireless, modulated_run, Benchmark, Hardware, RunConfig, SERVER_IP};
+use distill::{distill_with_report, DistillConfig};
+use netsim::{SimDuration, SimTime};
+use tracekit::{CollectionDaemon, Collector, PseudoDevice};
+use wavelan::{ChannelModel, PhysicalModel, Position, WalkBuilder, WavePoint, WirelessChannel};
+use workloads::{PingConfig, PingWorkload};
+
+fn campus_walk() -> PhysicalModel {
+    // A hallway walk past three WavePoints, with a pause in a coverage
+    // gap (the "elevator lobby").
+    let path = WalkBuilder::start_at(Position::new(0.0, 0.0))
+        .walk_to(Position::new(80.0, 0.0), 1.4)
+        .pause(SimDuration::from_secs(15))
+        .walk_to(Position::new(80.0, 60.0), 1.4)
+        .walk_to(Position::new(160.0, 60.0), 1.4)
+        .build();
+    let stations = vec![
+        WavePoint::at(Position::new(10.0, 8.0)),
+        WavePoint::at(Position::new(90.0, 55.0)),
+        WavePoint::at(Position::new(165.0, 52.0)),
+    ];
+    PhysicalModel::new("campus-walk", path, stations)
+}
+
+fn main() {
+    let model = campus_walk();
+    let walk_secs = model.duration().as_secs_f64() as u64;
+    println!("campus walk: {walk_secs} s past 3 WavePoints");
+
+    // Collection over the physical channel.
+    let channel = WirelessChannel::new(Box::new(model));
+    let meter = channel.meter();
+    let dev = PseudoDevice::new(65_536);
+    let (mut tb, daemon) = build_wireless(11, Hardware::default(), channel, |laptop, _server| {
+        let collector = Collector::new(dev.clone())
+            .with_signal_source(Box::new(move || meter.lock().quantized()));
+        laptop.set_tracer(Box::new(collector));
+        let mut cfg = PingConfig::paper(SERVER_IP);
+        cfg.duration = SimDuration::from_secs(walk_secs);
+        laptop.add_app(Box::new(PingWorkload::new(cfg)));
+        laptop.add_app(Box::new(CollectionDaemon::new(
+            dev.clone(),
+            "thinkpad",
+            "campus-walk",
+            1,
+        )))
+    });
+    tb.start();
+    tb.sim.run_until(SimTime::from_secs(walk_secs + 5));
+    let now_ns = tb.sim.now().as_nanos();
+    let trace = {
+        let host: &mut netstack::Host = tb.sim.node_mut(tb.laptop);
+        host.app_mut::<CollectionDaemon>(daemon).finish(now_ns)
+    };
+    println!(
+        "collected {} records ({} packets, {} signal samples)",
+        trace.records.len(),
+        trace.packets().count(),
+        trace.device_samples().count()
+    );
+
+    // Distill and show what the walk looked like to the network.
+    let report = distill_with_report(&trace, &DistillConfig::default());
+    println!(
+        "distilled {} tuples; mean latency {:.1} ms, bottleneck {:.0} kb/s, loss {:.1}%",
+        report.replay.tuples.len(),
+        report.replay.mean_latency().as_millis_f64(),
+        8e6 / report.replay.mean_vb().max(1e-9),
+        report.replay.mean_loss() * 100.0
+    );
+    let worst = report
+        .replay
+        .tuples
+        .iter()
+        .map(|t| t.loss)
+        .fold(0.0f64, f64::max);
+    println!("worst tuple loss {:.0}% (the coverage-gap handoffs)", worst * 100.0);
+
+    // Modulate a benchmark with the distilled walk.
+    let r = modulated_run(&report.replay, 1, Benchmark::FtpRecv, &RunConfig::default());
+    println!(
+        "modulated 10 MB FTP fetch under the distilled walk: {:.1} s",
+        r.secs()
+    );
+}

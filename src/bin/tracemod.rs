@@ -1,0 +1,351 @@
+//! `tracemod` — command-line front end for the trace-modulation pipeline.
+//!
+//! ```text
+//! tracemod scenarios
+//! tracemod collect  --scenario wean --trial 1 --out wean1.mntr [--target-out wean1-srv.mntr]
+//! tracemod distill  wean1.mntr --out wean1.mnrp [--window-secs 5]
+//! tracemod inspect  wean1.mntr | wean1.mnrp
+//! tracemod replay   wean1.mnrp --benchmark ftp-recv [--trial 1] [--tick-ms 10]
+//! tracemod live     --scenario wean --benchmark ftp-recv [--trial 1]
+//! ```
+//!
+//! Files use the binary formats by default; any path ending in `.json`
+//! reads/writes the JSON encoding instead.
+
+use distill::{distill_with_report, DistillConfig, WindowConfig};
+use emu::{live_run, modulated_run, Benchmark, RunConfig};
+use modulate::TickClock;
+use netsim::SimDuration;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
+use wavelan::Scenario;
+
+fn die(msg: &str) -> ! {
+    eprintln!("tracemod: {msg}");
+    exit(2);
+}
+
+/// Minimal flag parser: positionals + `--key value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                    _ => String::from("true"),
+                };
+                flags.push((key.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> &str {
+        self.get(key)
+            .unwrap_or_else(|| die(&format!("missing required flag --{key}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("invalid value for --{key}: {v}"))),
+        }
+    }
+}
+
+fn scenario_arg(args: &Args) -> Scenario {
+    if let Some(path) = args.get("scenario-file") {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        return wavelan::ScenarioSpec::from_json(&json)
+            .and_then(wavelan::ScenarioSpec::into_scenario)
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    }
+    let name = args.require("scenario");
+    Scenario::by_name(name).unwrap_or_else(|| {
+        die(&format!(
+            "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox)"
+        ))
+    })
+}
+
+fn cmd_dump_scenario(args: &Args) {
+    let sc = scenario_arg(args);
+    println!("{}", wavelan::ScenarioSpec::from_scenario(&sc).to_json());
+}
+
+fn benchmark_arg(args: &Args) -> Benchmark {
+    match args.require("benchmark") {
+        "web" => Benchmark::Web,
+        "ftp-send" => Benchmark::FtpSend,
+        "ftp-recv" => Benchmark::FtpRecv,
+        "andrew" => Benchmark::Andrew,
+        other => die(&format!(
+            "unknown benchmark '{other}' (try: web, ftp-send, ftp-recv, andrew)"
+        )),
+    }
+}
+
+fn cmd_scenarios() {
+    println!("{:<12} {:>9} {:>12} {:>8}  notes", "name", "duration", "checkpoints", "asym");
+    for sc in Scenario::all() {
+        println!(
+            "{:<12} {:>8.0}s {:>12} {:>8.2}  {}",
+            sc.name,
+            sc.duration.as_secs_f64(),
+            sc.checkpoints.len(),
+            sc.loss_asym_up,
+            if sc.stationary {
+                "stationary (cross traffic)"
+            } else {
+                "mobile traversal"
+            }
+        );
+    }
+}
+
+fn cmd_collect(args: &Args) {
+    let sc = scenario_arg(args);
+    let trial = args.parse_num("trial", 1u32);
+    let out = PathBuf::from(args.require("out"));
+    let cfg = RunConfig::default();
+    if let Some(target_out) = args.get("target-out") {
+        eprintln!("collecting two-sided trace of '{}' trial {trial}...", sc.name);
+        let (mobile, target) = emu::collect_trace_two_sided(&sc, trial, &cfg);
+        write_trace(&out, &mobile).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+        let tp = PathBuf::from(target_out);
+        write_trace(&tp, &target).unwrap_or_else(|e| die(&format!("write {tp:?}: {e}")));
+        eprintln!(
+            "wrote {} ({} records) and {} ({} records)",
+            out.display(),
+            mobile.records.len(),
+            tp.display(),
+            target.records.len()
+        );
+    } else {
+        eprintln!("collecting trace of '{}' trial {trial}...", sc.name);
+        let trace = emu::collect_trace(&sc, trial, &cfg);
+        write_trace(&out, &trace).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+        eprintln!("wrote {} ({} records)", out.display(), trace.records.len());
+    }
+}
+
+fn cmd_distill(args: &Args) {
+    let input = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| die("usage: tracemod distill <trace> --out <replay>"));
+    let out = PathBuf::from(args.require("out"));
+    let window = args.parse_num("window-secs", 5u64);
+    let trace = read_trace(Path::new(input)).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
+    let cfg = DistillConfig {
+        window: WindowConfig {
+            width: SimDuration::from_secs(window),
+            step: SimDuration::from_secs(1),
+        },
+    };
+    let report = distill_with_report(&trace, &cfg);
+    write_replay(&out, &report.replay).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+    eprintln!(
+        "distilled {} triplets ({} solved, {} corrected) → {} tuples → {}",
+        report.triplets,
+        report.solved,
+        report.corrected,
+        report.replay.tuples.len(),
+        out.display()
+    );
+}
+
+fn cmd_inspect(args: &Args) {
+    let input = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| die("usage: tracemod inspect <file>"));
+    let path = Path::new(input);
+    // Try replay trace first (cheap), then collected trace.
+    if let Ok(replay) = read_replay(path) {
+        println!("replay trace: {}", replay.source);
+        println!("  tuples:        {}", replay.tuples.len());
+        println!("  duration:      {:.1} s", replay.total_duration().as_secs_f64());
+        println!("  mean latency:  {:.2} ms", replay.mean_latency().as_millis_f64());
+        println!(
+            "  mean Vb:       {:.0} ns/B ({:.0} kb/s bottleneck)",
+            replay.mean_vb(),
+            8e6 / replay.mean_vb().max(1e-9)
+        );
+        println!("  mean loss:     {:.2}%", replay.mean_loss() * 100.0);
+        let worst = replay.tuples.iter().map(|t| t.loss).fold(0.0f64, f64::max);
+        println!("  worst loss:    {:.1}%", worst * 100.0);
+        return;
+    }
+    match read_trace(path) {
+        Ok(trace) => {
+            println!("collected trace: host '{}', scenario '{}', trial {}", trace.host, trace.scenario, trace.trial);
+            println!("  records:        {}", trace.records.len());
+            println!("  span:           {:.1} s", trace.span_ns() as f64 / 1e9);
+            println!("  packets:        {}", trace.packets().count());
+            println!("  device samples: {}", trace.device_samples().count());
+            println!("  lost (overrun): {}", trace.lost_records());
+            let echoes = trace
+                .packets()
+                .filter(|p| matches!(p.proto, tracekit::ProtoInfo::IcmpEcho { .. }))
+                .count();
+            let replies = trace
+                .packets()
+                .filter(|p| matches!(p.proto, tracekit::ProtoInfo::IcmpEchoReply { .. }))
+                .count();
+            println!("  probes:         {echoes} echo, {replies} reply");
+            // tcpdump-style record listing.
+            let n: usize = args.parse_num("records", 0usize);
+            for r in trace.records.iter().take(n) {
+                println!("  {}", format_record(r));
+            }
+            if n > 0 && trace.records.len() > n {
+                println!("  ... ({} more records)", trace.records.len() - n);
+            }
+        }
+        Err(e) => die(&format!("{input}: not a trace or replay file ({e})")),
+    }
+}
+
+/// One-line, tcpdump-flavoured rendering of a trace record.
+fn format_record(r: &tracekit::TraceRecord) -> String {
+    use tracekit::{Dir, ProtoInfo, TraceRecord};
+    let ts = r.timestamp_ns() as f64 / 1e9;
+    match r {
+        TraceRecord::Packet(p) => {
+            let dir = match p.dir {
+                Dir::Out => ">",
+                Dir::In => "<",
+            };
+            let proto = match &p.proto {
+                ProtoInfo::IcmpEcho { ident, seq, payload_len, .. } => {
+                    format!("icmp echo id {ident} seq {seq} len {payload_len}")
+                }
+                ProtoInfo::IcmpEchoReply { ident, seq, rtt_ns, .. } => {
+                    format!("icmp reply id {ident} seq {seq} rtt {:.2}ms", *rtt_ns as f64 / 1e6)
+                }
+                ProtoInfo::Udp { src_port, dst_port, payload_len } => {
+                    format!("udp {src_port} > {dst_port} len {payload_len}")
+                }
+                ProtoInfo::Tcp { src_port, dst_port, seq, ack, flags, payload_len } => {
+                    let mut fl = String::new();
+                    for (bit, ch) in [(1u8, 'F'), (2, 'S'), (4, 'R'), (8, 'P'), (16, '.')] {
+                        if flags & bit != 0 {
+                            fl.push(ch);
+                        }
+                    }
+                    format!("tcp {src_port} > {dst_port} [{fl}] seq {seq} ack {ack} len {payload_len}")
+                }
+                ProtoInfo::Other { protocol } => format!("proto {protocol}"),
+            };
+            format!("{ts:12.6} {dir} {proto} ({}B wire)", p.wire_len)
+        }
+        TraceRecord::Device(d) => format!(
+            "{ts:12.6} * device signal {} quality {} silence {}",
+            d.signal, d.quality, d.silence
+        ),
+        TraceRecord::Overrun(o) => format!(
+            "{ts:12.6} ! overrun: lost {} packet + {} device records",
+            o.lost_packets, o.lost_device
+        ),
+    }
+}
+
+fn cmd_replay(args: &Args) {
+    let input = args
+        .positional
+        .get(1)
+        .unwrap_or_else(|| die("usage: tracemod replay <replay> --benchmark <b>"));
+    let replay =
+        read_replay(Path::new(input)).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
+    let benchmark = benchmark_arg(args);
+    let trial = args.parse_num("trial", 1u32);
+    let tick_ms = args.parse_num("tick-ms", 10u64);
+    let cfg = RunConfig {
+        clock: if tick_ms == 0 {
+            TickClock::ideal()
+        } else {
+            TickClock::with_resolution(SimDuration::from_millis(tick_ms))
+        },
+        ..RunConfig::default()
+    };
+    eprintln!(
+        "running {} under modulation by '{}' (tick {} ms)...",
+        benchmark.name(),
+        replay.source,
+        tick_ms
+    );
+    let r = modulated_run(&replay, trial, benchmark, &cfg);
+    report_result(&r);
+}
+
+fn cmd_live(args: &Args) {
+    let sc = scenario_arg(args);
+    let benchmark = benchmark_arg(args);
+    let trial = args.parse_num("trial", 1u32);
+    eprintln!("running {} live on '{}' trial {trial}...", benchmark.name(), sc.name);
+    let r = live_run(&sc, trial, benchmark, &RunConfig::default());
+    report_result(&r);
+}
+
+fn report_result(r: &emu::RunResult) {
+    match r.elapsed {
+        Some(secs) => println!("{}: {:.2} s", r.benchmark.name(), secs),
+        None => println!("{}: DID NOT COMPLETE (deadline)", r.benchmark.name()),
+    }
+    for (phase, secs) in &r.phases {
+        println!("  {:<8} {:.2} s", phase.name(), secs);
+    }
+}
+
+const USAGE: &str = "usage: tracemod <command> [args]
+commands:
+  scenarios                                list the built-in mobile scenarios
+  dump-scenario --scenario S               print a scenario as editable JSON
+  collect  --scenario S --trial N --out F  collect a trace (add --target-out F2 for two-sided;
+                                           --scenario-file F.json uses a custom scenario)
+  distill  <trace> --out F                 distill a trace into a replay trace
+  inspect  <file> [--records N]            summarize a trace/replay file (optionally list records)
+  replay   <replay> --benchmark B          run a benchmark under modulation
+  live     --scenario S --benchmark B      run a benchmark live on the wireless scenario
+benchmarks: web, ftp-send, ftp-recv, andrew";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    match args.positional.first().map(String::as_str) {
+        Some("scenarios") => cmd_scenarios(),
+        Some("dump-scenario") => cmd_dump_scenario(&args),
+        Some("collect") => cmd_collect(&args),
+        Some("distill") => cmd_distill(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("live") => cmd_live(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the trace-modulation workspace. See README.
+pub use emu;
+pub use distill;
+pub use modulate;
+pub use netsim;
+pub use netstack;
+pub use packet;
+pub use tracekit;
+pub use wavelan;
+pub use workloads;

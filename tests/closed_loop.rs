@@ -1,0 +1,141 @@
+//! Integration tests spanning the whole methodology: collection →
+//! distillation → modulation, validated against channel ground truth and
+//! live benchmark runs.
+
+use emu::{
+    collect_and_distill, collect_trace, live_run, modulated_run, Benchmark, RunConfig,
+};
+use netsim::SimDuration;
+use wavelan::{Checkpoint, Scenario};
+
+/// A steady scenario whose parameters we control exactly.
+fn steady_scenario(latency_ms: f64, bw_kbps: f64, loss: f64, secs: u64) -> Scenario {
+    let mut sc = Scenario::chatterbox();
+    sc.cross = None;
+    sc.stationary = true;
+    sc.duration = SimDuration::from_secs(secs);
+    sc.checkpoints = vec![
+        Checkpoint {
+            label: "c",
+            signal: (18.0, 18.0),
+            latency_ms: (latency_ms, latency_ms),
+            bw_kbps: (bw_kbps, bw_kbps),
+            loss: (loss, loss),
+        };
+        2
+    ];
+    sc
+}
+
+#[test]
+fn distillation_recovers_latency_bandwidth_and_loss() {
+    let sc = steady_scenario(5.0, 1400.0, 0.02, 90);
+    let report = collect_and_distill(&sc, 3, &RunConfig::default());
+    let replay = &report.replay;
+    assert!(replay.is_valid());
+
+    // Latency: model 5 ms + MAC overhead (~0.3 ms) + air queueing.
+    let lat = replay.mean_latency().as_millis_f64();
+    assert!((4.5..9.0).contains(&lat), "latency {lat} ms");
+
+    // Bottleneck: 1400 kb/s → V = 5.71 µs/B, plus MAC/s2 ≈ 0.55 µs/B.
+    let vb = replay.mean_vb();
+    assert!((5000.0..8000.0).contains(&vb), "vb {vb} ns/B");
+
+    // Loss: 2% per direction, trial multiplier within ±12%.
+    let loss = replay.mean_loss();
+    assert!((0.008..0.042).contains(&loss), "loss {loss}");
+}
+
+#[test]
+fn modulated_ftp_tracks_live_ftp_on_steady_channel() {
+    let sc = steady_scenario(4.0, 1400.0, 0.005, 60);
+    let cfg = RunConfig::default();
+    let live = live_run(&sc, 1, Benchmark::FtpRecv, &cfg).secs();
+    let report = collect_and_distill(&sc, 1, &cfg);
+    let modulated = modulated_run(&report.replay, 1, Benchmark::FtpRecv, &cfg).secs();
+    let ratio = live.max(modulated) / live.min(modulated);
+    assert!(
+        ratio < 1.35,
+        "live {live:.1}s vs modulated {modulated:.1}s (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn collection_is_transparent_to_the_workload() {
+    // The FTP benchmark's elapsed time must be unaffected by whether the
+    // tracer is attached (the methodology's transparency requirement) —
+    // identical seeds, identical channel, tracer on/off.
+    use emu::{build_wireless, Hardware, SERVER_IP};
+    use netsim::{SimRng, SimTime};
+    use tracekit::{Collector, PseudoDevice};
+    use workloads::{FtpClient, FtpDirection, FtpServer};
+
+    let run = |traced: bool| {
+        let sc = steady_scenario(4.0, 1400.0, 0.01, 60);
+        let mut trial_rng = SimRng::seed_from_u64(77);
+        let channel = sc.channel(&mut trial_rng);
+        let (mut tb, app) = build_wireless(5, Hardware::default(), channel, |laptop, server| {
+            if traced {
+                let dev = PseudoDevice::new(4096);
+                dev.open();
+                laptop.set_tracer(Box::new(Collector::new(dev)));
+            }
+            server.add_app(Box::new(FtpServer::new()));
+            laptop.add_app(Box::new(FtpClient::new(
+                SERVER_IP,
+                FtpDirection::Send,
+                2_000_000,
+            )))
+        });
+        tb.start();
+        tb.sim.run_until(SimTime::from_secs(300));
+        tb.laptop_host()
+            .app::<FtpClient>(app)
+            .elapsed()
+            .expect("transfer completed")
+            .as_nanos()
+    };
+    assert_eq!(run(false), run(true), "tracing perturbed the workload");
+}
+
+#[test]
+fn trace_records_cover_workload_and_device() {
+    let sc = steady_scenario(3.0, 1500.0, 0.0, 30);
+    let trace = collect_trace(&sc, 1, &RunConfig::default());
+    // 30 groups × 3 probes, echo + reply each → ~180 packet records.
+    let pkts = trace.packets().count();
+    assert!((150..=200).contains(&pkts), "packets {pkts}");
+    // Device sampled at 10 Hz for ~35 s.
+    let dev = trace.device_samples().count();
+    assert!(dev >= 250, "device samples {dev}");
+    assert_eq!(trace.lost_records(), 0);
+}
+
+#[test]
+fn live_runs_are_deterministic_and_trials_differ() {
+    let sc = steady_scenario(4.0, 1400.0, 0.01, 60);
+    let cfg = RunConfig::default();
+    let a = live_run(&sc, 1, Benchmark::FtpSend, &cfg).secs();
+    let b = live_run(&sc, 1, Benchmark::FtpSend, &cfg).secs();
+    assert_eq!(a, b, "same trial must reproduce exactly");
+    let c = live_run(&sc, 2, Benchmark::FtpSend, &cfg).secs();
+    assert_ne!(a, c, "different trials must differ");
+}
+
+#[test]
+fn elevator_outage_visible_in_distilled_trace() {
+    let mut sc = Scenario::wean();
+    sc.duration = SimDuration::from_secs(120);
+    let report = collect_and_distill(&sc, 1, &RunConfig::default());
+    let worst = report
+        .replay
+        .tuples
+        .iter()
+        .map(|t| t.loss)
+        .fold(0.0f64, f64::max);
+    assert!(worst > 0.3, "elevator loss not captured: worst {worst}");
+    // And the trace recovers afterwards.
+    let last = report.replay.tuples.last().expect("tuples exist");
+    assert!(last.loss < 0.2, "post-elevator loss {}", last.loss);
+}

@@ -1,0 +1,102 @@
+//! End-to-end scenario-shape assertions: the qualitative features the
+//! paper's Figures 2–5 show must survive the full collection →
+//! distillation pipeline (not just exist in the channel model).
+
+use emu::{scenario_figure, RunConfig};
+use netsim::SimDuration;
+use wavelan::Scenario;
+
+fn mean_of(buckets: &[netsim::stats::Summary], range: std::ops::Range<usize>) -> f64 {
+    let xs: Vec<f64> = buckets[range]
+        .iter()
+        .filter(|b| b.count() > 0)
+        .map(|b| b.mean())
+        .collect();
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+#[test]
+fn porter_patio_beats_porter_hall() {
+    let mut sc = Scenario::porter();
+    sc.duration = SimDuration::from_secs(90);
+    let fig = scenario_figure(&sc, 2, &RunConfig::default());
+    // Signal: patio (x2–x4) clearly better than the interior end (x5–x6).
+    let patio = mean_of(&fig.signal.buckets, 2..5);
+    let interior = mean_of(&fig.signal.buckets, 5..7);
+    assert!(patio > interior + 2.0, "patio {patio:.1} vs interior {interior:.1}");
+    // Latency: interior worse (spikes).
+    let lat_patio = mean_of(&fig.latency_ms.buckets, 2..5);
+    let lat_interior = mean_of(&fig.latency_ms.buckets, 5..7);
+    assert!(lat_interior > lat_patio, "{lat_patio:.1} vs {lat_interior:.1}");
+}
+
+#[test]
+fn flagstaff_loss_grows_through_traversal() {
+    let mut sc = Scenario::flagstaff();
+    sc.duration = SimDuration::from_secs(120);
+    let fig = scenario_figure(&sc, 2, &RunConfig::default());
+    let early = mean_of(&fig.loss_pct.buckets, 0..3);
+    let late = mean_of(&fig.loss_pct.buckets, 7..10);
+    assert!(
+        late > early * 1.5,
+        "loss did not grow: early {early:.2}% late {late:.2}%"
+    );
+    // And the park's signal is low throughout the later checkpoints.
+    let park_signal = mean_of(&fig.signal.buckets, 4..10);
+    assert!(park_signal < 10.0, "park signal {park_signal:.1}");
+}
+
+#[test]
+fn wean_elevator_dominates_every_panel() {
+    let sc = Scenario::wean(); // full length so the elevator region exists
+    let fig = scenario_figure(&sc, 2, &RunConfig::default());
+    let n = fig.loss_pct.buckets.len();
+    // Find the worst-loss checkpoint: it must be the elevator (z4e,
+    // index 6 of 10) and extreme in all three derived panels.
+    let worst = (0..n)
+        .max_by(|&a, &b| {
+            fig.loss_pct.buckets[a]
+                .max()
+                .total_cmp(&fig.loss_pct.buckets[b].max())
+        })
+        .expect("buckets exist");
+    assert!(
+        (5..=7).contains(&worst),
+        "worst loss at checkpoint {worst}, expected the elevator region"
+    );
+    assert!(fig.loss_pct.buckets[worst].max() > 30.0);
+    assert!(
+        fig.latency_ms.buckets[worst].max() > fig.latency_ms.buckets[1].max(),
+        "elevator latency not elevated"
+    );
+    // The 5 s distillation window lags the physical collapse slightly,
+    // so check the signal floor over the whole elevator region.
+    let region_floor = (5..=7)
+        .map(|i| fig.signal.buckets[i].min())
+        .fold(f64::INFINITY, f64::min);
+    assert!(region_floor < 6.0, "elevator signal not collapsed: {region_floor:.1}");
+}
+
+#[test]
+fn chatterbox_contention_degrades_latency_not_signal() {
+    let mut sc = Scenario::chatterbox();
+    sc.duration = SimDuration::from_secs(60);
+    let fig = scenario_figure(&sc, 2, &RunConfig::default());
+    let (sig, lat, _bw, _loss) = fig.histograms.expect("stationary scenario");
+    // Signal stays high...
+    let sig_norm = sig.normalized();
+    let high: f64 = sig_norm
+        .iter()
+        .filter(|&&(c, _)| c >= 14.0)
+        .map(|&(_, f)| f)
+        .sum();
+    assert!(high > 0.6, "signal histogram not concentrated high: {high:.2}");
+    // ...while latency shows a contention tail.
+    let lat_norm = lat.normalized();
+    let tail: f64 = lat_norm
+        .iter()
+        .filter(|&&(c, _)| c >= 10.0)
+        .map(|&(_, f)| f)
+        .sum();
+    assert!(tail > 0.05, "no contention latency tail: {tail:.2}");
+}
