@@ -28,8 +28,8 @@ fn full_tcp_frame(payload: &[u8]) -> Vec<u8> {
         ttl: 64,
         ident: 99,
         total_len: 0,
-            more_fragments: false,
-            frag_offset: 0,
+        more_fragments: false,
+        frag_offset: 0,
     }
     .emit(&tcp);
     EtherHeader {

@@ -92,9 +92,7 @@ fn bench_modulation_layer(c: &mut Criterion) {
                 let _ = m.offer(Direction::Outbound, vec![0u8; 1514], now, &mut rng);
                 released += m.collect_due(now, &mut rng).len() as u64;
             }
-            released += m
-                .collect_due(SimTime::from_secs(4000), &mut rng)
-                .len() as u64;
+            released += m.collect_due(SimTime::from_secs(4000), &mut rng).len() as u64;
             assert!(released > 0);
         });
     });

@@ -12,12 +12,17 @@
 //! * standard modulation (round-trip distillation, symmetric);
 //! * asymmetric modulation (two-sided collection, one-way distillation,
 //!   per-direction replay traces).
+//!
+//! Live cells and per-trial (collect-two-sided → distill both ways →
+//! four modulated runs) cells run as one `TrialPlan` (`--jobs N`,
+//! `--serial`).
 
-use bench::trials;
+use bench::{exec_from_args, trials};
 use distill::{distill_asymmetric, distill_with_report, DistillConfig};
+use emu::report::plan_metrics_text;
 use emu::{
-    collect_trace_two_sided, live_run, modulated_run, modulated_run_asymmetric, Benchmark,
-    RunConfig,
+    collect_trace_two_sided, modulated_run, modulated_run_asymmetric, Benchmark, CellKind,
+    RunConfig, TrialCell, TrialPlan,
 };
 use netsim::stats::Summary;
 use netsim::SimDuration;
@@ -46,53 +51,90 @@ fn steady_asymmetric() -> Scenario {
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
     let sc = steady_asymmetric();
     println!(
         "=== Ablation: symmetry assumption vs synchronized clocks (steady asymmetric channel, FTP, {n} trials) ===\n"
     );
 
+    let mut plan = TrialPlan::new();
+    for trial in 1..=n {
+        for bench in [Benchmark::FtpSend, Benchmark::FtpRecv] {
+            plan.push(TrialCell {
+                label: format!("live/{}#{trial}", bench.name()),
+                trial,
+                cfg,
+                kind: CellKind::Live {
+                    scenario: sc.clone(),
+                    benchmark: bench,
+                },
+            });
+        }
+        // One cell per trial covers the shared two-sided collection and
+        // all four modulated runs derived from it: [sym send, sym recv,
+        // asym send, asym recv].
+        let sc_cell = sc.clone();
+        plan.push(TrialCell {
+            label: format!("two-sided#{trial}"),
+            trial,
+            cfg,
+            kind: CellKind::Custom(Box::new(move |trial, cfg| {
+                let (mobile, target) = collect_trace_two_sided(&sc_cell, trial, cfg);
+                let round_trip = distill_with_report(&mobile, &DistillConfig::default());
+                let one_way = distill_asymmetric(&mobile, &target, &DistillConfig::default());
+                vec![
+                    modulated_run(&round_trip.replay, trial, Benchmark::FtpSend, cfg),
+                    modulated_run(&round_trip.replay, trial, Benchmark::FtpRecv, cfg),
+                    modulated_run_asymmetric(
+                        &one_way.up,
+                        &one_way.down,
+                        trial,
+                        Benchmark::FtpSend,
+                        cfg,
+                    ),
+                    modulated_run_asymmetric(
+                        &one_way.up,
+                        &one_way.down,
+                        trial,
+                        Benchmark::FtpRecv,
+                        cfg,
+                    ),
+                ]
+            })),
+        });
+    }
+    let results = plan.run(&exec);
+
     let mut rows: Vec<(&str, Summary, Summary)> = Vec::new();
 
     // Live reference.
     let mut live = (Summary::new(), Summary::new());
-    for t in 1..=n {
-        if let Some(s) = live_run(&sc, t, Benchmark::FtpSend, &cfg).elapsed {
+    for r in results.live_runs(sc.name, Benchmark::FtpSend) {
+        if let Some(s) = r.elapsed {
             live.0.add(s);
         }
-        if let Some(s) = live_run(&sc, t, Benchmark::FtpRecv, &cfg).elapsed {
+    }
+    for r in results.live_runs(sc.name, Benchmark::FtpRecv) {
+        if let Some(s) = r.elapsed {
             live.1.add(s);
         }
     }
     rows.push(("live (real)", live.0, live.1));
 
-    // Standard (symmetric) and asymmetric modulation from the same
-    // two-sided collection runs: the mobile-side trace feeds the
-    // round-trip pipeline, both traces feed the one-way pipeline.
+    // Symmetric vs asymmetric modulation from the custom cells.
     let mut sym = (Summary::new(), Summary::new());
     let mut asym = (Summary::new(), Summary::new());
-    for t in 1..=n {
-        let (mobile, target) = collect_trace_two_sided(&sc, t, &cfg);
-        let round_trip = distill_with_report(&mobile, &DistillConfig::default());
-        let one_way = distill_asymmetric(&mobile, &target, &DistillConfig::default());
-
-        if let Some(s) = modulated_run(&round_trip.replay, t, Benchmark::FtpSend, &cfg).elapsed {
-            sym.0.add(s);
-        }
-        if let Some(s) = modulated_run(&round_trip.replay, t, Benchmark::FtpRecv, &cfg).elapsed {
-            sym.1.add(s);
-        }
-        if let Some(s) =
-            modulated_run_asymmetric(&one_way.up, &one_way.down, t, Benchmark::FtpSend, &cfg)
-                .elapsed
-        {
-            asym.0.add(s);
-        }
-        if let Some(s) =
-            modulated_run_asymmetric(&one_way.up, &one_way.down, t, Benchmark::FtpRecv, &cfg)
-                .elapsed
-        {
-            asym.1.add(s);
+    for runs in results.custom_runs("two-sided#") {
+        for (slot, r) in runs.iter().enumerate() {
+            if let Some(s) = r.elapsed {
+                match slot {
+                    0 => sym.0.add(s),
+                    1 => sym.1.add(s),
+                    2 => asym.0.add(s),
+                    _ => asym.1.add(s),
+                }
+            }
         }
     }
     rows.push(("modulated, symmetric (paper)", sym.0, sym.1));
@@ -115,4 +157,5 @@ fn main() {
     }
     println!("\n(the symmetric pipeline collapses the send/recv gap to ~0; the");
     println!(" one-way pipeline should recover the live asymmetry)");
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

@@ -8,10 +8,13 @@
 //!
 //! This sweep runs the modulated Andrew benchmark with 10 ms / 1 ms /
 //! ideal clocks against the same distilled Wean trace, isolating exactly
-//! how much accuracy the cheap clock costs.
+//! how much accuracy the cheap clock costs. All (clock, trial) cells
+//! plus the live reference run as one `TrialPlan` (`--jobs N`,
+//! `--serial`).
 
-use bench::trials;
-use emu::{collect_and_distill, live_run, modulated_run, Benchmark, RunConfig};
+use bench::{exec_from_args, trials};
+use emu::report::plan_metrics_text;
+use emu::{Benchmark, CellKind, CellOutput, RunConfig, TrialCell, TrialPlan};
 use modulate::TickClock;
 use netsim::stats::Summary;
 use netsim::SimDuration;
@@ -20,30 +23,67 @@ use workloads::Phase;
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let base = RunConfig::default();
     let sc = Scenario::wean();
     println!("=== Ablation: modulation scheduling granularity (Wean, Andrew benchmark, {n} trials) ===\n");
 
-    // Live reference.
-    let mut live_total = Summary::new();
-    let mut live_phases = vec![Summary::new(); 5];
-    for t in 1..=n {
-        let r = live_run(&sc, t, Benchmark::Andrew, &base);
-        if let Some(secs) = r.elapsed {
-            live_total.add(secs);
-        }
-        for (i, p) in Phase::ALL.iter().enumerate() {
-            if let Some(&(_, s)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
-                live_phases[i].add(s);
-            }
+    let clocks = [
+        ("10 ms (NetBSD)", "10ms", TickClock::netbsd()),
+        (
+            "1 ms",
+            "1ms",
+            TickClock::with_resolution(SimDuration::from_millis(1)),
+        ),
+        ("ideal", "ideal", TickClock::ideal()),
+    ];
+
+    let mut plan = TrialPlan::new();
+    for trial in 1..=n {
+        plan.push(TrialCell {
+            label: format!("live#{trial}"),
+            trial,
+            cfg: base,
+            kind: CellKind::Live {
+                scenario: sc.clone(),
+                benchmark: Benchmark::Andrew,
+            },
+        });
+    }
+    for (_, key, clock) in clocks {
+        let mut cfg = base;
+        cfg.clock = clock;
+        for trial in 1..=n {
+            plan.push(TrialCell {
+                label: format!("clock/{key}#{trial}"),
+                trial,
+                cfg,
+                kind: CellKind::Modulated {
+                    scenario: sc.clone(),
+                    benchmark: Benchmark::Andrew,
+                    distill: Default::default(),
+                },
+            });
         }
     }
+    let results = plan.run(&exec);
 
-    let clocks = [
-        ("10 ms (NetBSD)", TickClock::netbsd()),
-        ("1 ms", TickClock::with_resolution(SimDuration::from_millis(1))),
-        ("ideal", TickClock::ideal()),
-    ];
+    // Accumulate (phases, total) summaries from a list of run results.
+    let summarize = |runs: &[&emu::RunResult]| {
+        let mut total = Summary::new();
+        let mut phases = vec![Summary::new(); 5];
+        for r in runs {
+            if let Some(secs) = r.elapsed {
+                total.add(secs);
+            }
+            for (i, p) in Phase::ALL.iter().enumerate() {
+                if let Some(&(_, s)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
+                    phases[i].add(s);
+                }
+            }
+        }
+        (phases, total)
+    };
 
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -56,27 +96,24 @@ fn main() {
         }
         println!(" {:>12}", format!("{:.2}", total.mean()));
     };
-    row("live (real)", &live_phases, &live_total);
 
-    for (name, clock) in clocks {
-        let mut total = Summary::new();
-        let mut phases = vec![Summary::new(); 5];
-        for t in 1..=n {
-            let report = collect_and_distill(&sc, t, &base);
-            let mut cfg = base;
-            cfg.clock = clock;
-            let r = modulated_run(&report.replay, t, Benchmark::Andrew, &cfg);
-            if let Some(secs) = r.elapsed {
-                total.add(secs);
-            }
-            for (i, p) in Phase::ALL.iter().enumerate() {
-                if let Some(&(_, s)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
-                    phases[i].add(s);
-                }
-            }
-        }
+    let live = results.live_runs(sc.name, Benchmark::Andrew);
+    let (phases, total) = summarize(&live);
+    row("live (real)", &phases, &total);
+
+    for (name, key, _) in clocks {
+        let runs: Vec<&emu::RunResult> = results
+            .labeled(&format!("clock/{key}#"))
+            .into_iter()
+            .filter_map(|(_, o)| match o {
+                CellOutput::RunWithReport(r, _) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let (phases, total) = summarize(&runs);
         row(name, &phases, &total);
     }
     println!("\n(the paper predicts the 10 ms clock under-delays the status-check");
     println!(" phases — ScanDir and ReadAll — relative to finer clocks)");
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

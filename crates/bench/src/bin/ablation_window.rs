@@ -5,59 +5,93 @@
 //! change". This sweep distills the same Wean traces with 1 s / 5 s /
 //! 15 s windows and compares the modulated FTP fetch time against the
 //! live reference: too narrow tracks probe noise, too wide smears the
-//! elevator outage.
+//! elevator outage. All (window, trial) cells run as one `TrialPlan`
+//! (`--jobs N`, `--serial`).
 
-use bench::trials;
-use distill::{distill_with_report, DistillConfig, WindowConfig};
-use emu::{collect_trace, live_run, modulated_run, Benchmark, RunConfig};
+use bench::{exec_from_args, trials};
+use distill::{DistillConfig, WindowConfig};
+use emu::report::plan_metrics_text;
+use emu::{Benchmark, CellKind, CellOutput, RunConfig, TrialCell, TrialPlan};
 use netsim::stats::Summary;
 use netsim::SimDuration;
 use wavelan::Scenario;
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
     let sc = Scenario::wean();
     println!("=== Ablation: distillation window width (Wean, FTP fetch, {n} trials) ===\n");
 
+    const WIDTHS: [u64; 3] = [1, 5, 15];
+    let mut plan = TrialPlan::new();
+    for trial in 1..=n {
+        plan.push(TrialCell {
+            label: format!("live#{trial}"),
+            trial,
+            cfg,
+            kind: CellKind::Live {
+                scenario: sc.clone(),
+                benchmark: Benchmark::FtpRecv,
+            },
+        });
+    }
+    for width_s in WIDTHS {
+        let dcfg = DistillConfig {
+            window: WindowConfig {
+                width: SimDuration::from_secs(width_s),
+                step: SimDuration::from_secs(1),
+            },
+        };
+        for trial in 1..=n {
+            plan.push(TrialCell {
+                label: format!("win/{width_s}s#{trial}"),
+                trial,
+                cfg,
+                kind: CellKind::Modulated {
+                    scenario: sc.clone(),
+                    benchmark: Benchmark::FtpRecv,
+                    distill: dcfg,
+                },
+            });
+        }
+    }
+    let results = plan.run(&exec);
+
     let mut live = Summary::new();
-    for t in 1..=n {
-        if let Some(secs) = live_run(&sc, t, Benchmark::FtpRecv, &cfg).elapsed {
+    for r in results.live_runs(sc.name, Benchmark::FtpRecv) {
+        if let Some(secs) = r.elapsed {
             live.add(secs);
         }
     }
-    println!("live reference: {:.2} s (σ {:.2})\n", live.mean(), live.stddev());
+    println!(
+        "live reference: {:.2} s (σ {:.2})\n",
+        live.mean(),
+        live.stddev()
+    );
 
     println!(
         "{:>8}  {:>14}  {:>10}  {:>12}",
         "window", "modulated (s)", "tuples", "worst loss"
     );
-    for width_s in [1u64, 5, 15] {
+    for width_s in WIDTHS {
         let mut modulated = Summary::new();
         let mut tuples = 0usize;
         let mut worst = 0.0f64;
-        for t in 1..=n {
-            let trace = collect_trace(&sc, t, &cfg);
-            let dcfg = DistillConfig {
-                window: WindowConfig {
-                    width: SimDuration::from_secs(width_s),
-                    step: SimDuration::from_secs(1),
-                },
-            };
-            let report = distill_with_report(&trace, &dcfg);
-            tuples = report.replay.tuples.len();
-            worst = worst.max(
-                report
-                    .replay
-                    .tuples
-                    .iter()
-                    .map(|q| q.loss)
-                    .fold(0.0, f64::max),
-            );
-            if let Some(secs) =
-                modulated_run(&report.replay, t, Benchmark::FtpRecv, &cfg).elapsed
-            {
-                modulated.add(secs);
+        for (_, o) in results.labeled(&format!("win/{width_s}s#")) {
+            if let CellOutput::RunWithReport(r, report) = o {
+                tuples = report.replay.tuples.len();
+                worst = worst.max(
+                    report
+                        .replay
+                        .tuples
+                        .iter()
+                        .map(|q| q.loss)
+                        .fold(0.0, f64::max),
+                );
+                if let Some(secs) = r.elapsed {
+                    modulated.add(secs);
+                }
             }
         }
         println!(
@@ -71,4 +105,5 @@ fn main() {
     }
     println!("\n(5 s is the paper's choice; 1 s chases probe noise, 15 s smears");
     println!(" the elevator outage across half a minute of replay)");
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

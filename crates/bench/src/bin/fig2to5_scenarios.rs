@@ -6,15 +6,20 @@
 //! rate — as per-checkpoint ranges (or histograms for the stationary
 //! Chatterbox).
 //!
-//! Usage: `fig2to5_scenarios [porter|flagstaff|wean|chatterbox|all]`
+//! All collection cells (scenario × trial) run as one `TrialPlan` on a
+//! worker pool (`--jobs N`, `--serial`); figures merge trials in trial
+//! order, so the output is byte-identical at any worker count.
+//!
+//! Usage: `fig2to5_scenarios [porter|flagstaff|wean|chatterbox|all] [--jobs N|--serial]`
 
-use bench::{maybe_trim, trials};
-use emu::report::scenario_figure_text;
-use emu::{scenario_figure, RunConfig};
+use bench::{exec_from_args, maybe_trim, positional_arg, trials};
+use emu::figures::figure_from_collected;
+use emu::report::{plan_metrics_text, scenario_figure_text};
+use emu::{RunConfig, TrialPlan};
 use wavelan::Scenario;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let arg = positional_arg().unwrap_or_else(|| "all".into());
     let scenarios: Vec<Scenario> = if arg == "all" {
         vec![
             Scenario::porter(),
@@ -29,21 +34,30 @@ fn main() {
         })]
     };
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
+    let scenarios: Vec<Scenario> = scenarios.into_iter().map(maybe_trim).collect();
+
+    let mut plan = TrialPlan::new();
+    for sc in &scenarios {
+        plan.push_collection(sc, n, &cfg);
+    }
+    let results = plan.run(&exec);
+
     let figure_no = |name: &str| match name {
         "porter" => 2,
         "flagstaff" => 3,
         "wean" => 4,
         _ => 5,
     };
-    for sc in scenarios {
-        let sc = maybe_trim(sc);
+    for sc in &scenarios {
         println!(
             "\n################ Figure {}: {} traces ################",
             figure_no(sc.name),
             sc.name
         );
-        let fig = scenario_figure(&sc, n, &cfg);
+        let fig = figure_from_collected(sc, n, &results.collected(sc.name));
         print!("{}", scenario_figure_text(&fig));
     }
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

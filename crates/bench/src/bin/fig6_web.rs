@@ -4,14 +4,20 @@
 //! for each mobile scenario, real (live wireless) vs modulated
 //! (collect → distill → replay on the isolated Ethernet), plus the
 //! Ethernet reference row.
+//!
+//! The whole matrix — every (scenario, live/modulated, trial) cell plus
+//! the Ethernet baselines — is one `TrialPlan` executed on a worker
+//! pool (`--jobs N`, default all cores; `--serial` for the
+//! single-threaded reference). The table is byte-identical either way.
 
-use bench::{maybe_trim, trials};
-use emu::report::{cell, comparison_row, table};
-use emu::{compare, ethernet_baseline, measure_compensation, Benchmark, RunConfig};
+use bench::{exec_from_args, maybe_trim, trials};
+use emu::report::{cell, comparison_row, plan_metrics_text, table};
+use emu::{comparison_from_plan, measure_compensation, Benchmark, RunConfig, TrialPlan};
 use wavelan::Scenario;
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
     // Compensation is measured (the paper's procedure) but NOT applied:
     // unlike the paper's NetBSD implementation, our modulation testbed
@@ -20,14 +26,20 @@ fn main() {
     let comp = measure_compensation(&cfg);
     println!("=== Figure 6: World Wide Web benchmark ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n");
 
+    let scenarios: Vec<Scenario> = Scenario::all().into_iter().map(maybe_trim).collect();
+    let mut plan = TrialPlan::new();
+    for sc in &scenarios {
+        plan.push_comparison(sc, Benchmark::Web, n, &cfg);
+    }
+    plan.push_ethernet(Benchmark::Web, n, &cfg);
+    let results = plan.run(&exec);
+
     let mut rows = Vec::new();
-    for sc in Scenario::all() {
-        let sc = maybe_trim(sc);
-        eprintln!("[fig6] running {} ...", sc.name);
-        let c = compare(&sc, Benchmark::Web, n, &cfg);
+    for sc in &scenarios {
+        let c = comparison_from_plan(&results, sc.name, Benchmark::Web);
         rows.push(comparison_row(&c));
     }
-    let eth = ethernet_baseline(Benchmark::Web, n, &cfg);
+    let eth = results.ethernet_baseline(Benchmark::Web);
     rows.push(vec!["ethernet".into(), cell(&eth), "—".into(), "—".into()]);
     print!(
         "{}",
@@ -36,5 +48,8 @@ fn main() {
             &rows
         )
     );
-    println!("\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)");
+    println!(
+        "\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)"
+    );
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

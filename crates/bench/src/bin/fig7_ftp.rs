@@ -3,14 +3,19 @@
 //! 10 MB disk-to-disk transfers, send and receive reported separately —
 //! the benchmark most sensitive to network performance and to the
 //! symmetry assumption (§5.3).
+//!
+//! Both directions of every scenario run as one `TrialPlan` on a worker
+//! pool (`--jobs N`, `--serial`); the table is byte-identical at any
+//! worker count.
 
-use bench::{maybe_trim, trials};
-use emu::report::{cell, table};
-use emu::{compare, ethernet_baseline, measure_compensation, Benchmark, RunConfig};
+use bench::{exec_from_args, maybe_trim, trials};
+use emu::report::{cell, plan_metrics_text, table};
+use emu::{comparison_from_plan, measure_compensation, Benchmark, RunConfig, TrialPlan};
 use wavelan::Scenario;
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
     // Compensation is measured (the paper's procedure) but NOT applied:
     // unlike the paper's NetBSD implementation, our modulation testbed
@@ -21,12 +26,24 @@ fn main() {
         "=== Figure 7: FTP benchmark, 10 MB ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n"
     );
 
+    const DIRS: [(&str, Benchmark); 2] =
+        [("send", Benchmark::FtpSend), ("recv", Benchmark::FtpRecv)];
+    let scenarios: Vec<Scenario> = Scenario::all().into_iter().map(maybe_trim).collect();
+    let mut plan = TrialPlan::new();
+    for sc in &scenarios {
+        for (_, bench) in DIRS {
+            plan.push_comparison(sc, bench, n, &cfg);
+        }
+    }
+    for (_, bench) in DIRS {
+        plan.push_ethernet(bench, n, &cfg);
+    }
+    let results = plan.run(&exec);
+
     let mut rows = Vec::new();
-    for sc in Scenario::all() {
-        let sc = maybe_trim(sc);
-        for (dir, bench) in [("send", Benchmark::FtpSend), ("recv", Benchmark::FtpRecv)] {
-            eprintln!("[fig7] running {} {dir} ...", sc.name);
-            let c = compare(&sc, bench, n, &cfg);
+    for sc in &scenarios {
+        for (dir, bench) in DIRS {
+            let c = comparison_from_plan(&results, sc.name, bench);
             rows.push(vec![
                 if dir == "send" {
                     sc.name.to_string()
@@ -44,8 +61,8 @@ fn main() {
             ]);
         }
     }
-    for (dir, bench) in [("send", Benchmark::FtpSend), ("recv", Benchmark::FtpRecv)] {
-        let eth = ethernet_baseline(bench, n, &cfg);
+    for (dir, bench) in DIRS {
+        let eth = results.ethernet_baseline(bench);
         rows.push(vec![
             if dir == "send" {
                 "ethernet".into()
@@ -65,5 +82,8 @@ fn main() {
             &rows
         )
     );
-    println!("\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)");
+    println!(
+        "\n(divergence: |Δmean| in units of σ_real + σ_mod; ✓ = within the paper's criterion)"
+    );
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

@@ -3,16 +3,20 @@
 //! Per-phase (MakeDir / Copy / ScanDir / ReadAll / Make) and total mean
 //! elapsed times over NFS, real vs modulated, for every scenario plus
 //! the Ethernet reference row.
+//!
+//! The full matrix runs as one `TrialPlan` on a worker pool (`--jobs
+//! N`, `--serial`); the table is byte-identical at any worker count.
 
-use bench::{maybe_trim, trials};
-use emu::report::{cell, table};
-use emu::{compare, ethernet_run, measure_compensation, Benchmark, RunConfig};
+use bench::{exec_from_args, maybe_trim, trials};
+use emu::report::{cell, plan_metrics_text, table};
+use emu::{comparison_from_plan, measure_compensation, Benchmark, RunConfig, TrialPlan};
 use netsim::stats::Summary;
 use wavelan::Scenario;
 use workloads::Phase;
 
 fn main() {
     let n = trials();
+    let exec = exec_from_args();
     let cfg = RunConfig::default();
     // Compensation is measured (the paper's procedure) but NOT applied:
     // unlike the paper's NetBSD implementation, our modulation testbed
@@ -23,15 +27,27 @@ fn main() {
         "=== Figure 8: Andrew benchmark on NFS ({n} trials/cell, compensation Vb = {comp:.0} ns/B) ===\n"
     );
 
+    let scenarios: Vec<Scenario> = Scenario::all().into_iter().map(maybe_trim).collect();
+    let mut plan = TrialPlan::new();
+    for sc in &scenarios {
+        plan.push_comparison(sc, Benchmark::Andrew, n, &cfg);
+    }
+    plan.push_ethernet(Benchmark::Andrew, n, &cfg);
+    let results = plan.run(&exec);
+
     let headers = [
-        "Scenario", "", "MakeDir (s)", "Copy (s)", "ScanDir (s)", "ReadAll (s)", "Make (s)",
+        "Scenario",
+        "",
+        "MakeDir (s)",
+        "Copy (s)",
+        "ScanDir (s)",
+        "ReadAll (s)",
+        "Make (s)",
         "Total (s)",
     ];
     let mut rows = Vec::new();
-    for sc in Scenario::all() {
-        let sc = maybe_trim(sc);
-        eprintln!("[fig8] running {} ...", sc.name);
-        let c = compare(&sc, Benchmark::Andrew, n, &cfg);
+    for sc in &scenarios {
+        let c = comparison_from_plan(&results, sc.name, Benchmark::Andrew);
         for (label, pick_real) in [("Real", true), ("Mod.", false)] {
             let mut row = vec![
                 if pick_real {
@@ -56,11 +72,10 @@ fn main() {
         }
     }
 
-    // Ethernet reference row.
+    // Ethernet reference row, phases accumulated in plan (trial) order.
     let mut phase_sums: Vec<Summary> = vec![Summary::new(); 5];
     let mut total = Summary::new();
-    for t in 1..=n {
-        let r = ethernet_run(t, Benchmark::Andrew, &cfg);
+    for r in results.ethernet_runs(Benchmark::Andrew) {
         for (i, p) in Phase::ALL.iter().enumerate() {
             if let Some(&(_, secs)) = r.phases.iter().find(|&&(ph, _)| ph == *p) {
                 phase_sums[i].add(secs);
@@ -76,4 +91,5 @@ fn main() {
     rows.push(row);
 
     print!("{}", table(&headers, &rows));
+    eprint!("{}", plan_metrics_text(&results.metrics));
 }

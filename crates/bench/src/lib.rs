@@ -28,3 +28,56 @@ pub fn maybe_trim(mut sc: wavelan::Scenario) -> wavelan::Scenario {
     }
     sc
 }
+
+/// Execution for the experiment binaries: parallel across the
+/// machine's cores by default (or `EMU_JOBS`), `--jobs N` to pick a
+/// pool size, `--serial` as the single-threaded escape hatch. Summary
+/// tables are byte-identical whichever is chosen; progress and metrics
+/// go to stderr.
+pub fn exec_from_args() -> emu::Exec {
+    let jobs = |n: usize| {
+        if n == 0 {
+            eprintln!("--jobs needs a worker count of at least 1 (use --serial for one worker)");
+            std::process::exit(2);
+        }
+        emu::Exec::with_workers(n).with_progress(true)
+    };
+    let mut exec = emu::Exec::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--serial" => exec = emu::Exec::serial(),
+            "--jobs" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a worker count");
+                    std::process::exit(2);
+                });
+                exec = jobs(n);
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    let n = v.parse().unwrap_or_else(|_| {
+                        eprintln!("--jobs needs a worker count, got '{v}'");
+                        std::process::exit(2);
+                    });
+                    exec = jobs(n);
+                }
+            }
+        }
+    }
+    exec
+}
+
+/// First non-flag command-line argument, for binaries that also take a
+/// positional argument (e.g. a scenario name).
+pub fn positional_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            args.next();
+        } else if !arg.starts_with("--") {
+            return Some(arg);
+        }
+    }
+    None
+}

@@ -212,11 +212,7 @@ fn to_replay(
 
 /// Distill per-direction replay traces from the two endpoint traces
 /// (mobile-side and target-side), exploiting synchronized clocks.
-pub fn distill_asymmetric(
-    mobile: &Trace,
-    target: &Trace,
-    cfg: &DistillConfig,
-) -> AsymmetricReport {
+pub fn distill_asymmetric(mobile: &Trace, target: &Trace, cfg: &DistillConfig) -> AsymmetricReport {
     let t0 = mobile
         .records
         .first()
@@ -359,7 +355,11 @@ mod tests {
         let down_lat = rep.down.mean_latency().as_millis_f64();
         assert!((up_lat - 3.0).abs() < 0.1, "up F {up_lat}");
         assert!((down_lat - 1.0).abs() < 0.1, "down F {down_lat}");
-        assert!((rep.up.mean_vb() - 5000.0).abs() < 50.0, "{}", rep.up.mean_vb());
+        assert!(
+            (rep.up.mean_vb() - 5000.0).abs() < 50.0,
+            "{}",
+            rep.up.mean_vb()
+        );
         // Downlink Vb = V_down − Vr_up = 3 − 1 = 2 µs/B.
         assert!(
             (rep.down.mean_vb() - 2000.0).abs() < 50.0,
@@ -386,7 +386,11 @@ mod tests {
             |_| false,
         );
         let rep = distill_asymmetric(&m, &t, &DistillConfig::default());
-        assert!((rep.up.mean_loss() - 1.0 / 3.0).abs() < 0.05, "{}", rep.up.mean_loss());
+        assert!(
+            (rep.up.mean_loss() - 1.0 / 3.0).abs() < 0.05,
+            "{}",
+            rep.up.mean_loss()
+        );
         assert!(rep.down.mean_loss() < 0.01, "{}", rep.down.mean_loss());
     }
 
@@ -404,7 +408,11 @@ mod tests {
         );
         let rep = distill_asymmetric(&m, &t, &DistillConfig::default());
         assert!(rep.up.mean_loss() < 0.01, "{}", rep.up.mean_loss());
-        assert!((rep.down.mean_loss() - 0.5).abs() < 0.07, "{}", rep.down.mean_loss());
+        assert!(
+            (rep.down.mean_loss() - 0.5).abs() < 0.07,
+            "{}",
+            rep.down.mean_loss()
+        );
     }
 
     #[test]

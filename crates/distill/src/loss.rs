@@ -54,7 +54,10 @@ fn windowed_with(
     step: f64,
     estimator: impl Fn(u64, u64) -> Option<f64>,
 ) -> Vec<f64> {
-    assert!(step > 0.0 && width > 0.0, "window parameters must be positive");
+    assert!(
+        step > 0.0 && width > 0.0,
+        "window parameters must be positive"
+    );
     let steps = (span / step).ceil() as usize;
     let mut out = Vec::with_capacity(steps);
     let mut last = 0.0;
@@ -142,8 +145,14 @@ mod tests {
     #[test]
     fn windowed_loss_holds_last_value_through_gaps() {
         let probes = vec![
-            ProbeOutcome { at: 0.5, replied: true },
-            ProbeOutcome { at: 1.5, replied: false },
+            ProbeOutcome {
+                at: 0.5,
+                replied: true,
+            },
+            ProbeOutcome {
+                at: 1.5,
+                replied: false,
+            },
         ];
         // After t≈6.5 the window is empty; estimate holds.
         let ls = windowed_loss(&probes, 10.0, 5.0, 1.0);

@@ -48,11 +48,7 @@ pub fn distill(trace: &Trace, cfg: &DistillConfig) -> ReplayTrace {
 
 /// Distill, returning the full report.
 pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport {
-    let t0 = trace
-        .records
-        .first()
-        .map(|r| r.timestamp_ns())
-        .unwrap_or(0);
+    let t0 = trace.records.first().map(|r| r.timestamp_ns()).unwrap_or(0);
 
     // Pass 1 (single pass over records): group probes into triplets.
     let mut groups: BTreeMap<u16, GroupSlot> = BTreeMap::new();
@@ -164,13 +160,7 @@ mod tests {
     /// Synthesize a trace of perfect ping triplets under constant
     /// conditions: F (one-way s), Vb/Vr (s per byte), per-direction loss
     /// handled by the caller omitting replies.
-    fn synth_trace(
-        secs: u64,
-        f: f64,
-        vb: f64,
-        vr: f64,
-        drop_reply: impl Fn(u16) -> bool,
-    ) -> Trace {
+    fn synth_trace(secs: u64, f: f64, vb: f64, vr: f64, drop_reply: impl Fn(u16) -> bool) -> Trace {
         let mut t = Trace::new("h", "synth", 1);
         let (s1, s2) = (106u32, 542u32);
         let v = vb + vr;

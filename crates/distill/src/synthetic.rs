@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn constant_is_single_tuple() {
-        let t = constant("c", NetworkParams::wavelan_like(), SimDuration::from_secs(60));
+        let t = constant(
+            "c",
+            NetworkParams::wavelan_like(),
+            SimDuration::from_secs(60),
+        );
         assert_eq!(t.tuples.len(), 1);
         assert!(t.is_valid());
         assert_eq!(t.total_duration(), SimDuration::from_secs(60));

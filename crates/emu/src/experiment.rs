@@ -5,7 +5,8 @@
 //! elapsed times [should be] less than the sum of their standard
 //! deviations".
 
-use crate::runs::{collect_and_distill, ethernet_run, live_run, modulated_run, RunConfig};
+use crate::plan::{Exec, PlanResults, TrialPlan};
+use crate::runs::RunConfig;
 use crate::workload::{Benchmark, RunResult};
 use netsim::stats::Summary;
 use wavelan::Scenario;
@@ -69,21 +70,25 @@ fn summarize_phases(runs: &[RunResult]) -> Vec<(Phase, Summary)> {
         .collect()
 }
 
-/// Run the full real-vs-modulated comparison: `trials` live runs and
-/// `trials` (collect → distill → modulate) runs.
-pub fn compare(
-    scenario: &Scenario,
+/// Assemble the [`Comparison`] for (scenario, benchmark) from an
+/// executed plan's outputs. Runs are consumed in plan order, so the
+/// summaries accumulate in exactly the order the serial loop would
+/// produce them.
+pub fn comparison_from_plan(
+    results: &PlanResults,
+    scenario: &str,
     benchmark: Benchmark,
-    trials: u32,
-    cfg: &RunConfig,
 ) -> Comparison {
-    let mut real_runs = Vec::new();
-    let mut modulated_runs = Vec::new();
-    for t in 1..=trials {
-        real_runs.push(live_run(scenario, t, benchmark, cfg));
-        let report = collect_and_distill(scenario, t, cfg);
-        modulated_runs.push(modulated_run(&report.replay, t, benchmark, cfg));
-    }
+    let real_runs: Vec<RunResult> = results
+        .live_runs(scenario, benchmark)
+        .into_iter()
+        .cloned()
+        .collect();
+    let modulated_runs: Vec<RunResult> = results
+        .modulated_runs(scenario, benchmark)
+        .into_iter()
+        .cloned()
+        .collect();
     let mut failed_runs = 0;
     let mut real = Summary::new();
     for r in &real_runs {
@@ -110,7 +115,7 @@ pub fn compare(
         Vec::new()
     };
     Comparison {
-        scenario: scenario.name.to_string(),
+        scenario: scenario.to_string(),
         benchmark,
         real,
         modulated,
@@ -121,13 +126,37 @@ pub fn compare(
     }
 }
 
+/// Run the full real-vs-modulated comparison — `trials` live runs and
+/// `trials` (collect → distill → modulate) runs — on the given
+/// execution (serial or a worker pool; the result is identical).
+pub fn compare_with(
+    scenario: &Scenario,
+    benchmark: Benchmark,
+    trials: u32,
+    cfg: &RunConfig,
+    exec: &Exec,
+) -> Comparison {
+    let mut plan = TrialPlan::new();
+    plan.push_comparison(scenario, benchmark, trials, cfg);
+    let results = plan.run(exec);
+    comparison_from_plan(&results, scenario.name, benchmark)
+}
+
+/// Serial [`compare_with`] — the paper's original loop.
+pub fn compare(
+    scenario: &Scenario,
+    benchmark: Benchmark,
+    trials: u32,
+    cfg: &RunConfig,
+) -> Comparison {
+    compare_with(scenario, benchmark, trials, cfg, &Exec::serial())
+}
+
 /// The Ethernet reference row of each table.
 pub fn ethernet_baseline(benchmark: Benchmark, trials: u32, cfg: &RunConfig) -> Summary {
-    let mut s = Summary::new();
-    for t in 1..=trials {
-        s.add(ethernet_run(t, benchmark, cfg).secs());
-    }
-    s
+    let mut plan = TrialPlan::new();
+    plan.push_ethernet(benchmark, trials, cfg);
+    plan.run(&Exec::serial()).ethernet_baseline(benchmark)
 }
 
 #[cfg(test)]

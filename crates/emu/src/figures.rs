@@ -3,10 +3,12 @@
 //! per-checkpoint ranges across trials (moving scenarios) or histograms
 //! (stationary Chatterbox).
 
-use crate::runs::{collect_trace, RunConfig};
-use distill::{distill_with_report, DistillConfig};
+use crate::plan::{Exec, TrialPlan};
+use crate::runs::RunConfig;
+use distill::DistillReport;
 use netsim::stats::{Histogram, Series, Summary};
 use netsim::SimTime;
+use tracekit::Trace;
 use wavelan::Scenario;
 
 /// Per-checkpoint ranges for one plotted quantity: one `Summary` per
@@ -54,9 +56,34 @@ fn merge_bucketed(all: &mut Vec<Summary>, series: &Series, buckets: usize) {
     }
 }
 
-/// Collect `trials` traces of `scenario`, distill each, and combine into
-/// the figure's per-checkpoint ranges (and histograms when stationary).
+/// Collect `trials` traces of `scenario` on the given execution,
+/// distill each, and combine into the figure's per-checkpoint ranges
+/// (and histograms when stationary). Traces merge in trial order, so
+/// the figure is identical however many workers collect them.
+pub fn scenario_figure_with(
+    scenario: &Scenario,
+    trials: u32,
+    cfg: &RunConfig,
+    exec: &Exec,
+) -> ScenarioFigure {
+    let mut plan = TrialPlan::new();
+    plan.push_collection(scenario, trials, cfg);
+    let results = plan.run(exec);
+    figure_from_collected(scenario, trials, &results.collected(scenario.name))
+}
+
+/// Serial [`scenario_figure_with`].
 pub fn scenario_figure(scenario: &Scenario, trials: u32, cfg: &RunConfig) -> ScenarioFigure {
+    scenario_figure_with(scenario, trials, cfg, &Exec::serial())
+}
+
+/// Combine already-collected (trace, distillation) pairs — one per
+/// trial, in trial order — into the figure.
+pub fn figure_from_collected(
+    scenario: &Scenario,
+    trials: u32,
+    collected: &[(&Trace, &DistillReport)],
+) -> ScenarioFigure {
     let labels = scenario.labels();
     let buckets = labels.len();
     let mut signal = Vec::new();
@@ -70,10 +97,7 @@ pub fn scenario_figure(scenario: &Scenario, trials: u32, cfg: &RunConfig) -> Sce
         Histogram::new(0.0, 30.0, 15),
     );
 
-    for trial in 1..=trials {
-        let trace = collect_trace(scenario, trial, cfg);
-        let report = distill_with_report(&trace, &DistillConfig::default());
-
+    for &(trace, report) in collected {
         // Signal series from device records.
         let mut sig = Series::new();
         for d in trace.device_samples() {

@@ -18,6 +18,12 @@
 //! deviations" criterion. [`figures::scenario_figure`] regenerates the
 //! scenario characterization figures.
 //!
+//! Every cell of that validation matrix is an independent simulation
+//! seeded from (scenario, trial, purpose), so [`plan::TrialPlan`] can
+//! execute the whole matrix on a pool of worker threads
+//! ([`plan::Exec`]) and reassemble outputs in plan order — the derived
+//! tables are byte-identical to the serial path at any worker count.
+//!
 //! ```no_run
 //! use emu::{collect_and_distill, modulated_run, RunConfig, Benchmark};
 //! use wavelan::Scenario;
@@ -32,13 +38,17 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod plan;
 pub mod report;
 pub mod runs;
 pub mod testbed;
 pub mod workload;
 
-pub use experiment::{compare, ethernet_baseline, Comparison};
-pub use figures::{scenario_figure, CheckpointSeries, ScenarioFigure};
+pub use experiment::{compare, compare_with, comparison_from_plan, ethernet_baseline, Comparison};
+pub use figures::{scenario_figure, scenario_figure_with, CheckpointSeries, ScenarioFigure};
+pub use plan::{
+    CellKind, CellOutput, CellReport, Exec, PlanMetrics, PlanResults, TrialCell, TrialPlan,
+};
 pub use runs::{
     collect_and_distill, collect_trace, collect_trace_two_sided, ethernet_run, live_run,
     measure_compensation, modulated_run, modulated_run_asymmetric, RunConfig,

@@ -4,6 +4,7 @@
 
 use crate::experiment::Comparison;
 use crate::figures::{CheckpointSeries, ScenarioFigure};
+use crate::plan::PlanMetrics;
 use netsim::stats::{Histogram, Summary};
 
 /// `"123.45 (6.78)"` — the paper's cell format.
@@ -27,7 +28,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
             if i > 0 {
                 out.push_str("  ");
             }
-            out.push_str(&format!("{:<width$}", c, width = widths[i.min(widths.len() - 1)]));
+            out.push_str(&format!(
+                "{:<width$}",
+                c,
+                width = widths[i.min(widths.len() - 1)]
+            ));
         }
         out.push('\n');
     };
@@ -97,7 +102,11 @@ pub fn range_plot(title: &str, series: &CheckpointSeries, unit: &str, width: usi
 pub fn histogram_plot(title: &str, h: &Histogram, unit: &str, width: usize) -> String {
     let mut out = format!("{title} [{unit}]\n");
     let norm = h.normalized();
-    let peak = norm.iter().map(|&(_, f)| f).fold(0.0f64, f64::max).max(1e-9);
+    let peak = norm
+        .iter()
+        .map(|&(_, f)| f)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     for (center, frac) in norm {
         if frac == 0.0 {
             continue;
@@ -110,6 +119,26 @@ pub fn histogram_plot(title: &str, h: &Histogram, unit: &str, width: usize) -> S
         ));
     }
     out
+}
+
+/// One-paragraph execution summary for a finished plan: cells, failed
+/// runs, wall clock, and the wall-vs-virtual and parallel speedups.
+pub fn plan_metrics_text(m: &PlanMetrics) -> String {
+    format!(
+        "[plan] {} cells on {} worker{}: {:.1}s wall ({:.1}s summed across cells, \
+         {:.2}x parallel speedup), {:.0}s virtual time ({:.1}x faster than real time), \
+         {} failed run{}\n",
+        m.cells,
+        m.workers,
+        if m.workers == 1 { "" } else { "s" },
+        m.wall_secs,
+        m.cell_wall_secs,
+        m.parallel_speedup(),
+        m.virtual_secs,
+        m.virtual_speedup(),
+        m.failed_runs,
+        if m.failed_runs == 1 { "" } else { "s" },
+    )
 }
 
 /// Render a whole scenario figure (Figures 2–5).
@@ -126,7 +155,12 @@ pub fn scenario_figure_text(fig: &ScenarioFigure) -> String {
             out.push_str(&histogram_plot("Loss rate", loss, "%", 40));
         }
         None => {
-            out.push_str(&range_plot("Signal level", &fig.signal, "WaveLAN units", 48));
+            out.push_str(&range_plot(
+                "Signal level",
+                &fig.signal,
+                "WaveLAN units",
+                48,
+            ));
             out.push_str(&range_plot("Latency", &fig.latency_ms, "ms", 48));
             out.push_str(&range_plot("Bandwidth", &fig.bandwidth_kbps, "kb/s", 48));
             out.push_str(&range_plot("Loss rate", &fig.loss_pct, "%", 48));
@@ -150,8 +184,16 @@ mod tests {
         let t = table(
             &["Scenario", "Real (s)", "Modulated (s)"],
             &[
-                vec!["Wean".into(), "161.47 (7.82)".into(), "160.04 (2.60)".into()],
-                vec!["Porter".into(), "159.83 (5.07)".into(), "150.65 (5.83)".into()],
+                vec![
+                    "Wean".into(),
+                    "161.47 (7.82)".into(),
+                    "160.04 (2.60)".into(),
+                ],
+                vec![
+                    "Porter".into(),
+                    "159.83 (5.07)".into(),
+                    "150.65 (5.83)".into(),
+                ],
             ],
         );
         let lines: Vec<&str> = t.lines().collect();

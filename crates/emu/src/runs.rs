@@ -59,9 +59,8 @@ pub fn collect_trace(scenario: &Scenario, trial: u32, cfg: &RunConfig) -> Trace 
         cfg.hw,
         channel,
         |laptop, _server| {
-            let collector = Collector::new(dev.clone()).with_signal_source(Box::new(move || {
-                meter.lock().quantized()
-            }));
+            let collector = Collector::new(dev.clone())
+                .with_signal_source(Box::new(move || meter.lock().quantized()));
             laptop.set_tracer(Box::new(collector));
             let mut ping_cfg = PingConfig::paper(SERVER_IP);
             ping_cfg.duration = SimDuration::from_secs(scenario_secs);
@@ -76,8 +75,7 @@ pub fn collect_trace(scenario: &Scenario, trial: u32, cfg: &RunConfig) -> Trace 
         },
     );
     tb.start();
-    tb.sim
-        .run_until(SimTime::from_secs(scenario_secs + 5));
+    tb.sim.run_until(SimTime::from_secs(scenario_secs + 5));
     let now_ns = tb.sim.now().as_nanos();
     let host: &mut netstack::Host = tb.sim.node_mut(tb.laptop);
     let mut trace = host.app_mut::<CollectionDaemon>(daemon).finish(now_ns);
@@ -112,9 +110,8 @@ pub fn collect_trace_two_sided(
         cfg.hw,
         channel,
         |laptop, server| {
-            let collector = Collector::new(dev_m.clone()).with_signal_source(Box::new(move || {
-                meter.lock().quantized()
-            }));
+            let collector = Collector::new(dev_m.clone())
+                .with_signal_source(Box::new(move || meter.lock().quantized()));
             laptop.set_tracer(Box::new(collector));
             server.set_tracer(Box::new(Collector::new(dev_t.clone())));
             let mut ping_cfg = PingConfig::paper(SERVER_IP);
@@ -202,27 +199,22 @@ pub fn modulated_run_asymmetric(
     benchmark: Benchmark,
     cfg: &RunConfig,
 ) -> RunResult {
-    let modulator =
-        Modulator::from_asymmetric(up.clone(), down.clone()).with_clock(cfg.clock);
-    let (mut tb, inst) = build_ethernet(
-        seed_for(&up.source, trial, 8),
-        cfg.hw,
-        |laptop, server| {
+    let modulator = Modulator::from_asymmetric(up.clone(), down.clone()).with_clock(cfg.clock);
+    let (mut tb, inst) =
+        build_ethernet(seed_for(&up.source, trial, 8), cfg.hw, |laptop, server| {
             laptop.set_shim(Box::new(modulator));
             install(benchmark, laptop, server)
-        },
-    );
+        });
     run_to_completion(&mut tb, &inst)
 }
 
 /// **Ethernet baseline**: the benchmark on the bare modulation testbed
 /// (the tables' final rows).
 pub fn ethernet_run(trial: u32, benchmark: Benchmark, cfg: &RunConfig) -> RunResult {
-    let (mut tb, inst) = build_ethernet(
-        seed_for("ethernet", trial, 6),
-        cfg.hw,
-        |laptop, server| install(benchmark, laptop, server),
-    );
+    let (mut tb, inst) =
+        build_ethernet(seed_for("ethernet", trial, 6), cfg.hw, |laptop, server| {
+            install(benchmark, laptop, server)
+        });
     run_to_completion(&mut tb, &inst)
 }
 

@@ -5,8 +5,8 @@ use crate::testbed::{Testbed, SERVER_IP};
 use netsim::{SimDuration, SimTime};
 use netstack::{AppId, Host};
 use workloads::{
-    AndrewBenchmark, AndrewConfig, FtpClient, FtpDirection, FtpServer, NfsServer, Phase,
-    WebClient, WebServer,
+    AndrewBenchmark, AndrewConfig, FtpClient, FtpDirection, FtpServer, NfsServer, Phase, WebClient,
+    WebServer,
 };
 
 /// Which benchmark to run (the three of §4.2, FTP split by direction).
@@ -175,9 +175,8 @@ mod tests {
     #[test]
     fn web_benchmark_on_ethernet_near_paper_baseline() {
         // Paper Figure 6, Ethernet row: 140.3 s (σ 3.07).
-        let (mut tb, inst) = build_ethernet(3, Hardware::default(), |l, s| {
-            install(Benchmark::Web, l, s)
-        });
+        let (mut tb, inst) =
+            build_ethernet(3, Hardware::default(), |l, s| install(Benchmark::Web, l, s));
         let r = run_to_completion(&mut tb, &inst);
         let secs = r.secs();
         assert!((120.0..160.0).contains(&secs), "{secs}");

@@ -1,0 +1,124 @@
+//! The planner's core guarantee: the parallel execution of a validation
+//! matrix produces output **bit-identical** to the serial path at any
+//! worker count — same means, same standard deviations, same per-phase
+//! summaries, same failed-run counts, same raw per-trial results.
+
+use emu::{compare, compare_with, Benchmark, Comparison, Exec, RunConfig};
+use netsim::stats::Summary;
+use netsim::SimDuration;
+use wavelan::Scenario;
+
+fn exact_eq(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.count(), b.count(), "{what}: count");
+    assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{what}: mean");
+    assert_eq!(a.stddev().to_bits(), b.stddev().to_bits(), "{what}: stddev");
+    if a.count() > 0 {
+        assert_eq!(a.min().to_bits(), b.min().to_bits(), "{what}: min");
+        assert_eq!(a.max().to_bits(), b.max().to_bits(), "{what}: max");
+    }
+}
+
+fn assert_identical(serial: &Comparison, parallel: &Comparison, workers: usize) {
+    let tag = format!("{} workers", workers);
+    assert_eq!(serial.scenario, parallel.scenario, "{tag}: scenario");
+    assert_eq!(serial.benchmark, parallel.benchmark, "{tag}: benchmark");
+    assert_eq!(serial.failed_runs, parallel.failed_runs, "{tag}: failed");
+    exact_eq(&serial.real, &parallel.real, &format!("{tag}: real"));
+    exact_eq(
+        &serial.modulated,
+        &parallel.modulated,
+        &format!("{tag}: modulated"),
+    );
+    assert_eq!(
+        serial.phases.len(),
+        parallel.phases.len(),
+        "{tag}: phase count"
+    );
+    for ((ps, rs, ms), (pp, rp, mp)) in serial.phases.iter().zip(&parallel.phases) {
+        assert_eq!(ps, pp, "{tag}: phase order");
+        exact_eq(rs, rp, &format!("{tag}: phase {ps:?} real"));
+        exact_eq(ms, mp, &format!("{tag}: phase {ps:?} modulated"));
+    }
+    // Raw per-trial results must match run for run, in trial order.
+    for (which, s_runs, p_runs) in [
+        ("real", &serial.real_runs, &parallel.real_runs),
+        (
+            "modulated",
+            &serial.modulated_runs,
+            &parallel.modulated_runs,
+        ),
+    ] {
+        assert_eq!(s_runs.len(), p_runs.len(), "{tag}: {which} run count");
+        for (i, (s, p)) in s_runs
+            .iter()
+            .zip(p_runs)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(
+                s.elapsed.map(f64::to_bits),
+                p.elapsed.map(f64::to_bits),
+                "{tag}: {which} run {i} elapsed"
+            );
+            assert_eq!(
+                s.phases.len(),
+                p.phases.len(),
+                "{tag}: {which} run {i} phases"
+            );
+            for ((sp, ss), (pp, ps)) in s.phases.iter().zip(&p.phases) {
+                assert_eq!(sp, pp, "{tag}: {which} run {i} phase order");
+                assert_eq!(
+                    ss.to_bits(),
+                    ps.to_bits(),
+                    "{tag}: {which} run {i} phase secs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_comparison_identical_to_serial_at_any_worker_count() {
+    // Short stationary scenario so three full comparisons stay fast;
+    // two trials exercises multi-cell reassembly.
+    let mut sc = Scenario::chatterbox();
+    sc.duration = SimDuration::from_secs(30);
+    let cfg = RunConfig::default();
+    let trials = 2;
+
+    let serial = compare(&sc, Benchmark::Web, trials, &cfg);
+    assert!(serial.real.count() > 0, "serial baseline must produce runs");
+
+    for workers in [1, 2, 8] {
+        let parallel = compare_with(
+            &sc,
+            Benchmark::Web,
+            trials,
+            &cfg,
+            &Exec::with_workers(workers),
+        );
+        assert_identical(&serial, &parallel, workers);
+    }
+}
+
+#[test]
+fn parallel_andrew_phases_identical() {
+    // Andrew exercises the per-phase summary path.
+    let mut sc = Scenario::chatterbox();
+    sc.duration = SimDuration::from_secs(30);
+    let cfg = RunConfig::default();
+
+    let serial = compare(&sc, Benchmark::Andrew, 1, &cfg);
+    assert!(!serial.phases.is_empty(), "Andrew must report phases");
+    for workers in [2, 8] {
+        let parallel = compare_with(
+            &sc,
+            Benchmark::Andrew,
+            1,
+            &cfg,
+            &Exec::with_workers(workers),
+        );
+        assert_identical(&serial, &parallel, workers);
+    }
+}

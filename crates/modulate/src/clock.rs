@@ -124,10 +124,7 @@ mod tests {
     #[test]
     fn ideal_clock_is_exact() {
         let c = TickClock::ideal();
-        assert_eq!(
-            c.quantize(SimTime::ZERO, t(49)),
-            Quantized::At(t(49))
-        );
+        assert_eq!(c.quantize(SimTime::ZERO, t(49)), Quantized::At(t(49)));
         assert_eq!(c.quantize(t(50), t(50)), Quantized::Immediate);
     }
 

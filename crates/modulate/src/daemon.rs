@@ -157,7 +157,7 @@ mod tests {
         let mut d = ModulationDaemon::new(buf.clone(), replay);
         d.refill();
         assert_eq!(buf.len(), 4); // 3 + looped first
-        // Drain two, refill: loops through the file again.
+                                  // Drain two, refill: loops through the file again.
         buf.pop();
         buf.pop();
         d.refill();

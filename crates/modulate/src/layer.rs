@@ -386,15 +386,21 @@ mod tests {
         SimRng::seed_from_u64(42)
     }
 
-    fn offer(m: &mut Modulator, dir: Direction, n: usize, now: SimTime, r: &mut SimRng) -> ShimVerdict {
+    fn offer(
+        m: &mut Modulator,
+        dir: Direction,
+        n: usize,
+        now: SimTime,
+        r: &mut SimRng,
+    ) -> ShimVerdict {
         m.offer(dir, vec![0u8; n], now, r)
     }
 
     #[test]
     fn delay_formula_f_plus_s_v() {
         // F = 50 ms, Vb = 4000 ns/B, Vr = 1000 ns/B, ideal clock.
-        let mut m = Modulator::from_replay(trace(50, 4000.0, 1000.0, 0.0))
-            .with_clock(TickClock::ideal());
+        let mut m =
+            Modulator::from_replay(trace(50, 4000.0, 1000.0, 0.0)).with_clock(TickClock::ideal());
         let mut r = rng();
         m.begin(SimTime::ZERO);
         let v = offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
@@ -408,8 +414,8 @@ mod tests {
 
     #[test]
     fn unified_bottleneck_couples_directions() {
-        let mut m = Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0))
-            .with_clock(TickClock::ideal());
+        let mut m =
+            Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0)).with_clock(TickClock::ideal());
         let mut r = rng();
         m.begin(SimTime::ZERO);
         // Outbound then inbound at t=0, 1000 B each: bottleneck services
@@ -435,7 +441,13 @@ mod tests {
         // Inbound service = (4000−800) ns/B × 1000 B = 3.2 ms.
         assert_eq!(m.next_wakeup(), Some(SimTime::from_nanos(3_200_000)));
         m.collect_due(SimTime::from_secs(1), &mut r);
-        offer(&mut m, Direction::Outbound, 1000, SimTime::from_secs(2), &mut r);
+        offer(
+            &mut m,
+            Direction::Outbound,
+            1000,
+            SimTime::from_secs(2),
+            &mut r,
+        );
         // Outbound unchanged: 4 ms after its start.
         assert_eq!(
             m.next_wakeup(),
@@ -457,16 +469,16 @@ mod tests {
 
     #[test]
     fn loss_applied_after_bottleneck() {
-        let mut m = Modulator::from_replay(trace(0, 4000.0, 0.0, 1.0))
-            .with_clock(TickClock::ideal());
+        let mut m =
+            Modulator::from_replay(trace(0, 4000.0, 0.0, 1.0)).with_clock(TickClock::ideal());
         let mut r = rng();
         m.begin(SimTime::ZERO);
         let v = offer(&mut m, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
         assert!(matches!(v, ShimVerdict::Drop));
         // The dropped packet still consumed bottleneck time: the next
         // packet queues behind it.
-        let mut m2 = Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0))
-            .with_clock(TickClock::ideal());
+        let mut m2 =
+            Modulator::from_replay(trace(0, 4000.0, 0.0, 0.0)).with_clock(TickClock::ideal());
         m2.begin(SimTime::ZERO);
         m2.bottleneck_free = m.bottleneck_free;
         offer(&mut m2, Direction::Outbound, 1000, SimTime::ZERO, &mut r);
@@ -486,7 +498,13 @@ mod tests {
         // Delay = 8 ms → due at 1.008 s rounds to the 1.010 s tick.
         let mut m8 = Modulator::from_replay(trace(8, 0.0, 0.0, 0.0));
         m8.begin(SimTime::ZERO);
-        let v = offer(&mut m8, Direction::Outbound, 100, SimTime::from_secs(1), &mut r);
+        let v = offer(
+            &mut m8,
+            Direction::Outbound,
+            100,
+            SimTime::from_secs(1),
+            &mut r,
+        );
         assert!(matches!(v, ShimVerdict::Hold));
         assert_eq!(
             m8.next_wakeup(),
@@ -527,10 +545,7 @@ mod tests {
             SimTime::from_millis(1500),
             &mut r,
         );
-        assert_eq!(
-            m.next_wakeup(),
-            Some(SimTime::from_millis(1540))
-        );
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(1540)));
         // Starved buffer: last tuple stretches.
         m.collect_due(SimTime::from_secs(10), &mut r);
         offer(
@@ -558,8 +573,8 @@ mod tests {
 
     #[test]
     fn fifo_release_order() {
-        let mut m = Modulator::from_replay(trace(20, 1000.0, 0.0, 0.0))
-            .with_clock(TickClock::ideal());
+        let mut m =
+            Modulator::from_replay(trace(20, 1000.0, 0.0, 0.0)).with_clock(TickClock::ideal());
         let mut r = rng();
         m.begin(SimTime::ZERO);
         for i in 0..5 {
@@ -589,7 +604,13 @@ mod tests {
         assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(16)));
         m.collect_due(SimTime::from_secs(1), &mut r);
         // Inbound at t=2s: 2 ms bottleneck + 2 ms latency = 4 ms.
-        offer(&mut m, Direction::Inbound, 1000, SimTime::from_secs(2), &mut r);
+        offer(
+            &mut m,
+            Direction::Inbound,
+            1000,
+            SimTime::from_secs(2),
+            &mut r,
+        );
         assert_eq!(
             m.next_wakeup(),
             Some(SimTime::from_secs(2) + SimDuration::from_millis(4))

@@ -23,7 +23,7 @@ pub(crate) struct PortBinding {
 /// Nodes receive [`EventKind`]s and react by sending frames, setting
 /// timers, and posting control messages through the [`Context`]. All state
 /// lives inside the node; the engine owns scheduling and links.
-pub trait Node: Any {
+pub trait Node: Any + Send {
     /// Handle one event. Called with monotonically non-decreasing
     /// `ctx.now()` values.
     fn on_event(&mut self, event: EventKind, ctx: &mut Context<'_>);

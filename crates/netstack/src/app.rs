@@ -94,7 +94,7 @@ pub enum AppEvent {
 /// The `Api` type parameter is concretely `HostApi` — expressed as a
 /// generic-free trait object boundary via the host module to keep the
 /// borrow structure simple.
-pub trait App: Any {
+pub trait App: Any + Send {
     /// Handle one event.
     fn on_event(&mut self, event: AppEvent, api: &mut crate::host::HostApi<'_, '_>);
 

@@ -118,10 +118,7 @@ mod tests {
             .with_cpu(SimDuration::from_millis(1))
             .with_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::local(2));
         assert_eq!(cfg.cpu_per_frame, SimDuration::from_millis(1));
-        assert_eq!(
-            cfg.arp[&Ipv4Addr::new(10, 0, 0, 2)],
-            MacAddr::local(2)
-        );
+        assert_eq!(cfg.arp[&Ipv4Addr::new(10, 0, 0, 2)], MacAddr::local(2));
         assert_eq!(cfg.tcp.mss, 1460);
     }
 

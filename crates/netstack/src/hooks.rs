@@ -22,7 +22,7 @@ pub enum Direction {
 
 /// Observer invoked for every frame crossing the device boundary, plus a
 /// periodic poll for device status sampling (signal level etc.).
-pub trait DeviceTap: Any {
+pub trait DeviceTap: Any + Send {
     /// A frame passed the device input/output routine.
     fn on_frame(&mut self, dir: Direction, bytes: &[u8], now: SimTime);
 
@@ -55,11 +55,16 @@ pub struct ShimRelease {
 /// A packet-processing layer between IP and the device. The host offers it
 /// every frame in both directions; held frames are re-injected when the
 /// host's shim timer fires.
-pub trait LinkShim: Any {
+pub trait LinkShim: Any + Send {
     /// Offer a frame traveling in `dir`. `Hold` transfers ownership into
     /// the shim's internal queue.
-    fn offer(&mut self, dir: Direction, bytes: Vec<u8>, now: SimTime, rng: &mut SimRng)
-        -> ShimVerdict;
+    fn offer(
+        &mut self,
+        dir: Direction,
+        bytes: Vec<u8>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> ShimVerdict;
 
     /// Earliest instant at which a held frame (or internal bookkeeping)
     /// needs service, if any. The host keeps a timer armed for this.

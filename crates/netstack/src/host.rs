@@ -8,9 +8,7 @@ use crate::config::HostConfig;
 use crate::hooks::{DeviceTap, Direction, LinkShim, ShimVerdict};
 use crate::tcp::{ConnEvent, EngineOut, TcpEngine, TcpHandle, TcpState};
 use netsim::{Context, EventKind, Frame, Node, PortId, SimDuration, SimRng, SimTime};
-use packet::{
-    EtherHeader, EtherType, IcmpMessage, IpProtocol, Ipv4Header, MacAddr, UdpHeader,
-};
+use packet::{EtherHeader, EtherType, IcmpMessage, IpProtocol, Ipv4Header, MacAddr, UdpHeader};
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
@@ -109,7 +107,13 @@ impl HostCore {
 
     // ---------------- outbound path ----------------
 
-    fn ip_output(&mut self, proto: IpProtocol, dst: Ipv4Addr, payload: &[u8], ctx: &mut Context<'_>) {
+    fn ip_output(
+        &mut self,
+        proto: IpProtocol,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        ctx: &mut Context<'_>,
+    ) {
         let ident = self.ip_ident;
         self.ip_ident = self.ip_ident.wrapping_add(1);
         let dst_mac = self
@@ -694,7 +698,8 @@ impl HostApi<'_, '_> {
             dst_port: dst.1,
         }
         .emit(payload, self.core.cfg.ip, dst.0);
-        self.core.ip_output(IpProtocol::Udp, dst.0, &bytes, self.ctx);
+        self.core
+            .ip_output(IpProtocol::Udp, dst.0, &bytes, self.ctx);
     }
 
     // ---- TCP ----
@@ -792,12 +797,11 @@ mod tests {
                     api.icmp_listen();
                     api.set_timer(SimDuration::ZERO, 0);
                 }
-                AppEvent::Timer { .. }
-                    if self.sent < self.count => {
-                        api.send_ping(self.dst, 77, self.sent, 64);
-                        self.sent += 1;
-                        api.set_timer(SimDuration::from_secs(1), 0);
-                    }
+                AppEvent::Timer { .. } if self.sent < self.count => {
+                    api.send_ping(self.dst, 77, self.sent, 64);
+                    self.sent += 1;
+                    api.set_timer(SimDuration::from_secs(1), 0);
+                }
                 AppEvent::IcmpEchoReply { seq, payload, .. } => {
                     let mut ts = [0u8; 8];
                     ts.copy_from_slice(&payload[..8]);

@@ -38,11 +38,5 @@ use netsim::{EventKind, NodeId, SimTime, Simulator};
 /// Schedule the start event for a host so its applications receive
 /// [`AppEvent::Start`] at `at`.
 pub fn start_host(sim: &mut Simulator, host: NodeId, at: SimTime) {
-    sim.schedule_event(
-        at,
-        host,
-        EventKind::Timer {
-            token: START_TOKEN,
-        },
-    );
+    sim.schedule_event(at, host, EventKind::Timer { token: START_TOKEN });
 }

@@ -312,9 +312,7 @@ impl TcpConn {
                 self.clear_timers();
                 out.ev(ConnEvent::Closed);
             }
-            TcpState::SynRcvd
-            | TcpState::Established
-            | TcpState::CloseWait => {
+            TcpState::SynRcvd | TcpState::Established | TcpState::CloseWait => {
                 self.fin_queued = true;
                 self.try_output(now, out);
             }
@@ -626,10 +624,7 @@ impl TcpConn {
                 break;
             }
             // Nagle-lite: send sub-MSS only if nothing is in flight.
-            if n < self.mss
-                && self.flight() > 0
-                && self.send_q.len() < self.mss
-                && !self.fin_queued
+            if n < self.mss && self.flight() > 0 && self.send_q.len() < self.mss && !self.fin_queued
             {
                 break;
             }

@@ -56,10 +56,14 @@ impl TcpEngine {
     }
 
     fn alloc_slot(&mut self, conn: TcpConn, tuple: (u16, Ipv4Addr, u16)) -> TcpHandle {
-        let idx = self.conns.iter().position(Option::is_none).unwrap_or_else(|| {
-            self.conns.push(None);
-            self.conns.len() - 1
-        });
+        let idx = self
+            .conns
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
         self.conns[idx] = Some(conn);
         self.by_tuple.insert(tuple, idx);
         TcpHandle(idx as u32)
@@ -74,8 +78,7 @@ impl TcpEngine {
             } else {
                 self.next_ephemeral + 1
             };
-            if !self.listeners.contains_key(&p)
-                && !self.by_tuple.keys().any(|&(lp, _, _)| lp == p)
+            if !self.listeners.contains_key(&p) && !self.by_tuple.keys().any(|&(lp, _, _)| lp == p)
             {
                 return p;
             }
@@ -119,7 +122,8 @@ impl TcpEngine {
         };
         for (h, p) in cout.segs {
             debug_assert_eq!(h.src_port, local_port);
-            out.segments.push((remote.0, h.emit(&p, self.local_ip, remote.0)));
+            out.segments
+                .push((remote.0, h.emit(&p, self.local_ip, remote.0)));
         }
         for e in cout.events {
             out.events.push((handle, e));
@@ -239,7 +243,9 @@ impl TcpEngine {
                 src_port: h.dst_port,
                 dst_port: h.src_port,
                 seq: if h.flags.ack { h.ack } else { 0 },
-                ack: h.seq.wrapping_add(payload.len() as u32 + h.flags.syn as u32),
+                ack: h
+                    .seq
+                    .wrapping_add(payload.len() as u32 + h.flags.syn as u32),
                 flags: TcpFlags {
                     rst: true,
                     ack: true,
@@ -248,7 +254,8 @@ impl TcpEngine {
                 window: 0,
                 mss: None,
             };
-            out.segments.push((src_ip, rst.emit(&[], self.local_ip, src_ip)));
+            out.segments
+                .push((src_ip, rst.emit(&[], self.local_ip, src_ip)));
         }
     }
 
@@ -363,7 +370,15 @@ mod tests {
 
         let mut events = Vec::new();
         let mut accepted = Vec::new();
-        pump(&mut client, &mut server, t(1), &mut events, &mut accepted, out, true);
+        pump(
+            &mut client,
+            &mut server,
+            t(1),
+            &mut events,
+            &mut accepted,
+            out,
+            true,
+        );
 
         assert_eq!(accepted.len(), 1);
         let sh = accepted[0];
@@ -375,7 +390,15 @@ mod tests {
         let n = client.send(ch, b"GET / HTTP/1.0\r\n\r\n", t(2), &mut out);
         assert_eq!(n, 18);
         let mut events = Vec::new();
-        pump(&mut client, &mut server, t(3), &mut events, &mut accepted, out, true);
+        pump(
+            &mut client,
+            &mut server,
+            t(3),
+            &mut events,
+            &mut accepted,
+            out,
+            true,
+        );
         let got: Vec<u8> = events
             .iter()
             .filter_map(|(_, h, e)| match e {
@@ -398,7 +421,15 @@ mod tests {
 
         let mut events = Vec::new();
         let mut accepted = Vec::new();
-        pump(&mut client, &mut server, t(1), &mut events, &mut accepted, out, true);
+        pump(
+            &mut client,
+            &mut server,
+            t(1),
+            &mut events,
+            &mut accepted,
+            out,
+            true,
+        );
         assert!(events.contains(&(true, ch, ConnEvent::Reset("connection refused"))));
         assert_eq!(client.live_connections(), 0);
     }
@@ -413,18 +444,42 @@ mod tests {
         let ch = client.connect((SERVER_IP, 80), t(0), &mut rng, &mut out);
         let mut events = Vec::new();
         let mut accepted = Vec::new();
-        pump(&mut client, &mut server, t(1), &mut events, &mut accepted, out, true);
+        pump(
+            &mut client,
+            &mut server,
+            t(1),
+            &mut events,
+            &mut accepted,
+            out,
+            true,
+        );
         let sh = accepted[0];
 
         // Close both directions.
         let mut out = EngineOut::default();
         client.close(ch, t(2), &mut out);
         let mut events = Vec::new();
-        pump(&mut client, &mut server, t(3), &mut events, &mut accepted, out, true);
+        pump(
+            &mut client,
+            &mut server,
+            t(3),
+            &mut events,
+            &mut accepted,
+            out,
+            true,
+        );
         let mut out = EngineOut::default();
         server.close(sh, t(4), &mut out);
         let mut events2 = Vec::new();
-        pump(&mut client, &mut server, t(5), &mut events2, &mut accepted, out, false);
+        pump(
+            &mut client,
+            &mut server,
+            t(5),
+            &mut events2,
+            &mut accepted,
+            out,
+            false,
+        );
 
         assert_eq!(server.live_connections(), 0);
         // Client is in TIME-WAIT; fire its timer.
@@ -467,7 +522,13 @@ mod tests {
         server.listen(80);
         let mut rng = SimRng::seed_from_u64(5);
         let mut out = EngineOut::default();
-        server.on_segment(CLIENT_IP, &[0xde, 0xad, 0xbe, 0xef], t(0), &mut rng, &mut out);
+        server.on_segment(
+            CLIENT_IP,
+            &[0xde, 0xad, 0xbe, 0xef],
+            t(0),
+            &mut rng,
+            &mut out,
+        );
         assert!(out.segments.is_empty());
         assert!(out.accepted.is_empty());
     }

@@ -82,16 +82,14 @@ impl Node for Meddler {
 }
 
 fn run(size: usize, mode: MeddleMode) -> (Vec<Vec<u8>>, u64) {
-    let mut a = Host::new(
-        HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)),
-    );
+    let mut a =
+        Host::new(HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)));
     a.add_app(Box::new(BigSender {
         dst: (IP_B, 9000),
         size,
     }));
-    let mut b = Host::new(
-        HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)),
-    );
+    let mut b =
+        Host::new(HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)));
     let rx = b.add_app(Box::new(BigReceiver {
         port: 9000,
         got: Vec::new(),

@@ -45,9 +45,8 @@ impl App for OnePing {
 }
 
 fn pair(with_shim: bool) -> (Simulator, netsim::NodeId, netsim::NodeId, netstack::AppId) {
-    let mut a = Host::new(
-        HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)),
-    );
+    let mut a =
+        Host::new(HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)));
     if with_shim {
         a.set_shim(Box::new(BlackHole));
     }
@@ -55,9 +54,8 @@ fn pair(with_shim: bool) -> (Simulator, netsim::NodeId, netsim::NodeId, netstack
         dst: IP_B,
         replies: 0,
     }));
-    let b = Host::new(
-        HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)),
-    );
+    let b =
+        Host::new(HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)));
     let mut sim = Simulator::new(1);
     let na = sim.add_node(Box::new(a));
     let nb = sim.add_node(Box::new(b));
@@ -90,12 +88,10 @@ fn icmp_echo_is_answered_automatically() {
 
 /// Two hosts with no applications at all (no background ping traffic).
 fn quiet_pair() -> (Simulator, netsim::NodeId, netsim::NodeId) {
-    let a = Host::new(
-        HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)),
-    );
-    let b = Host::new(
-        HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)),
-    );
+    let a =
+        Host::new(HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)));
+    let b =
+        Host::new(HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)));
     let mut sim = Simulator::new(1);
     let na = sim.add_node(Box::new(a));
     let nb = sim.add_node(Box::new(b));
@@ -118,8 +114,8 @@ fn craft_udp(src: Ipv4Addr, dst: Ipv4Addr, dst_mac: MacAddr, dst_port: u16) -> V
         ttl: 64,
         ident: 7,
         total_len: 0,
-            more_fragments: false,
-            frag_offset: 0,
+        more_fragments: false,
+        frag_offset: 0,
     }
     .emit(&udp);
     EtherHeader {
@@ -211,8 +207,8 @@ fn broadcast_mac_frames_are_accepted() {
         ttl: 64,
         ident: 3,
         total_len: 0,
-            more_fragments: false,
-            frag_offset: 0,
+        more_fragments: false,
+        frag_offset: 0,
     }
     .emit(&icmp);
     let frame = EtherHeader {

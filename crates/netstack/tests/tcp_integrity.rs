@@ -110,9 +110,8 @@ impl App for PatternSink {
 }
 
 fn run_transfer(total: usize, pattern: Vec<u8>) -> (usize, bool, bool) {
-    let mut host_a = Host::new(
-        HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)),
-    );
+    let mut host_a =
+        Host::new(HostConfig::new("a", IP_A, MacAddr::local(1)).with_arp(IP_B, MacAddr::local(2)));
     let sender = host_a.add_app(Box::new(PatternSender {
         dst: (IP_B, 7777),
         total,
@@ -120,9 +119,8 @@ fn run_transfer(total: usize, pattern: Vec<u8>) -> (usize, bool, bool) {
         conn: None,
     }));
     let _ = sender;
-    let mut host_b = Host::new(
-        HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)),
-    );
+    let mut host_b =
+        Host::new(HostConfig::new("b", IP_B, MacAddr::local(2)).with_arp(IP_A, MacAddr::local(1)));
     let sink = host_b.add_app(Box::new(PatternSink {
         port: 7777,
         received: 0,

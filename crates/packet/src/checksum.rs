@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn verify_round_trip() {
-        let mut pkt = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut pkt = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         pkt.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
         let c = checksum(&pkt);
         pkt[10..12].copy_from_slice(&c.to_be_bytes());
@@ -96,9 +98,19 @@ mod tests {
     #[test]
     fn pseudo_header_contributes() {
         let mut a = Checksum::new();
-        a.add_pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 17, 8);
+        a.add_pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            8,
+        );
         let mut b = Checksum::new();
-        b.add_pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 3), 17, 8);
+        b.add_pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 3),
+            17,
+            8,
+        );
         assert_ne!(a.finish(), b.finish());
     }
 

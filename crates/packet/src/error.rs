@@ -43,7 +43,10 @@ impl fmt::Display for ParseError {
             ParseError::BadVersion(v) => write!(f, "bad IP version {v}"),
             ParseError::BadHeaderLen(l) => write!(f, "bad header length {l}"),
             ParseError::BadChecksum { expected, computed } => {
-                write!(f, "bad checksum: packet {expected:#06x}, computed {computed:#06x}")
+                write!(
+                    f,
+                    "bad checksum: packet {expected:#06x}, computed {computed:#06x}"
+                )
             }
             ParseError::BadLength {
                 declared,

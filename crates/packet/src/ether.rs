@@ -136,7 +136,10 @@ mod tests {
     fn truncated_rejected() {
         assert_eq!(
             EtherHeader::parse(&[0u8; 13]),
-            Err(ParseError::Truncated { needed: 14, got: 13 })
+            Err(ParseError::Truncated {
+                needed: 14,
+                got: 13
+            })
         );
     }
 

@@ -114,11 +114,7 @@ impl TcpHeader {
 
     /// Parse a segment, verifying the checksum against the pseudo-header.
     /// Returns the header and payload.
-    pub fn parse(
-        data: &[u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(TcpHeader, &[u8])> {
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(TcpHeader, &[u8])> {
         if data.len() < TCP_HEADER_LEN {
             return Err(ParseError::Truncated {
                 needed: TCP_HEADER_LEN,
@@ -144,8 +140,8 @@ impl TcpHeader {
         let mut i = TCP_HEADER_LEN;
         while i < data_offset {
             match data[i] {
-                0 => break,       // end of options
-                1 => i += 1,      // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 2 if i + 4 <= data_offset => {
                     mss = Some(u16::from_be_bytes([data[i + 2], data[i + 3]]));
                     i += 4;
@@ -304,8 +300,8 @@ mod tests {
         // Corrupt the option kind to an unknown one with valid length:
         wire[20] = 99; // kind
         wire[21] = 4; // len
-        // Fix the checksum by re-emitting through parse failure path:
-        // zero the checksum, recompute.
+                      // Fix the checksum by re-emitting through parse failure path:
+                      // zero the checksum, recompute.
         wire[16] = 0;
         wire[17] = 0;
         let mut c = Checksum::new();

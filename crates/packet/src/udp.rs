@@ -19,11 +19,7 @@ pub struct UdpHeader {
 impl UdpHeader {
     /// Parse a UDP datagram, verifying length and (if nonzero) checksum
     /// against the given pseudo-header addresses. Returns header + payload.
-    pub fn parse(
-        data: &[u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(UdpHeader, &[u8])> {
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(UdpHeader, &[u8])> {
         if data.len() < UDP_HEADER_LEN {
             return Err(ParseError::Truncated {
                 needed: UDP_HEADER_LEN,

@@ -11,15 +11,20 @@ fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
 }
 
 fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(fin, syn, rst, psh, ack)| TcpFlags {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(fin, syn, rst, psh, ack)| TcpFlags {
             fin,
             syn,
             rst,
             psh,
             ack,
-        },
-    )
+        })
 }
 
 proptest! {

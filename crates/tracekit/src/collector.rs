@@ -269,8 +269,7 @@ mod tests {
     fn poll_emits_device_records() {
         let dev = PseudoDevice::new(16);
         dev.open();
-        let mut c =
-            Collector::new(dev.clone()).with_signal_source(Box::new(|| (17, 9, 2)));
+        let mut c = Collector::new(dev.clone()).with_signal_source(Box::new(|| (17, 9, 2)));
         c.on_poll(SimTime::from_nanos(500));
         let recs = dev.read(10, 501);
         assert_eq!(recs.len(), 1);

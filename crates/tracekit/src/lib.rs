@@ -31,6 +31,6 @@ pub use collector::{Collector, SignalSource};
 pub use daemon::CollectionDaemon;
 pub use format::FormatError;
 pub use pseudodev::PseudoDevice;
-pub use record::{Dir, DeviceRecord, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord};
+pub use record::{DeviceRecord, Dir, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord};
 pub use replay::{QualityTuple, ReplayTrace};
 pub use ringbuf::RingBuffer;

@@ -303,7 +303,10 @@ mod tests {
         assert_eq!(t.tuples.len(), 1);
         assert_eq!(t.total_duration(), SimDuration::from_secs(60));
         assert!(t.is_valid());
-        assert_eq!(t.at(SimDuration::from_secs(120)).unwrap().latency_ns, 2_000_000);
+        assert_eq!(
+            t.at(SimDuration::from_secs(120)).unwrap().latency_ns,
+            2_000_000
+        );
     }
 
     #[test]

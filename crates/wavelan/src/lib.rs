@@ -31,9 +31,9 @@ pub mod wavepoint;
 
 pub use channel::{ChannelStats, WirelessChannel, MOBILE_PORT, WIRED_PORT};
 pub use crosstraffic::{CrossTraffic, CrossTrafficCfg};
-pub use model::{ChannelModel, Checkpoint, ConstantModel, LinkConditions, PiecewiseModel};
 pub use mobility::{MobilityPath, Position, WalkBuilder};
+pub use model::{ChannelModel, Checkpoint, ConstantModel, LinkConditions, PiecewiseModel};
 pub use scenario::Scenario;
-pub use spec::{CheckpointSpec, CrossSpec, ScenarioSpec};
 pub use signal::SignalInfo;
+pub use spec::{CheckpointSpec, CrossSpec, ScenarioSpec};
 pub use wavepoint::{HandoffConfig, PhysicalModel, Propagation, SignalResponse, WavePoint};

@@ -181,7 +181,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "speed must be positive")]
     fn zero_speed_rejected() {
-        let _ = WalkBuilder::start_at(Position::new(0.0, 0.0))
-            .walk_to(Position::new(1.0, 0.0), 0.0);
+        let _ =
+            WalkBuilder::start_at(Position::new(0.0, 0.0)).walk_to(Position::new(1.0, 0.0), 0.0);
     }
 }

@@ -50,10 +50,7 @@ pub struct ConstantModel {
 impl ConstantModel {
     /// A model that always returns `conditions`.
     pub fn new(conditions: LinkConditions, span: SimDuration) -> Self {
-        ConstantModel {
-            conditions,
-            span,
-        }
+        ConstantModel { conditions, span }
     }
 
     /// A WaveLAN-like steady channel: 2 ms latency, 1.5 Mb/s, 2% loss.

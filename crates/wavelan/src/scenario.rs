@@ -69,13 +69,55 @@ impl Scenario {
         Scenario {
             name: "porter",
             checkpoints: vec![
-                cp("x0", (8.0, 22.0), (1.5, 30.0), (1300.0, 1550.0), (0.005, 0.04)),
-                cp("x1", (10.0, 20.0), (1.5, 12.0), (1350.0, 1600.0), (0.003, 0.03)),
-                cp("x2", (14.0, 22.0), (1.5, 10.0), (1400.0, 1600.0), (0.001, 0.02)),
-                cp("x3", (17.0, 23.0), (1.5, 8.0), (1450.0, 1620.0), (0.001, 0.01)),
-                cp("x4", (17.0, 22.0), (1.5, 8.0), (1400.0, 1600.0), (0.001, 0.015)),
-                cp("x5", (6.0, 18.0), (2.0, 100.0), (900.0, 1500.0), (0.005, 0.04)),
-                cp("x6", (5.0, 14.0), (2.0, 60.0), (1000.0, 1450.0), (0.01, 0.05)),
+                cp(
+                    "x0",
+                    (8.0, 22.0),
+                    (1.5, 30.0),
+                    (1300.0, 1550.0),
+                    (0.005, 0.04),
+                ),
+                cp(
+                    "x1",
+                    (10.0, 20.0),
+                    (1.5, 12.0),
+                    (1350.0, 1600.0),
+                    (0.003, 0.03),
+                ),
+                cp(
+                    "x2",
+                    (14.0, 22.0),
+                    (1.5, 10.0),
+                    (1400.0, 1600.0),
+                    (0.001, 0.02),
+                ),
+                cp(
+                    "x3",
+                    (17.0, 23.0),
+                    (1.5, 8.0),
+                    (1450.0, 1620.0),
+                    (0.001, 0.01),
+                ),
+                cp(
+                    "x4",
+                    (17.0, 22.0),
+                    (1.5, 8.0),
+                    (1400.0, 1600.0),
+                    (0.001, 0.015),
+                ),
+                cp(
+                    "x5",
+                    (6.0, 18.0),
+                    (2.0, 100.0),
+                    (900.0, 1500.0),
+                    (0.005, 0.04),
+                ),
+                cp(
+                    "x6",
+                    (5.0, 14.0),
+                    (2.0, 60.0),
+                    (1000.0, 1450.0),
+                    (0.01, 0.05),
+                ),
             ],
             duration: SimDuration::from_secs(180),
             cross: None,
@@ -89,16 +131,64 @@ impl Scenario {
         Scenario {
             name: "flagstaff",
             checkpoints: vec![
-                cp("y0", (10.0, 20.0), (1.0, 8.0), (1450.0, 1700.0), (0.004, 0.012)),
-                cp("y1", (8.0, 18.0), (1.0, 6.0), (1450.0, 1700.0), (0.004, 0.012)),
-                cp("y2", (6.0, 10.0), (1.0, 5.0), (1500.0, 1700.0), (0.006, 0.02)),
-                cp("y3", (5.0, 9.0), (1.0, 5.0), (1500.0, 1700.0), (0.008, 0.025)),
+                cp(
+                    "y0",
+                    (10.0, 20.0),
+                    (1.0, 8.0),
+                    (1450.0, 1700.0),
+                    (0.004, 0.012),
+                ),
+                cp(
+                    "y1",
+                    (8.0, 18.0),
+                    (1.0, 6.0),
+                    (1450.0, 1700.0),
+                    (0.004, 0.012),
+                ),
+                cp(
+                    "y2",
+                    (6.0, 10.0),
+                    (1.0, 5.0),
+                    (1500.0, 1700.0),
+                    (0.006, 0.02),
+                ),
+                cp(
+                    "y3",
+                    (5.0, 9.0),
+                    (1.0, 5.0),
+                    (1500.0, 1700.0),
+                    (0.008, 0.025),
+                ),
                 cp("y4", (5.0, 8.0), (1.0, 5.0), (1500.0, 1700.0), (0.01, 0.03)),
-                cp("y5", (5.0, 8.0), (1.0, 5.0), (1500.0, 1700.0), (0.012, 0.035)),
-                cp("y6", (5.0, 8.0), (1.0, 5.0), (1450.0, 1650.0), (0.015, 0.04)),
-                cp("y7", (5.0, 7.0), (1.0, 5.0), (1450.0, 1650.0), (0.018, 0.045)),
+                cp(
+                    "y5",
+                    (5.0, 8.0),
+                    (1.0, 5.0),
+                    (1500.0, 1700.0),
+                    (0.012, 0.035),
+                ),
+                cp(
+                    "y6",
+                    (5.0, 8.0),
+                    (1.0, 5.0),
+                    (1450.0, 1650.0),
+                    (0.015, 0.04),
+                ),
+                cp(
+                    "y7",
+                    (5.0, 7.0),
+                    (1.0, 5.0),
+                    (1450.0, 1650.0),
+                    (0.018, 0.045),
+                ),
                 cp("y8", (5.0, 7.0), (1.0, 5.0), (1450.0, 1650.0), (0.02, 0.05)),
-                cp("y9", (5.0, 8.0), (1.0, 5.0), (1450.0, 1650.0), (0.018, 0.045)),
+                cp(
+                    "y9",
+                    (5.0, 8.0),
+                    (1.0, 5.0),
+                    (1450.0, 1650.0),
+                    (0.018, 0.045),
+                ),
             ],
             duration: SimDuration::from_secs(240),
             cross: None,
@@ -114,18 +204,78 @@ impl Scenario {
         Scenario {
             name: "wean",
             checkpoints: vec![
-                cp("z0", (8.0, 16.0), (2.0, 15.0), (1200.0, 1400.0), (0.005, 0.02)),
-                cp("z1", (10.0, 18.0), (1.5, 10.0), (1250.0, 1450.0), (0.001, 0.01)),
-                cp("z2", (10.0, 18.0), (1.5, 10.0), (1250.0, 1450.0), (0.001, 0.01)),
-                cp("z2b", (12.0, 18.0), (1.5, 8.0), (1250.0, 1450.0), (0.001, 0.01)),
-                cp("z3", (17.0, 22.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.008)),
-                cp("z4", (14.0, 20.0), (2.0, 10.0), (1250.0, 1400.0), (0.002, 0.015)),
+                cp(
+                    "z0",
+                    (8.0, 16.0),
+                    (2.0, 15.0),
+                    (1200.0, 1400.0),
+                    (0.005, 0.02),
+                ),
+                cp(
+                    "z1",
+                    (10.0, 18.0),
+                    (1.5, 10.0),
+                    (1250.0, 1450.0),
+                    (0.001, 0.01),
+                ),
+                cp(
+                    "z2",
+                    (10.0, 18.0),
+                    (1.5, 10.0),
+                    (1250.0, 1450.0),
+                    (0.001, 0.01),
+                ),
+                cp(
+                    "z2b",
+                    (12.0, 18.0),
+                    (1.5, 8.0),
+                    (1250.0, 1450.0),
+                    (0.001, 0.01),
+                ),
+                cp(
+                    "z3",
+                    (17.0, 22.0),
+                    (1.5, 6.0),
+                    (1300.0, 1450.0),
+                    (0.001, 0.008),
+                ),
+                cp(
+                    "z4",
+                    (14.0, 20.0),
+                    (2.0, 10.0),
+                    (1250.0, 1400.0),
+                    (0.002, 0.015),
+                ),
                 // The elevator ride: signal collapses, latency peaks at
                 // 350 ms, loss is atrocious.
-                cp("z4e", (1.0, 4.0), (20.0, 350.0), (60.0, 400.0), (0.45, 0.80)),
-                cp("z5", (12.0, 20.0), (1.5, 8.0), (1250.0, 1450.0), (0.002, 0.015)),
-                cp("z6", (14.0, 20.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.01)),
-                cp("z7", (15.0, 20.0), (1.5, 6.0), (1300.0, 1450.0), (0.001, 0.01)),
+                cp(
+                    "z4e",
+                    (1.0, 4.0),
+                    (20.0, 350.0),
+                    (60.0, 400.0),
+                    (0.45, 0.80),
+                ),
+                cp(
+                    "z5",
+                    (12.0, 20.0),
+                    (1.5, 8.0),
+                    (1250.0, 1450.0),
+                    (0.002, 0.015),
+                ),
+                cp(
+                    "z6",
+                    (14.0, 20.0),
+                    (1.5, 6.0),
+                    (1300.0, 1450.0),
+                    (0.001, 0.01),
+                ),
+                cp(
+                    "z7",
+                    (15.0, 20.0),
+                    (1.5, 6.0),
+                    (1300.0, 1450.0),
+                    (0.001, 0.01),
+                ),
             ],
             duration: SimDuration::from_secs(150),
             cross: None,
@@ -261,8 +411,18 @@ mod tests {
             for i in 0..200 {
                 let t = SimTime::from_nanos(sc.duration.as_nanos() * i / 200);
                 let c = m.sample(t, &mut rng);
-                assert!(c.loss >= 0.0 && c.loss <= 0.95, "{}: loss {}", sc.name, c.loss);
-                assert!(c.bandwidth_bps >= 1000, "{}: bw {}", sc.name, c.bandwidth_bps);
+                assert!(
+                    c.loss >= 0.0 && c.loss <= 0.95,
+                    "{}: loss {}",
+                    sc.name,
+                    c.loss
+                );
+                assert!(
+                    c.bandwidth_bps >= 1000,
+                    "{}: bw {}",
+                    sc.name,
+                    c.bandwidth_bps
+                );
                 assert!(
                     c.latency.as_millis_f64() < 600.0,
                     "{}: latency {}",

@@ -106,7 +106,10 @@ impl ScenarioSpec {
                 return Err(format!("checkpoint '{}': loss out of [0,1]", c.label));
             }
             if c.bw_kbps.0 <= 0.0 {
-                return Err(format!("checkpoint '{}': bandwidth must be positive", c.label));
+                return Err(format!(
+                    "checkpoint '{}': bandwidth must be positive",
+                    c.label
+                ));
             }
         }
         let checkpoints = self
@@ -219,7 +222,10 @@ mod tests {
                  "bw_kbps": [300, 900], "loss": [0.05, 0.2]}
             ]
         }"#;
-        let sc = ScenarioSpec::from_json(json).unwrap().into_scenario().unwrap();
+        let sc = ScenarioSpec::from_json(json)
+            .unwrap()
+            .into_scenario()
+            .unwrap();
         let mut trial = netsim::SimRng::seed_from_u64(1);
         let mut model = sc.model(&mut trial);
         use crate::model::ChannelModel;

@@ -62,8 +62,7 @@ impl Propagation {
     pub fn level_at(&self, distance: f64) -> f64 {
         let d = distance.max(self.ref_distance);
         // 10·n·log10(d/d0) loss, scaled into WaveLAN's unit range.
-        (self.level_at_ref - 10.0 * self.exponent * (d / self.ref_distance).log10() * 0.55)
-            .max(0.0)
+        (self.level_at_ref - 10.0 * self.exponent * (d / self.ref_distance).log10() * 0.55).max(0.0)
     }
 }
 
@@ -363,19 +362,12 @@ mod tests {
         let path = WalkBuilder::start_at(Position::new(0.0, 0.0))
             .walk_to(Position::new(60.0, 0.0), 1.5)
             .build();
-        let model = PhysicalModel::new(
-            "walk",
-            path,
-            vec![WavePoint::at(Position::new(10.0, 5.0))],
-        );
+        let model = PhysicalModel::new("walk", path, vec![WavePoint::at(Position::new(10.0, 5.0))]);
         let mut sim = Simulator::new(4);
         let a = sim.add_node(Box::new(Sink(0)));
         let b = sim.add_node(Box::new(Sink(0)));
-        let ch = WirelessChannel::new(Box::new(model)).install(
-            &mut sim,
-            (a, PortId(0)),
-            (b, PortId(0)),
-        );
+        let ch =
+            WirelessChannel::new(Box::new(model)).install(&mut sim, (a, PortId(0)), (b, PortId(0)));
         for i in 0..20u64 {
             sim.schedule_event(
                 SimTime::from_secs(i),

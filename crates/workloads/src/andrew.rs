@@ -531,7 +531,10 @@ mod tests {
             compute: [0.05; 5],
             block: 1024,
         };
-        let big = AndrewConfig { block: 8192, ..small };
+        let big = AndrewConfig {
+            block: 8192,
+            ..small
+        };
         let count_writes = |cfg: &AndrewConfig| {
             build_script(cfg)
                 .iter()

@@ -281,23 +281,21 @@ impl App for FtpClient {
                     api.set_timer(wd, WATCHDOG_TIMER);
                 }
             }
-            AppEvent::TcpConnected { conn } if Some(conn) == self.conn => {
-                match self.direction {
-                    FtpDirection::Send => {
-                        api.tcp_send(conn, format!("SEND {}\n", self.size).as_bytes());
-                        self.state = CliState::Sending {
-                            remaining: self.size,
-                        };
-                        self.pump(api);
-                    }
-                    FtpDirection::Recv => {
-                        api.tcp_send(conn, format!("RECV {}\n", self.size).as_bytes());
-                        self.state = CliState::Receiving {
-                            remaining: self.size,
-                        };
-                    }
+            AppEvent::TcpConnected { conn } if Some(conn) == self.conn => match self.direction {
+                FtpDirection::Send => {
+                    api.tcp_send(conn, format!("SEND {}\n", self.size).as_bytes());
+                    self.state = CliState::Sending {
+                        remaining: self.size,
+                    };
+                    self.pump(api);
                 }
-            }
+                FtpDirection::Recv => {
+                    api.tcp_send(conn, format!("RECV {}\n", self.size).as_bytes());
+                    self.state = CliState::Receiving {
+                        remaining: self.size,
+                    };
+                }
+            },
             AppEvent::TcpSendSpace { conn } if Some(conn) == self.conn => {
                 self.last_progress = Some(api.now());
                 self.pump(api);
@@ -305,17 +303,18 @@ impl App for FtpClient {
             AppEvent::TcpData { conn, data } if Some(conn) == self.conn => {
                 self.last_progress = Some(api.now());
                 match &mut self.state {
-                CliState::AwaitingOk
-                    if (data.windows(3).any(|w| w == b"OK\n") || data.ends_with(b"OK\n")) => {
+                    CliState::AwaitingOk
+                        if (data.windows(3).any(|w| w == b"OK\n") || data.ends_with(b"OK\n")) =>
+                    {
                         self.finish(api);
                     }
-                CliState::Receiving { remaining } => {
-                    *remaining = remaining.saturating_sub(data.len());
-                    if *remaining == 0 {
-                        self.finish(api);
+                    CliState::Receiving { remaining } => {
+                        *remaining = remaining.saturating_sub(data.len());
+                        if *remaining == 0 {
+                            self.finish(api);
+                        }
                     }
-                }
-                _ => {}
+                    _ => {}
                 }
             }
             AppEvent::TcpReset { conn, reason } if Some(conn) == self.conn => {

@@ -83,7 +83,14 @@ impl NfsProc {
 }
 
 /// Encode a request datagram.
-pub fn encode_request(xid: u32, proc_: NfsProc, handle: u32, arg: u32, count: u32, data_len: usize) -> Vec<u8> {
+pub fn encode_request(
+    xid: u32,
+    proc_: NfsProc,
+    handle: u32,
+    arg: u32,
+    count: u32,
+    data_len: usize,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(17 + data_len);
     out.extend_from_slice(&xid.to_be_bytes());
     out.push(proc_.to_byte());

@@ -7,7 +7,7 @@
 //! real interfering load against an [`crate::nfs::NfsServer`] in
 //! end-to-end experiments and examples.
 
-use crate::nfs::{name_hash, NfsProc, RpcClient, RPC_RETRANS_TIMER, ROOT_HANDLE};
+use crate::nfs::{name_hash, NfsProc, RpcClient, ROOT_HANDLE, RPC_RETRANS_TIMER};
 use netsim::SimDuration;
 use netstack::{App, AppEvent, HostApi};
 use std::net::Ipv4Addr;
@@ -95,15 +95,26 @@ impl SynRGenUser {
         if self.file == 0 {
             // Ensure a working file exists.
             let name = name_hash(&format!("synrgen-{}", self.seed_salt));
-            self.rpc
-                .call(api, NfsProc::Create, ROOT_HANDLE, name, 0, 0);
+            self.rpc.call(api, NfsProc::Create, ROOT_HANDLE, name, 0, 0);
         } else if data {
             if api.rng().chance(0.5) {
-                self.rpc
-                    .call(api, NfsProc::Write, self.file, 0, crate::nfs::BLOCK as u32, crate::nfs::BLOCK);
+                self.rpc.call(
+                    api,
+                    NfsProc::Write,
+                    self.file,
+                    0,
+                    crate::nfs::BLOCK as u32,
+                    crate::nfs::BLOCK,
+                );
             } else {
-                self.rpc
-                    .call(api, NfsProc::Read, self.file, 0, crate::nfs::BLOCK as u32, 0);
+                self.rpc.call(
+                    api,
+                    NfsProc::Read,
+                    self.file,
+                    0,
+                    crate::nfs::BLOCK as u32,
+                    0,
+                );
             }
         } else {
             self.rpc.call(api, NfsProc::GetAttr, self.file, 0, 0, 0);
@@ -175,7 +186,10 @@ mod tests {
         assert!(u.finished);
         assert!(u.ops_done >= 5 * 15, "{}", u.ops_done);
         // Both message classes were exercised.
-        let srv_served = sim.node::<Host>(ns).app::<NfsServer>(netstack::AppId(0)).served;
+        let srv_served = sim
+            .node::<Host>(ns)
+            .app::<NfsServer>(netstack::AppId(0))
+            .served;
         assert!(srv_served.0 > 0, "no status checks");
         assert!(srv_served.1 > 0, "no data ops");
     }

@@ -115,7 +115,8 @@ impl WebServer {
     fn respond(&mut self, conn: TcpHandle, id: u32, api: &mut HostApi<'_, '_>) {
         let size = object_size(id, self.size_seed);
         api.tcp_send(conn, format!("LEN {size}\n").as_bytes());
-        self.conns.insert(conn, WebSrvConn::Sending { remaining: size });
+        self.conns
+            .insert(conn, WebSrvConn::Sending { remaining: size });
         self.pump(conn, api);
     }
 }
@@ -157,10 +158,9 @@ impl App for WebServer {
                 }
             }
             AppEvent::TcpSendSpace { conn } => self.pump(conn, api),
-            AppEvent::TcpPeerClosed { conn }
-                if !self.conns.contains_key(&conn) => {
-                    api.tcp_close(conn);
-                }
+            AppEvent::TcpPeerClosed { conn } if !self.conns.contains_key(&conn) => {
+                api.tcp_close(conn);
+            }
             AppEvent::TcpReset { conn, .. } | AppEvent::TcpClosed { conn } => {
                 self.conns.remove(&conn);
             }
@@ -320,11 +320,13 @@ impl App for WebClient {
                 }
             }
             AppEvent::Timer { token: RETRY_TIMER }
-                if self.conn.is_none() && !matches!(self.state, WebCliState::Done) => {
-                    self.state = WebCliState::Connecting;
-                    self.conn = Some(api.tcp_connect(self.server));
-                }
-            AppEvent::Timer { token } if token & OBJECT_TIMER_BASE != 0
+                if self.conn.is_none() && !matches!(self.state, WebCliState::Done) =>
+            {
+                self.state = WebCliState::Connecting;
+                self.conn = Some(api.tcp_connect(self.server));
+            }
+            AppEvent::Timer { token }
+                if token & OBJECT_TIMER_BASE != 0
                 // Stale generations are ignored; a live one means the
                 // current object has stalled: abort and retry/skip.
                 && token & 0xFFFF == self.obj_gen & 0xFFFF
@@ -333,55 +335,56 @@ impl App for WebClient {
                         WebCliState::Connecting
                             | WebCliState::AwaitHeader { .. }
                             | WebCliState::Receiving { .. }
-                    )
-                => {
-                    if let Some(conn) = self.conn.take() {
-                        api.tcp_abort(conn);
-                    }
-                    self.transfer_failed(api);
+                    ) =>
+            {
+                if let Some(conn) = self.conn.take() {
+                    api.tcp_abort(conn);
                 }
+                self.transfer_failed(api);
+            }
             AppEvent::TcpConnected { conn } if Some(conn) == self.conn => {
                 let id = self.trace[self.pos];
                 api.tcp_send(conn, format!("GET {id}\n").as_bytes());
                 self.state = WebCliState::AwaitHeader { line: Vec::new() };
             }
-            AppEvent::TcpData { conn, data } if Some(conn) == self.conn => {
-                match &mut self.state {
-                    WebCliState::AwaitHeader { line } => {
-                        line.extend_from_slice(&data);
-                        let Some(pos) = line.iter().position(|&b| b == b'\n') else {
-                            return;
+            AppEvent::TcpData { conn, data } if Some(conn) == self.conn => match &mut self.state {
+                WebCliState::AwaitHeader { line } => {
+                    line.extend_from_slice(&data);
+                    let Some(pos) = line.iter().position(|&b| b == b'\n') else {
+                        return;
+                    };
+                    let hdr = String::from_utf8_lossy(&line[..pos]).to_string();
+                    let body_len = line.len() - pos - 1;
+                    let n: usize = hdr
+                        .strip_prefix("LEN ")
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(0);
+                    if n <= body_len {
+                        self.object_complete(api);
+                    } else {
+                        self.state = WebCliState::Receiving {
+                            remaining: n - body_len,
                         };
-                        let hdr = String::from_utf8_lossy(&line[..pos]).to_string();
-                        let body_len = line.len() - pos - 1;
-                        let n: usize = hdr
-                            .strip_prefix("LEN ")
-                            .and_then(|s| s.trim().parse().ok())
-                            .unwrap_or(0);
-                        if n <= body_len {
-                            self.object_complete(api);
-                        } else {
-                            self.state = WebCliState::Receiving {
-                                remaining: n - body_len,
-                            };
-                        }
                     }
-                    WebCliState::Receiving { remaining } => {
-                        *remaining = remaining.saturating_sub(data.len());
-                        if *remaining == 0 {
-                            self.object_complete(api);
-                        }
-                    }
-                    _ => {}
                 }
-            }
+                WebCliState::Receiving { remaining } => {
+                    *remaining = remaining.saturating_sub(data.len());
+                    if *remaining == 0 {
+                        self.object_complete(api);
+                    }
+                }
+                _ => {}
+            },
             AppEvent::TcpReset { conn, .. } if Some(conn) == self.conn => {
                 self.transfer_failed(api);
             }
             AppEvent::TcpPeerClosed { conn } if Some(conn) == self.conn => {
                 // Server closed before we counted all bytes: if we're
                 // still receiving this is a truncated transfer.
-                if matches!(self.state, WebCliState::Receiving { .. } | WebCliState::AwaitHeader { .. }) {
+                if matches!(
+                    self.state,
+                    WebCliState::Receiving { .. } | WebCliState::AwaitHeader { .. }
+                ) {
                     self.transfer_failed(api);
                 }
             }

@@ -68,8 +68,7 @@ impl AdaptiveStreamer {
     fn segment_done(&mut self, api: &mut HostApi<'_, '_>) {
         let started = self.fetch_started.take().expect("fetch in progress");
         let secs = api.now().since(started).as_secs_f64();
-        self.log
-            .push((started.as_secs_f64(), self.level, secs));
+        self.log.push((started.as_secs_f64(), self.level, secs));
         if let Some(conn) = self.conn.take() {
             api.tcp_close(conn);
         }
@@ -126,7 +125,10 @@ fn run_under(name: &str, replay: &ReplayTrace, segments: u32) {
     let host: &Host = tb.laptop_host();
     let _ = host;
     println!("\n--- {name} ---");
-    println!("{:>7}  {:>5}  {:>9}  fidelity", "t (s)", "level", "fetch (s)");
+    println!(
+        "{:>7}  {:>5}  {:>9}  fidelity",
+        "t (s)", "level", "fetch (s)"
+    );
     for &(t, level, secs) in &s.log {
         let bar = "█".repeat(level + 1);
         println!("{t:>7.1}  {level:>5}  {secs:>9.2}  {bar}");

@@ -44,7 +44,11 @@ fn main() {
             .iter()
             .map(|(p, s)| format!("{} {:.1}s", p.name(), s))
             .collect();
-        println!("  run {attempt}: total {:.1}s  [{}]", r.secs(), phases.join(", "));
+        println!(
+            "  run {attempt}: total {:.1}s  [{}]",
+            r.secs(),
+            phases.join(", ")
+        );
     }
     println!("\nthe network conditions each run sees are identical — any bug");
     println!("they trigger (an RPC timeout, a stuck connection) re-triggers on");

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example physical_walk`
 
-use emu::{build_wireless, modulated_run, Benchmark, Hardware, RunConfig, SERVER_IP};
 use distill::{distill_with_report, DistillConfig};
+use emu::{build_wireless, modulated_run, Benchmark, Hardware, RunConfig, SERVER_IP};
 use netsim::{SimDuration, SimTime};
 use tracekit::{CollectionDaemon, Collector, PseudoDevice};
 use wavelan::{ChannelModel, PhysicalModel, Position, WalkBuilder, WavePoint, WirelessChannel};
@@ -82,7 +82,10 @@ fn main() {
         .iter()
         .map(|t| t.loss)
         .fold(0.0f64, f64::max);
-    println!("worst tuple loss {:.0}% (the coverage-gap handoffs)", worst * 100.0);
+    println!(
+        "worst tuple loss {:.0}% (the coverage-gap handoffs)",
+        worst * 100.0
+    );
 
     // Modulate a benchmark with the distilled walk.
     let r = modulated_run(&report.replay, 1, Benchmark::FtpRecv, &RunConfig::default());

@@ -22,7 +22,11 @@ fn ftp_under(replay: &ReplayTrace, size: usize) -> f64 {
             Modulator::from_replay(replay.clone()).with_clock(TickClock::netbsd()),
         ));
         server.add_app(Box::new(FtpServer::new()));
-        laptop.add_app(Box::new(FtpClient::new(SERVER_IP, FtpDirection::Send, size)))
+        laptop.add_app(Box::new(FtpClient::new(
+            SERVER_IP,
+            FtpDirection::Send,
+            size,
+        )))
     });
     tb.start();
     tb.sim.run_until(SimTime::from_secs(1800));

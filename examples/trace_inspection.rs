@@ -72,7 +72,10 @@ fn main() -> std::io::Result<()> {
         lat.push(SimTime::from_nanos(t), q.latency_ns as f64 / 1e6);
         t += q.duration_ns;
     }
-    println!("\n{:>4}  {:>16}  {:>18}", "ckpt", "signal (min..max)", "latency ms (min..max)");
+    println!(
+        "\n{:>4}  {:>16}  {:>18}",
+        "ckpt", "signal (min..max)", "latency ms (min..max)"
+    );
     let sig_b = sig.normalized_buckets(labels.len());
     let lat_b = lat.normalized_buckets(labels.len());
     for ((label, s), l) in labels.iter().zip(&sig_b).zip(&lat_b) {

@@ -1,0 +1,73 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` with parking_lot's non-poisoning `lock()`
+//! signature — the only API this workspace uses. A panic while a guard
+//! is held simply clears the poison instead of propagating it, matching
+//! parking_lot's semantics closely enough for deterministic simulations
+//! that never lock across panics.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutual-exclusion primitive with a non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex`, never returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -76,8 +76,8 @@ impl Args {
 
 fn scenario_arg(args: &Args) -> Scenario {
     if let Some(path) = args.get("scenario-file") {
-        let json = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
         return wavelan::ScenarioSpec::from_json(&json)
             .and_then(wavelan::ScenarioSpec::into_scenario)
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
@@ -108,7 +108,10 @@ fn benchmark_arg(args: &Args) -> Benchmark {
 }
 
 fn cmd_scenarios() {
-    println!("{:<12} {:>9} {:>12} {:>8}  notes", "name", "duration", "checkpoints", "asym");
+    println!(
+        "{:<12} {:>9} {:>12} {:>8}  notes",
+        "name", "duration", "checkpoints", "asym"
+    );
     for sc in Scenario::all() {
         println!(
             "{:<12} {:>8.0}s {:>12} {:>8.2}  {}",
@@ -131,7 +134,10 @@ fn cmd_collect(args: &Args) {
     let out = PathBuf::from(args.require("out"));
     let cfg = RunConfig::default();
     if let Some(target_out) = args.get("target-out") {
-        eprintln!("collecting two-sided trace of '{}' trial {trial}...", sc.name);
+        eprintln!(
+            "collecting two-sided trace of '{}' trial {trial}...",
+            sc.name
+        );
         let (mobile, target) = emu::collect_trace_two_sided(&sc, trial, &cfg);
         write_trace(&out, &mobile).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
         let tp = PathBuf::from(target_out);
@@ -187,8 +193,14 @@ fn cmd_inspect(args: &Args) {
     if let Ok(replay) = read_replay(path) {
         println!("replay trace: {}", replay.source);
         println!("  tuples:        {}", replay.tuples.len());
-        println!("  duration:      {:.1} s", replay.total_duration().as_secs_f64());
-        println!("  mean latency:  {:.2} ms", replay.mean_latency().as_millis_f64());
+        println!(
+            "  duration:      {:.1} s",
+            replay.total_duration().as_secs_f64()
+        );
+        println!(
+            "  mean latency:  {:.2} ms",
+            replay.mean_latency().as_millis_f64()
+        );
         println!(
             "  mean Vb:       {:.0} ns/B ({:.0} kb/s bottleneck)",
             replay.mean_vb(),
@@ -201,7 +213,10 @@ fn cmd_inspect(args: &Args) {
     }
     match read_trace(path) {
         Ok(trace) => {
-            println!("collected trace: host '{}', scenario '{}', trial {}", trace.host, trace.scenario, trace.trial);
+            println!(
+                "collected trace: host '{}', scenario '{}', trial {}",
+                trace.host, trace.scenario, trace.trial
+            );
             println!("  records:        {}", trace.records.len());
             println!("  span:           {:.1} s", trace.span_ns() as f64 / 1e9);
             println!("  packets:        {}", trace.packets().count());
@@ -240,23 +255,46 @@ fn format_record(r: &tracekit::TraceRecord) -> String {
                 Dir::In => "<",
             };
             let proto = match &p.proto {
-                ProtoInfo::IcmpEcho { ident, seq, payload_len, .. } => {
+                ProtoInfo::IcmpEcho {
+                    ident,
+                    seq,
+                    payload_len,
+                    ..
+                } => {
                     format!("icmp echo id {ident} seq {seq} len {payload_len}")
                 }
-                ProtoInfo::IcmpEchoReply { ident, seq, rtt_ns, .. } => {
-                    format!("icmp reply id {ident} seq {seq} rtt {:.2}ms", *rtt_ns as f64 / 1e6)
+                ProtoInfo::IcmpEchoReply {
+                    ident, seq, rtt_ns, ..
+                } => {
+                    format!(
+                        "icmp reply id {ident} seq {seq} rtt {:.2}ms",
+                        *rtt_ns as f64 / 1e6
+                    )
                 }
-                ProtoInfo::Udp { src_port, dst_port, payload_len } => {
+                ProtoInfo::Udp {
+                    src_port,
+                    dst_port,
+                    payload_len,
+                } => {
                     format!("udp {src_port} > {dst_port} len {payload_len}")
                 }
-                ProtoInfo::Tcp { src_port, dst_port, seq, ack, flags, payload_len } => {
+                ProtoInfo::Tcp {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    payload_len,
+                } => {
                     let mut fl = String::new();
                     for (bit, ch) in [(1u8, 'F'), (2, 'S'), (4, 'R'), (8, 'P'), (16, '.')] {
                         if flags & bit != 0 {
                             fl.push(ch);
                         }
                     }
-                    format!("tcp {src_port} > {dst_port} [{fl}] seq {seq} ack {ack} len {payload_len}")
+                    format!(
+                        "tcp {src_port} > {dst_port} [{fl}] seq {seq} ack {ack} len {payload_len}"
+                    )
                 }
                 ProtoInfo::Other { protocol } => format!("proto {protocol}"),
             };
@@ -305,7 +343,11 @@ fn cmd_live(args: &Args) {
     let sc = scenario_arg(args);
     let benchmark = benchmark_arg(args);
     let trial = args.parse_num("trial", 1u32);
-    eprintln!("running {} live on '{}' trial {trial}...", benchmark.name(), sc.name);
+    eprintln!(
+        "running {} live on '{}' trial {trial}...",
+        benchmark.name(),
+        sc.name
+    );
     let r = live_run(&sc, trial, benchmark, &RunConfig::default());
     report_result(&r);
 }

@@ -1,6 +1,6 @@
 //! Umbrella crate re-exporting the trace-modulation workspace. See README.
-pub use emu;
 pub use distill;
+pub use emu;
 pub use modulate;
 pub use netsim;
 pub use netstack;

@@ -2,9 +2,7 @@
 //! distillation → modulation, validated against channel ground truth and
 //! live benchmark runs.
 
-use emu::{
-    collect_and_distill, collect_trace, live_run, modulated_run, Benchmark, RunConfig,
-};
+use emu::{collect_and_distill, collect_trace, live_run, modulated_run, Benchmark, RunConfig};
 use netsim::SimDuration;
 use wavelan::{Checkpoint, Scenario};
 

@@ -2,8 +2,8 @@
 //! its own machinery is starved (kernel buffer overrun) and when the
 //! network disappears entirely mid-run.
 
-use emu::{build_wireless, Hardware, SERVER_IP};
 use distill::{distill_with_report, DistillConfig};
+use emu::{build_wireless, Hardware, SERVER_IP};
 use netsim::{SimDuration, SimRng, SimTime};
 use tracekit::{CollectionDaemon, Collector, PseudoDevice, TraceRecord};
 use wavelan::{Checkpoint, Scenario};

@@ -23,7 +23,11 @@ fn ftp_with_modulator(m: Modulator, size: usize) -> f64 {
     let (mut tb, app) = build_ethernet(3, Hardware::default(), |laptop, server| {
         laptop.set_shim(Box::new(m));
         server.add_app(Box::new(FtpServer::new()));
-        laptop.add_app(Box::new(FtpClient::new(SERVER_IP, FtpDirection::Send, size)))
+        laptop.add_app(Box::new(FtpClient::new(
+            SERVER_IP,
+            FtpDirection::Send,
+            size,
+        )))
     });
     tb.start();
     tb.sim.run_until(SimTime::from_secs(1200));
@@ -58,7 +62,9 @@ fn ideal_clock_vs_netbsd_tick() {
         );
         let (mut tb, app) = build_ethernet(4, Hardware::default(), |laptop, server| {
             let _ = server;
-            laptop.set_shim(Box::new(Modulator::from_replay(replay.clone()).with_clock(clock)));
+            laptop.set_shim(Box::new(
+                Modulator::from_replay(replay.clone()).with_clock(clock),
+            ));
             let mut cfg = PingConfig::paper(SERVER_IP);
             cfg.duration = SimDuration::from_secs(10);
             laptop.add_app(Box::new(PingWorkload::new(cfg)))

@@ -23,11 +23,17 @@ fn porter_patio_beats_porter_hall() {
     // Signal: patio (x2–x4) clearly better than the interior end (x5–x6).
     let patio = mean_of(&fig.signal.buckets, 2..5);
     let interior = mean_of(&fig.signal.buckets, 5..7);
-    assert!(patio > interior + 2.0, "patio {patio:.1} vs interior {interior:.1}");
+    assert!(
+        patio > interior + 2.0,
+        "patio {patio:.1} vs interior {interior:.1}"
+    );
     // Latency: interior worse (spikes).
     let lat_patio = mean_of(&fig.latency_ms.buckets, 2..5);
     let lat_interior = mean_of(&fig.latency_ms.buckets, 5..7);
-    assert!(lat_interior > lat_patio, "{lat_patio:.1} vs {lat_interior:.1}");
+    assert!(
+        lat_interior > lat_patio,
+        "{lat_patio:.1} vs {lat_interior:.1}"
+    );
 }
 
 #[test]
@@ -74,7 +80,10 @@ fn wean_elevator_dominates_every_panel() {
     let region_floor = (5..=7)
         .map(|i| fig.signal.buckets[i].min())
         .fold(f64::INFINITY, f64::min);
-    assert!(region_floor < 6.0, "elevator signal not collapsed: {region_floor:.1}");
+    assert!(
+        region_floor < 6.0,
+        "elevator signal not collapsed: {region_floor:.1}"
+    );
 }
 
 #[test]
@@ -90,7 +99,10 @@ fn chatterbox_contention_degrades_latency_not_signal() {
         .filter(|&&(c, _)| c >= 14.0)
         .map(|&(_, f)| f)
         .sum();
-    assert!(high > 0.6, "signal histogram not concentrated high: {high:.2}");
+    assert!(
+        high > 0.6,
+        "signal histogram not concentrated high: {high:.2}"
+    );
     // ...while latency shows a contention tail.
     let lat_norm = lat.normalized();
     let tail: f64 = lat_norm
