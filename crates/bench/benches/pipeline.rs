@@ -4,11 +4,15 @@
 //! buffer.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use distill::{distill, DistillConfig};
+use distill::{distill, distill_stream, DistillConfig, Distiller};
 use modulate::{Modulator, TickClock};
 use netsim::{SimRng, SimTime};
 use netstack::{Direction, LinkShim};
-use tracekit::{Dir, PacketRecord, ProtoInfo, ReplayTrace, RingBuffer, Trace, TraceRecord};
+use tracekit::format::{encode_trace, TraceDecoder};
+use tracekit::{
+    Dir, PacketRecord, ProtoInfo, QualityTuple, ReplayTrace, RingBuffer, Trace, TraceRecord,
+    VecStream,
+};
 
 /// Synthesize a trace of `secs` perfect ping triplets.
 fn synth_trace(secs: u64) -> Trace {
@@ -64,6 +68,61 @@ fn bench_distillation(c: &mut Criterion) {
         b.iter(|| {
             let replay = distill(std::hint::black_box(&trace), &DistillConfig::default());
             assert!(replay.is_valid());
+        });
+    });
+    g.finish();
+}
+
+fn bench_streaming_distillation(c: &mut Criterion) {
+    // The incremental operator over the same 10-minute trace: identical
+    // output to the batch path, but O(window) live state — this is the
+    // configuration live mode runs in.
+    let trace = synth_trace(600);
+    let mut g = c.benchmark_group("distill");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.bench_function("distill_stream_10min_trace", |b| {
+        b.iter(|| {
+            let mut sink: Vec<QualityTuple> = Vec::new();
+            let mut stream = VecStream::new(std::hint::black_box(trace.records.clone()));
+            let stats = distill_stream(&mut stream, &DistillConfig::default(), &mut sink).unwrap();
+            assert!(sink.len() > 500);
+            assert!(stats.peak_window_entries < 64, "state not O(window)");
+        });
+    });
+    g.bench_function("distiller_push_10min_trace", |b| {
+        // Push-side only (no stream indirection): the per-record cost a
+        // collection daemon would pay feeding records as they arrive.
+        b.iter(|| {
+            let mut sink: Vec<QualityTuple> = Vec::new();
+            let mut d = Distiller::new(&DistillConfig::default());
+            for rec in std::hint::black_box(&trace.records) {
+                d.push_record(rec, &mut sink);
+            }
+            let stats = d.finish(&mut sink);
+            assert!(stats.tuples > 500);
+        });
+    });
+    g.finish();
+}
+
+fn bench_chunked_decode(c: &mut Criterion) {
+    // Incremental binary decode in 64 KiB chunks vs the trace size.
+    let trace = synth_trace(600);
+    let bytes = encode_trace(&trace);
+    let mut g = c.benchmark_group("tracekit");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("chunked_decode_10min_trace", |b| {
+        b.iter(|| {
+            let mut dec = TraceDecoder::new();
+            let mut n = 0usize;
+            for chunk in std::hint::black_box(&bytes).chunks(64 * 1024) {
+                dec.feed(chunk);
+                while let Some(_r) = dec.next_record().unwrap() {
+                    n += 1;
+                }
+            }
+            dec.finish().unwrap();
+            assert_eq!(n, trace.records.len());
         });
     });
     g.finish();
@@ -128,6 +187,8 @@ fn bench_ring_buffer(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_distillation,
+    bench_streaming_distillation,
+    bench_chunked_decode,
     bench_modulation_layer,
     bench_ring_buffer
 );

@@ -42,6 +42,7 @@ fn main() {
                 width: SimDuration::from_secs(width_s),
                 step: SimDuration::from_secs(1),
             },
+            ..DistillConfig::default()
         };
         for trial in 1..=n {
             plan.push(TrialCell {

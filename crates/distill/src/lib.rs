@@ -14,7 +14,10 @@
 //!   per-group estimates into per-second delay tuples;
 //! * [`loss`] — the loss-rate estimator `L = 1 − sqrt(b/a)`
 //!   (equations 9–10);
-//! * [`pipeline`] — the one-pass distillation gluing these together;
+//! * [`pipeline`] — the one-pass distillation gluing these together,
+//!   exposed both as the incremental [`Distiller`] operator (records
+//!   in, tuples out, O(window) state — usable while collection is
+//!   still running) and as the batch [`distill`] adapter over it;
 //! * [`synthetic`] — hand-built replay traces (constant/step/impulse and
 //!   the Figure 1 WaveLAN-like / slow-network pairs);
 //! * [`asymmetric`] — the §6 future-work extension: one-way distillation
@@ -31,7 +34,10 @@ pub mod synthetic;
 pub mod window;
 
 pub use asymmetric::{distill_asymmetric, AsymmetricReport};
-pub use pipeline::{distill, distill_with_report, DistillConfig, DistillReport};
+pub use pipeline::{
+    distill, distill_stream, distill_with_report, DistillConfig, DistillReport, DistillStats,
+    Distiller,
+};
 pub use solver::{correct, solve, solve_or_correct, DelayEstimate, SolveIssue, TripletObservation};
 pub use synthetic::NetworkParams;
 pub use window::WindowConfig;

@@ -3,6 +3,13 @@
 //! Over a window, `a` ECHO probes were sent and `b` ECHOREPLY packets
 //! came back. With per-direction survival probability `P`, a reply
 //! requires two survivals: `b = P²·a`, so `L = 1 − P = 1 − sqrt(b/a)`.
+//!
+//! Like the delay side, the windowed estimator is incremental:
+//! [`LossWindow`] counts probe outcomes as they arrive and emits one
+//! loss value per step with O(window) state; the batch
+//! [`windowed_loss`] functions are thin adapters over it.
+
+use std::collections::VecDeque;
 
 /// Per-probe bookkeeping: when each ECHO was sent (seconds from trace
 /// start) and whether its reply arrived.
@@ -34,6 +41,134 @@ pub fn loss_from_counts_direct(a: u64, b: u64) -> Option<f64> {
     Some((1.0 - (b as f64 / a as f64)).clamp(0.0, 1.0))
 }
 
+/// Incremental windowed loss estimator over time-sorted probe
+/// outcomes. For each step of `step` seconds, counts probes sent in the
+/// surrounding window of `width` seconds and their replies; windows
+/// with no probes reuse the previous estimate (initially 0). A step is
+/// emitted as soon as an outcome past its admission boundary arrives;
+/// [`finish`](LossWindow::finish) flushes the rest once the span is
+/// known. State is the outcomes inside the window: O(window).
+#[derive(Debug)]
+pub struct LossWindow {
+    step: f64,
+    width: f64,
+    estimator: fn(u64, u64) -> Option<f64>,
+    pending: VecDeque<ProbeOutcome>,
+    active: VecDeque<ProbeOutcome>,
+    a: u64,
+    b: u64,
+    next_step: usize,
+    last: f64,
+    out: VecDeque<f64>,
+    peak_live: usize,
+}
+
+impl LossWindow {
+    /// A loss window using the paper's round-trip estimator
+    /// (equation 10).
+    pub fn new(width: f64, step: f64) -> Self {
+        LossWindow::with_estimator(width, step, loss_from_counts)
+    }
+
+    /// A loss window with an explicit count → loss estimator.
+    pub fn with_estimator(width: f64, step: f64, estimator: fn(u64, u64) -> Option<f64>) -> Self {
+        assert!(
+            step > 0.0 && width > 0.0,
+            "window parameters must be positive"
+        );
+        LossWindow {
+            step,
+            width,
+            estimator,
+            pending: VecDeque::new(),
+            active: VecDeque::new(),
+            a: 0,
+            b: 0,
+            next_step: 0,
+            last: 0.0,
+            out: VecDeque::new(),
+            peak_live: 0,
+        }
+    }
+
+    /// Push the next probe outcome (must be ≥ all previous times).
+    pub fn push(&mut self, p: ProbeOutcome) {
+        debug_assert!(
+            self.pending.back().is_none_or(|q| q.at <= p.at),
+            "probe outcomes must be time-sorted"
+        );
+        loop {
+            let end = (self.next_step as f64 + 1.0) * self.step;
+            if p.at <= end {
+                break;
+            }
+            self.flush_step(end);
+        }
+        self.pending.push_back(p);
+        self.peak_live = self.peak_live.max(self.live_len());
+    }
+
+    fn flush_step(&mut self, end: f64) {
+        let lo = end - self.width;
+        while let Some(p) = self.pending.front().copied() {
+            if p.at > end {
+                break;
+            }
+            self.a += 1;
+            if p.replied {
+                self.b += 1;
+            }
+            self.active.push_back(p);
+            self.pending.pop_front();
+        }
+        while let Some(p) = self.active.front().copied() {
+            if p.at > lo {
+                break;
+            }
+            self.a -= 1;
+            if p.replied {
+                self.b -= 1;
+            }
+            self.active.pop_front();
+        }
+        if let Some(l) = (self.estimator)(self.a, self.b) {
+            self.last = l;
+        }
+        self.out.push_back(self.last);
+        self.next_step += 1;
+    }
+
+    /// Declare end of input with the trace span (seconds): flush every
+    /// step needed to cover `[0, span]`.
+    pub fn finish(&mut self, span: f64) {
+        let steps = (span / self.step).ceil() as usize;
+        while self.next_step < steps {
+            let end = (self.next_step as f64 + 1.0) * self.step;
+            self.flush_step(end);
+        }
+    }
+
+    /// Pop the next finalized loss value, if any.
+    pub fn pop(&mut self) -> Option<f64> {
+        self.out.pop_front()
+    }
+
+    /// Number of finalized values awaiting [`pop`](LossWindow::pop).
+    pub fn ready(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Outcomes currently held (pending + inside the window).
+    pub fn live_len(&self) -> usize {
+        self.pending.len() + self.active.len()
+    }
+
+    /// High-water mark of held outcomes — the O(window) evidence.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
 /// Windowed loss estimation over probe outcomes (sorted by time): for
 /// each step of `step` seconds covering `[0, span]`, count probes sent in
 /// the surrounding window of `width` seconds and their replies. Windows
@@ -52,39 +187,16 @@ fn windowed_with(
     span: f64,
     width: f64,
     step: f64,
-    estimator: impl Fn(u64, u64) -> Option<f64>,
+    estimator: fn(u64, u64) -> Option<f64>,
 ) -> Vec<f64> {
-    assert!(
-        step > 0.0 && width > 0.0,
-        "window parameters must be positive"
-    );
-    let steps = (span / step).ceil() as usize;
-    let mut out = Vec::with_capacity(steps);
-    let mut last = 0.0;
-    // Incremental counts (two pointers): linear in |probes| + steps.
-    let (mut head, mut tail) = (0usize, 0usize);
-    let (mut a, mut b) = (0u64, 0u64);
-    for i in 0..steps {
-        let end = (i as f64 + 1.0) * step;
-        let lo = end - width;
-        while head < probes.len() && probes[head].at <= end {
-            a += 1;
-            if probes[head].replied {
-                b += 1;
-            }
-            head += 1;
-        }
-        while tail < head && probes[tail].at <= lo {
-            a -= 1;
-            if probes[tail].replied {
-                b -= 1;
-            }
-            tail += 1;
-        }
-        if let Some(l) = estimator(a, b) {
-            last = l;
-        }
-        out.push(last);
+    let mut w = LossWindow::with_estimator(width, step, estimator);
+    for p in probes {
+        w.push(*p);
+    }
+    w.finish(span);
+    let mut out = Vec::with_capacity(w.ready());
+    while let Some(l) = w.pop() {
+        out.push(l);
     }
     out
 }
@@ -165,5 +277,21 @@ mod tests {
     fn empty_probes_all_zero() {
         let ls = windowed_loss(&[], 5.0, 5.0, 1.0);
         assert_eq!(ls, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn incremental_emits_before_finish() {
+        let mut w = LossWindow::new(5.0, 1.0);
+        for i in 0..20 {
+            w.push(ProbeOutcome {
+                at: i as f64 / 2.0,
+                replied: true,
+            });
+        }
+        // Outcome at 9.5 s proves steps ending ≤ 9 s complete.
+        assert_eq!(w.ready(), 9);
+        w.finish(10.0);
+        assert_eq!(w.ready(), 10);
+        assert!(w.peak_live() <= 16, "peak live {}", w.peak_live());
     }
 }

@@ -1,17 +1,46 @@
 //! The one-pass distillation pipeline (§3.2): collected trace → replay
 //! trace. Runs in time linear in the trace length.
+//!
+//! The core is the incremental [`Distiller`]: it consumes trace records
+//! one at a time (from a [`RecordStream`] or pushed directly), solves
+//! probe triplets as their groups complete, feeds the sliding delay and
+//! loss windows, and emits ⟨d, F, Vb, Vr, L⟩ tuples into a
+//! [`TupleSink`] as soon as each window step is provably final — so
+//! modulation can start consuming tuples while collection is still
+//! running, and peak state is O(window), never the whole trace. The
+//! batch [`distill`] / [`distill_with_report`] entry points are thin
+//! adapters over the same operator and produce bit-identical output.
 
-use crate::loss::{windowed_loss, ProbeOutcome};
+use crate::loss::LossWindow;
 use crate::solver::{solve_or_correct, DelayEstimate, TripletObservation};
-use crate::window::{slide, TimedEstimate, WindowConfig};
+use crate::window::{DelayWindow, TimedEstimate, WindowConfig};
 use std::collections::BTreeMap;
-use tracekit::{ProtoInfo, QualityTuple, ReplayTrace, Trace};
+use tracekit::stream::{RecordStream, StreamError, TupleSink};
+use tracekit::{ProtoInfo, QualityTuple, ReplayTrace, Trace, TraceRecord};
 
 /// Distillation parameters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct DistillConfig {
     /// Sliding-window configuration (5 s window, 1 s step by default).
     pub window: WindowConfig,
+    /// How many probe groups past a group the stream may advance before
+    /// the group is retired (solved and counted). Bounds both the
+    /// distiller's state and its output latency in live mode: a reply
+    /// arriving after its group retired is dropped (counted in
+    /// [`DistillStats::late_records`]). With 1 s probe groups the
+    /// default of 30 tolerates replies up to ~30 s late — far beyond
+    /// any RTT the testbed produces — so batch and streaming results
+    /// coincide.
+    pub reorder_horizon: u16,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            window: WindowConfig::default(),
+            reorder_horizon: 30,
+        }
+    }
 }
 
 /// Everything the pipeline learned, for diagnostics and the scenario
@@ -34,6 +63,35 @@ pub struct DistillReport {
     pub replies_seen: usize,
 }
 
+/// Counters from an incremental distillation run.
+#[derive(Debug, Clone, Default)]
+pub struct DistillStats {
+    /// Groups solved exactly.
+    pub solved: usize,
+    /// Groups that needed the previous-parameters correction.
+    pub corrected: usize,
+    /// Complete triplets found.
+    pub triplets: usize,
+    /// Echo probes sent.
+    pub probes_sent: usize,
+    /// Replies observed.
+    pub replies_seen: usize,
+    /// Tuples emitted into the sink.
+    pub tuples: usize,
+    /// Probe records that arrived after their group had been retired
+    /// (beyond the reorder horizon) and were dropped.
+    pub late_records: usize,
+    /// High-water mark of open (unretired) probe groups.
+    pub peak_open_groups: usize,
+    /// High-water mark of estimates/outcomes held inside the sliding
+    /// windows — together with `peak_open_groups`, the O(window)
+    /// evidence.
+    pub peak_window_entries: usize,
+    /// Per-group delay estimates before windowing (only populated when
+    /// [`Distiller::record_estimates`] was requested).
+    pub estimates: Vec<TimedEstimate>,
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct GroupSlot {
     send_ns: [Option<u64>; 3],
@@ -41,48 +99,135 @@ struct GroupSlot {
     rtt_ns: [Option<u64>; 3],
 }
 
-/// Distill a collected trace into a replay trace.
-pub fn distill(trace: &Trace, cfg: &DistillConfig) -> ReplayTrace {
-    distill_with_report(trace, cfg).replay
+/// Incremental distillation operator: trace records in, quality tuples
+/// out, O(window) state in between.
+///
+/// Push records in trace order with
+/// [`push_record`](Distiller::push_record); tuples appear in the sink
+/// as soon as their window step can no longer change. Call
+/// [`finish`](Distiller::finish) when the record source is exhausted to
+/// retire the remaining groups, flush the windows over the full trace
+/// span, and collect the run's [`DistillStats`].
+#[derive(Debug)]
+pub struct Distiller {
+    cfg: DistillConfig,
+    t0: Option<u64>,
+    last_ns: u64,
+    groups: BTreeMap<u16, GroupSlot>,
+    max_group: u16,
+    prev_solved: Option<DelayEstimate>,
+    delay: DelayWindow,
+    loss: LossWindow,
+    stats: DistillStats,
+    record_estimates: bool,
 }
 
-/// Distill, returning the full report.
-pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport {
-    let t0 = trace.records.first().map(|r| r.timestamp_ns()).unwrap_or(0);
-
-    // Pass 1 (single pass over records): group probes into triplets.
-    let mut groups: BTreeMap<u16, GroupSlot> = BTreeMap::new();
-    let mut probes_sent = 0usize;
-    let mut replies_seen = 0usize;
-    for p in trace.packets() {
-        match p.proto {
-            ProtoInfo::IcmpEcho { seq, .. } if p.dir == tracekit::Dir::Out => {
-                let slot = groups.entry(seq / 3).or_default();
-                let k = (seq % 3) as usize;
-                slot.send_ns[k] = Some(p.timestamp_ns);
-                slot.wire[k] = Some(p.wire_len);
-                probes_sent += 1;
-            }
-            ProtoInfo::IcmpEchoReply { seq, rtt_ns, .. } if p.dir == tracekit::Dir::In => {
-                let slot = groups.entry(seq / 3).or_default();
-                slot.rtt_ns[(seq % 3) as usize] = Some(rtt_ns);
-                replies_seen += 1;
-            }
-            _ => {}
+impl Distiller {
+    /// A fresh distiller.
+    pub fn new(cfg: &DistillConfig) -> Self {
+        Distiller {
+            cfg: *cfg,
+            t0: None,
+            last_ns: 0,
+            groups: BTreeMap::new(),
+            max_group: 0,
+            prev_solved: None,
+            delay: DelayWindow::new(&cfg.window),
+            loss: LossWindow::new(
+                cfg.window.width.as_secs_f64(),
+                cfg.window.step.as_secs_f64(),
+            ),
+            stats: DistillStats::default(),
+            record_estimates: false,
         }
     }
 
-    // Per-group solve/correct, in time order; build probe outcomes.
-    let mut estimates = Vec::new();
-    let mut outcomes = Vec::new();
-    let mut prev_solved: Option<DelayEstimate> = None;
-    let mut solved_n = 0usize;
-    let mut corrected_n = 0usize;
-    let mut triplets = 0usize;
-    for slot in groups.values() {
+    /// Also accumulate the per-group delay estimates (needed for the
+    /// scenario figures; costs O(groups) memory, so leave it off for
+    /// unbounded live runs).
+    pub fn record_estimates(mut self) -> Self {
+        self.record_estimates = true;
+        self
+    }
+
+    /// Probe groups currently open (awaiting retirement).
+    pub fn open_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Tuples emitted so far.
+    pub fn tuples_emitted(&self) -> usize {
+        self.stats.tuples
+    }
+
+    /// Consume one trace record; completed tuples land in `sink`.
+    pub fn push_record<S: TupleSink + ?Sized>(&mut self, rec: &TraceRecord, sink: &mut S) {
+        let ts = rec.timestamp_ns();
+        if self.t0.is_none() {
+            self.t0 = Some(ts);
+        }
+        self.last_ns = ts;
+        if let TraceRecord::Packet(p) = rec {
+            match p.proto {
+                ProtoInfo::IcmpEcho { seq, .. } if p.dir == tracekit::Dir::Out => {
+                    self.stats.probes_sent += 1;
+                    let g = seq / 3;
+                    if self.is_retired(g) {
+                        self.stats.late_records += 1;
+                    } else {
+                        let slot = self.groups.entry(g).or_default();
+                        let k = (seq % 3) as usize;
+                        slot.send_ns[k] = Some(p.timestamp_ns);
+                        slot.wire[k] = Some(p.wire_len);
+                        self.max_group = self.max_group.max(g);
+                    }
+                }
+                ProtoInfo::IcmpEchoReply { seq, rtt_ns, .. } if p.dir == tracekit::Dir::In => {
+                    self.stats.replies_seen += 1;
+                    let g = seq / 3;
+                    if self.is_retired(g) {
+                        self.stats.late_records += 1;
+                    } else {
+                        let slot = self.groups.entry(g).or_default();
+                        slot.rtt_ns[(seq % 3) as usize] = Some(rtt_ns);
+                        self.max_group = self.max_group.max(g);
+                    }
+                }
+                _ => {}
+            }
+            self.stats.peak_open_groups = self.stats.peak_open_groups.max(self.groups.len());
+            self.retire_aged();
+        }
+        self.drain_ready(sink);
+    }
+
+    // A group already processed cannot be reopened: anything below the
+    // smallest open key with the horizon fully behind max_group is gone.
+    fn is_retired(&self, g: u16) -> bool {
+        if self.groups.contains_key(&g) {
+            return false;
+        }
+        (g as u32) + (self.cfg.reorder_horizon as u32) < self.max_group as u32
+    }
+
+    // Retire groups that the stream has advanced past by more than the
+    // reorder horizon, in key order (matching the batch BTreeMap sweep).
+    fn retire_aged(&mut self) {
+        while let Some(&g) = self.groups.keys().next() {
+            if (g as u32) + (self.cfg.reorder_horizon as u32) >= self.max_group as u32 {
+                break;
+            }
+            let slot = self.groups.remove(&g).unwrap_or_default();
+            self.retire_group(&slot);
+        }
+    }
+
+    // Per-group solve/correct and window feeding — the exact batch body.
+    fn retire_group(&mut self, slot: &GroupSlot) {
+        let t0 = self.t0.unwrap_or(0);
         for k in 0..3 {
             if let Some(send) = slot.send_ns[k] {
-                outcomes.push(ProbeOutcome {
+                self.loss.push(crate::loss::ProbeOutcome {
                     at: (send.saturating_sub(t0)) as f64 / 1e9,
                     replied: slot.rtt_ns[k].is_some(),
                 });
@@ -90,13 +235,13 @@ pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport 
         }
         let (Some(send0), Some(w0), Some(w1)) = (slot.send_ns[0], slot.wire[0], slot.wire[1])
         else {
-            continue;
+            return;
         };
         let (Some(r0), Some(r1), Some(r2)) = (slot.rtt_ns[0], slot.rtt_ns[1], slot.rtt_ns[2])
         else {
-            continue;
+            return;
         };
-        triplets += 1;
+        self.stats.triplets += 1;
         let obs = TripletObservation {
             s1: w0 as f64,
             s2: w1 as f64,
@@ -104,58 +249,113 @@ pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport 
             t2: r1 as f64 / 1e9,
             t3: r2 as f64 / 1e9,
         };
-        let (est, solved) = solve_or_correct(prev_solved.as_ref(), &obs);
+        let (est, solved) = solve_or_correct(self.prev_solved.as_ref(), &obs);
         if solved {
-            solved_n += 1;
+            self.stats.solved += 1;
             // The correction must not cascade: only exact solves become
             // the baseline for future corrections.
-            prev_solved = Some(est);
+            self.prev_solved = Some(est);
         } else {
-            corrected_n += 1;
+            self.stats.corrected += 1;
         }
-        estimates.push(TimedEstimate {
+        let timed = TimedEstimate {
             at: (send0.saturating_sub(t0)) as f64 / 1e9,
             est,
-        });
+        };
+        if self.record_estimates {
+            self.stats.estimates.push(timed);
+        }
+        self.delay.push(timed);
     }
-    outcomes.sort_by(|a, b| a.at.total_cmp(&b.at));
 
-    let span = trace.span_ns() as f64 / 1e9;
-    let delays = slide(&estimates, span, &cfg.window);
-    let losses = windowed_loss(
-        &outcomes,
-        span,
-        cfg.window.width.as_secs_f64(),
-        cfg.window.step.as_secs_f64(),
-    );
+    // Pair finalized delay windows with finalized loss values (both
+    // queues emit in step order) into sink tuples.
+    fn drain_ready<S: TupleSink + ?Sized>(&mut self, sink: &mut S) {
+        self.stats.peak_window_entries = self
+            .stats
+            .peak_window_entries
+            .max(self.delay.live_len() + self.loss.live_len());
+        while self.delay.ready() > 0 && self.loss.ready() > 0 {
+            let (Some(d), Some(loss)) = (self.delay.pop(), self.loss.pop()) else {
+                break;
+            };
+            sink.push_tuple(QualityTuple {
+                duration_ns: (d.duration * 1e9).round() as u64,
+                latency_ns: (d.est.f.max(0.0) * 1e9).round() as u64,
+                vb_ns_per_byte: (d.est.vb.max(0.0)) * 1e9,
+                vr_ns_per_byte: (d.est.vr.max(0.0)) * 1e9,
+                loss,
+            });
+            self.stats.tuples += 1;
+        }
+    }
 
+    /// Declare the record source exhausted: retire every open group,
+    /// flush both windows over the full trace span, emit the remaining
+    /// tuples, and return the run's statistics.
+    pub fn finish<S: TupleSink + ?Sized>(mut self, sink: &mut S) -> DistillStats {
+        let keys: Vec<u16> = self.groups.keys().copied().collect();
+        for g in keys {
+            let slot = self.groups.remove(&g).unwrap_or_default();
+            self.retire_group(&slot);
+        }
+        let span = self.last_ns.saturating_sub(self.t0.unwrap_or(0)) as f64 / 1e9;
+        self.delay.finish(span);
+        self.loss.finish(span);
+        self.drain_ready(sink);
+        self.stats
+    }
+}
+
+/// Distill every record a stream yields into `sink`, treating the first
+/// `Ok(None)` as end-of-stream (use the [`Distiller`] directly for live
+/// sources where `None` is transient).
+pub fn distill_stream<R, S>(
+    stream: &mut R,
+    cfg: &DistillConfig,
+    sink: &mut S,
+) -> Result<DistillStats, StreamError>
+where
+    R: RecordStream + ?Sized,
+    S: TupleSink + ?Sized,
+{
+    let mut d = Distiller::new(cfg);
+    while let Some(rec) = stream.next_record()? {
+        d.push_record(&rec, sink);
+    }
+    Ok(d.finish(sink))
+}
+
+/// Distill a collected trace into a replay trace.
+pub fn distill(trace: &Trace, cfg: &DistillConfig) -> ReplayTrace {
+    distill_with_report(trace, cfg).replay
+}
+
+/// Distill, returning the full report. Batch adapter over the
+/// incremental [`Distiller`] — output is bit-identical to the original
+/// whole-trace pipeline.
+pub fn distill_with_report(trace: &Trace, cfg: &DistillConfig) -> DistillReport {
     let mut replay = ReplayTrace::new(&format!("{} trial {}", trace.scenario, trace.trial));
-    for (i, d) in delays.iter().enumerate() {
-        let loss = losses.get(i).copied().unwrap_or(0.0);
-        replay.tuples.push(QualityTuple {
-            duration_ns: (d.duration * 1e9).round() as u64,
-            latency_ns: (d.est.f.max(0.0) * 1e9).round() as u64,
-            vb_ns_per_byte: (d.est.vb.max(0.0)) * 1e9,
-            vr_ns_per_byte: (d.est.vr.max(0.0)) * 1e9,
-            loss,
-        });
+    let mut distiller = Distiller::new(cfg).record_estimates();
+    for rec in &trace.records {
+        distiller.push_record(rec, &mut replay);
     }
-
+    let stats = distiller.finish(&mut replay);
     DistillReport {
         replay,
-        estimates,
-        solved: solved_n,
-        corrected: corrected_n,
-        triplets,
-        probes_sent,
-        replies_seen,
+        estimates: stats.estimates,
+        solved: stats.solved,
+        corrected: stats.corrected,
+        triplets: stats.triplets,
+        probes_sent: stats.probes_sent,
+        replies_seen: stats.replies_seen,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracekit::{Dir, PacketRecord, TraceRecord};
+    use tracekit::{Dir, PacketRecord, TraceRecord, VecStream};
 
     /// Synthesize a trace of perfect ping triplets under constant
     /// conditions: F (one-way s), Vb/Vr (s per byte), per-direction loss
@@ -279,5 +479,97 @@ mod tests {
         let replay = distill(&trace, &DistillConfig::default());
         assert!(replay.is_valid());
         assert!(start.elapsed().as_secs_f64() < 5.0);
+    }
+
+    #[test]
+    fn stream_matches_batch_bitwise() {
+        let trace = synth_trace(60, 2e-3, 4e-6, 0.8e-6, |seq| seq % 7 == 3);
+        let cfg = DistillConfig::default();
+        let batch = distill(&trace, &cfg);
+        let mut streamed: Vec<QualityTuple> = Vec::new();
+        let mut stream = VecStream::from_trace(trace);
+        let stats = distill_stream(&mut stream, &cfg, &mut streamed).unwrap();
+        assert_eq!(streamed.len(), batch.tuples.len());
+        for (s, b) in streamed.iter().zip(&batch.tuples) {
+            assert_eq!(s.duration_ns, b.duration_ns);
+            assert_eq!(s.latency_ns, b.latency_ns);
+            assert_eq!(s.vb_ns_per_byte.to_bits(), b.vb_ns_per_byte.to_bits());
+            assert_eq!(s.vr_ns_per_byte.to_bits(), b.vr_ns_per_byte.to_bits());
+            assert_eq!(s.loss.to_bits(), b.loss.to_bits());
+        }
+        assert_eq!(stats.late_records, 0);
+    }
+
+    #[test]
+    fn tuples_flow_before_finish() {
+        let trace = synth_trace(120, 2e-3, 4e-6, 0.8e-6, |_| false);
+        let cfg = DistillConfig::default();
+        let mut sink: Vec<QualityTuple> = Vec::new();
+        let mut d = Distiller::new(&cfg);
+        let mut mid_count = None;
+        for (i, rec) in trace.records.iter().enumerate() {
+            d.push_record(rec, &mut sink);
+            if i == trace.records.len() / 2 {
+                mid_count = Some(sink.len());
+            }
+        }
+        let stats = d.finish(&mut sink);
+        // With a 30-group horizon, tuples start flowing ~31 steps in:
+        // by mid-trace (~60 s) a healthy batch must already be out.
+        let mid = mid_count.unwrap();
+        assert!(mid >= 20, "only {mid} tuples by mid-trace");
+        assert_eq!(sink.len(), stats.tuples);
+        assert_eq!(sink.len(), 120);
+    }
+
+    #[test]
+    fn distiller_state_is_bounded() {
+        let trace = synth_trace(1800, 2e-3, 4e-6, 0.8e-6, |_| false);
+        let cfg = DistillConfig::default();
+        let mut sink: Vec<QualityTuple> = Vec::new();
+        let mut d = Distiller::new(&cfg);
+        for rec in &trace.records {
+            d.push_record(rec, &mut sink);
+        }
+        let stats = d.finish(&mut sink);
+        // 1800 groups flowed through, but never more than
+        // horizon + 2 were open at once, and the windows held only a
+        // window's worth of entries.
+        assert!(
+            stats.peak_open_groups <= cfg.reorder_horizon as usize + 2,
+            "peak open groups {}",
+            stats.peak_open_groups
+        );
+        assert!(
+            stats.peak_window_entries <= 64,
+            "peak window entries {}",
+            stats.peak_window_entries
+        );
+    }
+
+    #[test]
+    fn late_replies_beyond_horizon_are_dropped_and_counted() {
+        let mut trace = synth_trace(50, 2e-3, 4e-6, 0.8e-6, |seq| seq == 0);
+        // Hand-craft a reply to group 0 arriving 49 s late — far past
+        // the 30-group horizon.
+        trace.records.push(TraceRecord::Packet(PacketRecord {
+            timestamp_ns: 49_500_000_000,
+            dir: Dir::In,
+            wire_len: 106,
+            proto: ProtoInfo::IcmpEchoReply {
+                ident: 1,
+                seq: 0,
+                payload_len: 64,
+                rtt_ns: 49_500_000_000,
+            },
+        }));
+        let cfg = DistillConfig::default();
+        let mut sink: Vec<QualityTuple> = Vec::new();
+        let mut d = Distiller::new(&cfg);
+        for rec in &trace.records {
+            d.push_record(rec, &mut sink);
+        }
+        let stats = d.finish(&mut sink);
+        assert_eq!(stats.late_records, 1);
     }
 }

@@ -2,9 +2,17 @@
 //! estimates into the delay components of replay-trace tuples. The
 //! paper's five-second window "balances the desire to discount outlying
 //! estimates with the need to be reactive to true change".
+//!
+//! The operator is incremental: [`DelayWindow`] consumes time-sorted
+//! estimates one at a time and emits a finalized window as soon as an
+//! estimate past the window's admission boundary proves it complete,
+//! holding only the estimates still inside the window (O(window)
+//! state). The batch [`slide`] is a thin adapter over it and produces
+//! bit-identical output.
 
 use crate::solver::DelayEstimate;
 use netsim::SimDuration;
+use std::collections::VecDeque;
 
 /// Window configuration.
 #[derive(Debug, Clone, Copy)]
@@ -44,65 +52,122 @@ pub struct WindowedDelay {
     pub est: DelayEstimate,
 }
 
-/// Slide a window of `cfg.width` over `estimates` (which must be sorted
-/// by time), emitting one averaged tuple per `cfg.step` covering
-/// `[0, span]`. Windows are backward-looking: the tuple starting at `t`
-/// averages estimates in `(t + step − width, t + step]`. Empty windows
-/// reuse the nearest preceding average (or the first available one).
-pub fn slide(estimates: &[TimedEstimate], span: f64, cfg: &WindowConfig) -> Vec<WindowedDelay> {
-    let step = cfg.step.as_secs_f64();
-    let width = cfg.width.as_secs_f64();
-    assert!(step > 0.0 && width > 0.0, "window config must be positive");
-    let mut out = Vec::new();
-    if span <= 0.0 {
-        return out;
-    }
-    debug_assert!(
-        estimates.windows(2).all(|w| w[0].at <= w[1].at),
-        "estimates must be time-sorted"
-    );
+/// Incremental sliding-window average over time-sorted delay estimates.
+///
+/// Windows are backward-looking: the tuple starting at `t` averages
+/// estimates in `(t + step − width, t + step]`. Empty windows reuse the
+/// nearest preceding average (or the first estimate ever seen). A step
+/// is emitted as soon as a pushed estimate lies strictly past its
+/// admission boundary — at which point no later estimate can enter it —
+/// so output flows while input is still arriving. [`finish`] flushes
+/// the remaining steps once the trace span is known.
+///
+/// State is the estimates currently inside (or awaiting) the window
+/// plus running sums: O(window), never the whole trace.
+///
+/// [`finish`]: DelayWindow::finish
+#[derive(Debug)]
+pub struct DelayWindow {
+    step: f64,
+    width: f64,
+    /// Pushed but not yet admitted to any window.
+    pending: VecDeque<TimedEstimate>,
+    /// Admitted and not yet expired (inside the current window).
+    active: VecDeque<TimedEstimate>,
+    f: f64,
+    vb: f64,
+    vr: f64,
+    next_step: usize,
+    last: Option<DelayEstimate>,
+    first: Option<DelayEstimate>,
+    out: VecDeque<WindowedDelay>,
+    peak_live: usize,
+}
 
-    // Incremental sliding window (two pointers + running sums): the whole
-    // sweep is linear in |estimates| + steps, honouring the paper's
-    // "single pass, order of the length of the trace" requirement.
-    let mut last: Option<DelayEstimate> = None;
-    let steps = (span / step).ceil() as usize;
-    let (mut head, mut tail) = (0usize, 0usize);
-    let (mut f, mut vb, mut vr) = (0.0f64, 0.0f64, 0.0f64);
-    for i in 0..steps {
-        let start = i as f64 * step;
-        let end = start + step;
-        let lo = end - width;
-        // Admit estimates that entered the window.
-        while head < estimates.len() && estimates[head].at <= end {
-            let e = &estimates[head].est;
-            f += e.f;
-            vb += e.vb;
-            vr += e.vr;
-            head += 1;
+impl DelayWindow {
+    /// An empty window operator.
+    pub fn new(cfg: &WindowConfig) -> Self {
+        let step = cfg.step.as_secs_f64();
+        let width = cfg.width.as_secs_f64();
+        assert!(step > 0.0 && width > 0.0, "window config must be positive");
+        DelayWindow {
+            step,
+            width,
+            pending: VecDeque::new(),
+            active: VecDeque::new(),
+            f: 0.0,
+            vb: 0.0,
+            vr: 0.0,
+            next_step: 0,
+            last: None,
+            first: None,
+            out: VecDeque::new(),
+            peak_live: 0,
         }
-        // Expire estimates that left it.
-        while tail < head && estimates[tail].at <= lo {
-            let e = &estimates[tail].est;
-            f -= e.f;
-            vb -= e.vb;
-            vr -= e.vr;
-            tail += 1;
+    }
+
+    /// Push the next estimate (must be ≥ all previously pushed times).
+    pub fn push(&mut self, e: TimedEstimate) {
+        debug_assert!(
+            self.pending.back().is_none_or(|p| p.at <= e.at),
+            "estimates must be time-sorted"
+        );
+        if self.first.is_none() {
+            self.first = Some(e.est);
         }
-        let n = head - tail;
+        // Every step whose admission boundary this estimate is strictly
+        // past is complete: nothing later can enter it (mid-stream the
+        // span is unknown, but span ≥ e.at > end means the batch
+        // duration (span − start).min(step) is exactly `step`).
+        loop {
+            let start = self.next_step as f64 * self.step;
+            let end = start + self.step;
+            if e.at <= end {
+                break;
+            }
+            self.flush_step(start, end, self.step);
+        }
+        self.pending.push_back(e);
+        self.peak_live = self.peak_live.max(self.live_len());
+    }
+
+    // Finalize one step: admit, expire, average (identical op order to
+    // the batch two-pointer sweep, so sums see the same f64 sequence).
+    fn flush_step(&mut self, start: f64, end: f64, duration: f64) {
+        let lo = end - self.width;
+        while let Some(p) = self.pending.front().copied() {
+            if p.at > end {
+                break;
+            }
+            self.f += p.est.f;
+            self.vb += p.est.vb;
+            self.vr += p.est.vr;
+            self.active.push_back(p);
+            self.pending.pop_front();
+        }
+        while let Some(t) = self.active.front().copied() {
+            if t.at > lo {
+                break;
+            }
+            self.f -= t.est.f;
+            self.vb -= t.est.vb;
+            self.vr -= t.est.vr;
+            self.active.pop_front();
+        }
+        let n = self.active.len();
         let est = if n > 0 {
             let k = n as f64;
             let avg = DelayEstimate {
-                f: (f / k).max(0.0),
-                vb: (vb / k).max(0.0),
-                vr: (vr / k).max(0.0),
+                f: (self.f / k).max(0.0),
+                vb: (self.vb / k).max(0.0),
+                vr: (self.vr / k).max(0.0),
             };
-            last = Some(avg);
+            self.last = Some(avg);
             avg
-        } else if let Some(prev) = last {
+        } else if let Some(prev) = self.last {
             prev
-        } else if let Some(first) = estimates.first() {
-            first.est
+        } else if let Some(first) = self.first {
+            first
         } else {
             DelayEstimate {
                 f: 0.0,
@@ -110,11 +175,75 @@ pub fn slide(estimates: &[TimedEstimate], span: f64, cfg: &WindowConfig) -> Vec<
                 vr: 0.0,
             }
         };
-        out.push(WindowedDelay {
+        self.out.push_back(WindowedDelay {
             start,
-            duration: (span - start).min(step),
+            duration,
             est,
         });
+        self.next_step += 1;
+    }
+
+    /// Declare end of input with the trace span (seconds): flush every
+    /// step needed to cover `[0, span]`. The final step's duration is
+    /// clipped to the span.
+    pub fn finish(&mut self, span: f64) {
+        if span <= 0.0 {
+            return;
+        }
+        let steps = (span / self.step).ceil() as usize;
+        while self.next_step < steps {
+            let start = self.next_step as f64 * self.step;
+            let end = start + self.step;
+            let duration = (span - start).min(self.step);
+            self.flush_step(start, end, duration);
+        }
+    }
+
+    /// Pop the next finalized window, if any.
+    pub fn pop(&mut self) -> Option<WindowedDelay> {
+        self.out.pop_front()
+    }
+
+    /// Number of finalized windows awaiting [`pop`](DelayWindow::pop).
+    pub fn ready(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Estimates currently held (pending + inside the window).
+    pub fn live_len(&self) -> usize {
+        self.pending.len() + self.active.len()
+    }
+
+    /// High-water mark of held estimates — the O(window) evidence.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+}
+
+/// Slide a window of `cfg.width` over `estimates` (which must be sorted
+/// by time), emitting one averaged tuple per `cfg.step` covering
+/// `[0, span]`. Windows are backward-looking: the tuple starting at `t`
+/// averages estimates in `(t + step − width, t + step]`. Empty windows
+/// reuse the nearest preceding average (or the first available one).
+///
+/// Batch adapter over [`DelayWindow`]; bit-identical to the original
+/// single-pass sweep.
+pub fn slide(estimates: &[TimedEstimate], span: f64, cfg: &WindowConfig) -> Vec<WindowedDelay> {
+    let mut w = DelayWindow::new(cfg);
+    if span <= 0.0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        estimates.windows(2).all(|p| p[0].at <= p[1].at),
+        "estimates must be time-sorted"
+    );
+    for e in estimates {
+        w.push(*e);
+    }
+    w.finish(span);
+    let mut out = Vec::with_capacity(w.ready());
+    while let Some(d) = w.pop() {
+        out.push(d);
     }
     out
 }
@@ -214,5 +343,45 @@ mod tests {
         assert!((out[16].est.f - 50e-3).abs() < 1e-9);
         // Mid-transition: between the two.
         assert!(out[12].est.f > 2e-3 && out[12].est.f < 50e-3);
+    }
+
+    #[test]
+    fn incremental_emits_before_finish() {
+        let cfg = WindowConfig::default();
+        let mut w = DelayWindow::new(&cfg);
+        for i in 0..10 {
+            w.push(TimedEstimate {
+                at: i as f64 + 0.5,
+                est: est(2e-3),
+            });
+        }
+        // The estimate at 9.5 s proves windows ending ≤ 9 s complete.
+        assert_eq!(w.ready(), 9);
+        w.finish(10.0);
+        assert_eq!(w.ready(), 10);
+    }
+
+    #[test]
+    fn state_stays_bounded_by_window() {
+        let cfg = WindowConfig::default();
+        let mut w = DelayWindow::new(&cfg);
+        let mut n = 0usize;
+        // 4 estimates per second for 1000 s: peak live state must stay
+        // around width+step worth of estimates, not the full 4000.
+        for i in 0..4000 {
+            w.push(TimedEstimate {
+                at: i as f64 / 4.0,
+                est: est(1e-3),
+            });
+            n += w.ready();
+            while w.pop().is_some() {}
+        }
+        w.finish(1000.0);
+        while w.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+        // (5 s window + 1 s step + 1 boundary) × 4/s = 28; allow slack.
+        assert!(w.peak_live() <= 32, "peak live {}", w.peak_live());
     }
 }

@@ -1,0 +1,364 @@
+//! Bitwise equivalence of the incremental streaming distiller against
+//! the original whole-trace batch pipeline.
+//!
+//! The library's `distill_with_report` is now a thin adapter over the
+//! incremental [`Distiller`], so comparing the two through the public
+//! API alone would be circular. The `reference` module below is a
+//! verbatim copy of the pre-refactor batch implementation (two-pointer
+//! window sweeps over fully materialised estimate/outcome vectors);
+//! every test demands `f64::to_bits`-level identity between it, the
+//! batch adapter, and `distill_stream` over a [`VecStream`].
+
+use distill::{distill_stream, distill_with_report, DistillConfig};
+use tracekit::{Dir, PacketRecord, ProtoInfo, QualityTuple, Trace, TraceRecord, VecStream};
+
+/// The original batch pipeline, copied from the pre-streaming tree so
+/// the refactor has an independent oracle.
+mod reference {
+    use distill::loss::{loss_from_counts, ProbeOutcome};
+    use distill::window::TimedEstimate;
+    use distill::{solve_or_correct, DelayEstimate, DistillConfig, TripletObservation};
+    use std::collections::BTreeMap;
+    use tracekit::{ProtoInfo, QualityTuple, Trace};
+
+    #[derive(Debug, Default, Clone, Copy)]
+    struct GroupSlot {
+        send_ns: [Option<u64>; 3],
+        wire: [Option<u32>; 3],
+        rtt_ns: [Option<u64>; 3],
+    }
+
+    struct WindowedDelay {
+        duration: f64,
+        est: DelayEstimate,
+    }
+
+    fn slide(
+        estimates: &[TimedEstimate],
+        span: f64,
+        cfg: &distill::WindowConfig,
+    ) -> Vec<WindowedDelay> {
+        let step = cfg.step.as_secs_f64();
+        let width = cfg.width.as_secs_f64();
+        let mut out = Vec::new();
+        if span <= 0.0 {
+            return out;
+        }
+        let mut last: Option<DelayEstimate> = None;
+        let steps = (span / step).ceil() as usize;
+        let (mut head, mut tail) = (0usize, 0usize);
+        let (mut f, mut vb, mut vr) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..steps {
+            let start = i as f64 * step;
+            let end = start + step;
+            let lo = end - width;
+            while head < estimates.len() && estimates[head].at <= end {
+                let e = &estimates[head].est;
+                f += e.f;
+                vb += e.vb;
+                vr += e.vr;
+                head += 1;
+            }
+            while tail < head && estimates[tail].at <= lo {
+                let e = &estimates[tail].est;
+                f -= e.f;
+                vb -= e.vb;
+                vr -= e.vr;
+                tail += 1;
+            }
+            let n = head - tail;
+            let est = if n > 0 {
+                let k = n as f64;
+                let avg = DelayEstimate {
+                    f: (f / k).max(0.0),
+                    vb: (vb / k).max(0.0),
+                    vr: (vr / k).max(0.0),
+                };
+                last = Some(avg);
+                avg
+            } else if let Some(prev) = last {
+                prev
+            } else if let Some(first) = estimates.first() {
+                first.est
+            } else {
+                DelayEstimate {
+                    f: 0.0,
+                    vb: 0.0,
+                    vr: 0.0,
+                }
+            };
+            out.push(WindowedDelay {
+                duration: (span - start).min(step),
+                est,
+            });
+        }
+        out
+    }
+
+    fn windowed_loss(probes: &[ProbeOutcome], span: f64, width: f64, step: f64) -> Vec<f64> {
+        let steps = (span / step).ceil() as usize;
+        let mut out = Vec::with_capacity(steps);
+        let mut last = 0.0;
+        let (mut head, mut tail) = (0usize, 0usize);
+        let (mut a, mut b) = (0u64, 0u64);
+        for i in 0..steps {
+            let end = (i as f64 + 1.0) * step;
+            let lo = end - width;
+            while head < probes.len() && probes[head].at <= end {
+                a += 1;
+                if probes[head].replied {
+                    b += 1;
+                }
+                head += 1;
+            }
+            while tail < head && probes[tail].at <= lo {
+                a -= 1;
+                if probes[tail].replied {
+                    b -= 1;
+                }
+                tail += 1;
+            }
+            if let Some(l) = loss_from_counts(a, b) {
+                last = l;
+            }
+            out.push(last);
+        }
+        out
+    }
+
+    /// The pre-refactor `distill_with_report`, minus the report fields
+    /// the equivalence tests don't compare.
+    pub fn distill_tuples(trace: &Trace, cfg: &DistillConfig) -> Vec<QualityTuple> {
+        let t0 = trace.records.first().map(|r| r.timestamp_ns()).unwrap_or(0);
+
+        let mut groups: BTreeMap<u16, GroupSlot> = BTreeMap::new();
+        for p in trace.packets() {
+            match p.proto {
+                ProtoInfo::IcmpEcho { seq, .. } if p.dir == tracekit::Dir::Out => {
+                    let slot = groups.entry(seq / 3).or_default();
+                    let k = (seq % 3) as usize;
+                    slot.send_ns[k] = Some(p.timestamp_ns);
+                    slot.wire[k] = Some(p.wire_len);
+                }
+                ProtoInfo::IcmpEchoReply { seq, rtt_ns, .. } if p.dir == tracekit::Dir::In => {
+                    let slot = groups.entry(seq / 3).or_default();
+                    slot.rtt_ns[(seq % 3) as usize] = Some(rtt_ns);
+                }
+                _ => {}
+            }
+        }
+
+        let mut estimates = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut prev_solved: Option<DelayEstimate> = None;
+        for slot in groups.values() {
+            for k in 0..3 {
+                if let Some(send) = slot.send_ns[k] {
+                    outcomes.push(ProbeOutcome {
+                        at: (send.saturating_sub(t0)) as f64 / 1e9,
+                        replied: slot.rtt_ns[k].is_some(),
+                    });
+                }
+            }
+            let (Some(send0), Some(w0), Some(w1)) = (slot.send_ns[0], slot.wire[0], slot.wire[1])
+            else {
+                continue;
+            };
+            let (Some(r0), Some(r1), Some(r2)) = (slot.rtt_ns[0], slot.rtt_ns[1], slot.rtt_ns[2])
+            else {
+                continue;
+            };
+            let obs = TripletObservation {
+                s1: w0 as f64,
+                s2: w1 as f64,
+                t1: r0 as f64 / 1e9,
+                t2: r1 as f64 / 1e9,
+                t3: r2 as f64 / 1e9,
+            };
+            let (est, solved) = solve_or_correct(prev_solved.as_ref(), &obs);
+            if solved {
+                prev_solved = Some(est);
+            }
+            estimates.push(TimedEstimate {
+                at: (send0.saturating_sub(t0)) as f64 / 1e9,
+                est,
+            });
+        }
+        outcomes.sort_by(|a, b| a.at.total_cmp(&b.at));
+
+        let span = trace.span_ns() as f64 / 1e9;
+        let delays = slide(&estimates, span, &cfg.window);
+        let losses = windowed_loss(
+            &outcomes,
+            span,
+            cfg.window.width.as_secs_f64(),
+            cfg.window.step.as_secs_f64(),
+        );
+
+        delays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| QualityTuple {
+                duration_ns: (d.duration * 1e9).round() as u64,
+                latency_ns: (d.est.f.max(0.0) * 1e9).round() as u64,
+                vb_ns_per_byte: (d.est.vb.max(0.0)) * 1e9,
+                vr_ns_per_byte: (d.est.vr.max(0.0)) * 1e9,
+                loss: losses.get(i).copied().unwrap_or(0.0),
+            })
+            .collect()
+    }
+}
+
+/// Synthesize a ping-triplet trace with a deterministic LCG jittering
+/// send times and RTTs, configurable reply drops, and occasional
+/// non-probe records (signal samples, overruns) interleaved.
+fn synth_trace(secs: u64, seed: u64, drop_reply: impl Fn(u16) -> bool) -> Trace {
+    let mut t = Trace::new("h", "synth", 1);
+    let mut lcg = seed | 1;
+    let mut next = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    let (s1, s2) = (106u32, 542u32);
+    let (f, vb, vr) = (2e-3, 4e-6, 0.8e-6);
+    for g in 0..secs {
+        let base_ns = g * 1_000_000_000 + next() % 40_000_000;
+        let mut off = 0u64;
+        for k in 0..3u16 {
+            let seq = (g as u16) * 3 + k;
+            let wire = if k == 0 { s1 } else { s2 };
+            let send_ns = base_ns + off;
+            off += 100_000 + next() % 400_000;
+            t.records.push(TraceRecord::Packet(PacketRecord {
+                timestamp_ns: send_ns,
+                dir: Dir::Out,
+                wire_len: wire,
+                proto: ProtoInfo::IcmpEcho {
+                    ident: 1,
+                    seq,
+                    payload_len: wire - 42,
+                    gen_ts_ns: send_ns,
+                },
+            }));
+            if drop_reply(seq) {
+                continue;
+            }
+            let s = wire as f64;
+            let v = vb + vr;
+            let base_rtt = match k {
+                0 | 1 => 2.0 * (f + s * v),
+                _ => 2.0 * (f + s * v) + s * vb,
+            };
+            let rtt_ns = (base_rtt * 1e9) as u64 + next() % 300_000;
+            t.records.push(TraceRecord::Packet(PacketRecord {
+                timestamp_ns: send_ns + rtt_ns,
+                dir: Dir::In,
+                wire_len: wire,
+                proto: ProtoInfo::IcmpEchoReply {
+                    ident: 1,
+                    seq,
+                    payload_len: wire - 42,
+                    rtt_ns,
+                },
+            }));
+        }
+        if g % 7 == 0 {
+            t.records
+                .push(TraceRecord::Overrun(tracekit::OverrunRecord {
+                    timestamp_ns: base_ns + 500_000_000,
+                    lost_packets: next() % 5 + 1,
+                    lost_device: next() % 3,
+                }));
+        }
+    }
+    t.records.sort_by_key(|r| r.timestamp_ns());
+    t
+}
+
+fn assert_tuples_bitwise_equal(a: &[QualityTuple], b: &[QualityTuple], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: tuple count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.duration_ns, y.duration_ns, "{what}: duration at {i}");
+        assert_eq!(x.latency_ns, y.latency_ns, "{what}: latency at {i}");
+        assert_eq!(
+            x.vb_ns_per_byte.to_bits(),
+            y.vb_ns_per_byte.to_bits(),
+            "{what}: vb at {i}"
+        );
+        assert_eq!(
+            x.vr_ns_per_byte.to_bits(),
+            y.vr_ns_per_byte.to_bits(),
+            "{what}: vr at {i}"
+        );
+        assert_eq!(x.loss.to_bits(), y.loss.to_bits(), "{what}: loss at {i}");
+    }
+}
+
+fn check_equivalence(trace: &Trace, cfg: &DistillConfig, what: &str) {
+    let oracle = reference::distill_tuples(trace, cfg);
+    assert!(
+        !oracle.is_empty() || trace.records.is_empty(),
+        "{what}: oracle produced no tuples"
+    );
+
+    let batch = distill_with_report(trace, cfg);
+    assert_tuples_bitwise_equal(&oracle, &batch.replay.tuples, &format!("{what} (batch)"));
+
+    let mut streamed = Vec::new();
+    let mut stream = VecStream::from_trace(trace.clone());
+    distill_stream(&mut stream, cfg, &mut streamed).expect("vec stream cannot fail");
+    assert_tuples_bitwise_equal(&oracle, &streamed, &format!("{what} (stream)"));
+}
+
+#[test]
+fn perfect_trace_matches_reference_bitwise() {
+    let trace = synth_trace(120, 11, |_| false);
+    check_equivalence(&trace, &DistillConfig::default(), "perfect");
+}
+
+#[test]
+fn lossy_trace_matches_reference_bitwise() {
+    let trace = synth_trace(90, 23, |seq| (seq / 3) % 3 == 1);
+    check_equivalence(&trace, &DistillConfig::default(), "lossy");
+}
+
+#[test]
+fn incomplete_triplets_match_reference_bitwise() {
+    // Third probe of most groups lost: those triplets never complete, so
+    // the delay window runs mostly on corrections/gaps.
+    let trace = synth_trace(60, 37, |seq| seq % 3 == 2 && (seq / 3) % 4 != 0);
+    check_equivalence(&trace, &DistillConfig::default(), "incomplete");
+}
+
+#[test]
+fn outage_gap_matches_reference_bitwise() {
+    // A 20 s total outage in the middle: empty windows must hold the
+    // previous estimate identically in all three implementations.
+    let trace = synth_trace(80, 51, |seq| {
+        let g = seq / 3;
+        (30..50).contains(&g)
+    });
+    check_equivalence(&trace, &DistillConfig::default(), "outage");
+}
+
+#[test]
+fn nondefault_window_matches_reference_bitwise() {
+    use netsim::SimDuration;
+    let cfg = DistillConfig {
+        window: distill::WindowConfig {
+            width: SimDuration::from_secs(15),
+            step: SimDuration::from_millis(2500),
+        },
+        ..DistillConfig::default()
+    };
+    let trace = synth_trace(70, 77, |seq| seq % 11 == 5);
+    check_equivalence(&trace, &cfg, "15s/2.5s window");
+}
+
+#[test]
+fn empty_trace_matches_reference() {
+    let trace = Trace::new("h", "empty", 1);
+    check_equivalence(&trace, &DistillConfig::default(), "empty");
+}

@@ -50,8 +50,9 @@ pub use plan::{
     CellKind, CellOutput, CellReport, Exec, PlanMetrics, PlanResults, TrialCell, TrialPlan,
 };
 pub use runs::{
-    collect_and_distill, collect_trace, collect_trace_two_sided, ethernet_run, live_run,
-    measure_compensation, modulated_run, modulated_run_asymmetric, RunConfig,
+    collect_and_distill, collect_trace, collect_trace_two_sided, ethernet_run, live_modulated_run,
+    live_run, measure_compensation, modulated_run, modulated_run_asymmetric, LiveModOutcome,
+    LiveModStats, RunConfig,
 };
 pub use testbed::{build_ethernet, build_wireless, Hardware, Testbed, LAPTOP_IP, SERVER_IP};
 pub use workload::{install, run_to_completion, Benchmark, Installed, RunResult, FTP_SIZE};

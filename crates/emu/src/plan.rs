@@ -13,7 +13,10 @@
 //!
 //! [`Comparison`]: crate::experiment::Comparison
 
-use crate::runs::{collect_trace, ethernet_run, live_run, modulated_run, RunConfig};
+use crate::runs::{
+    collect_trace, ethernet_run, live_modulated_run, live_run, modulated_run, LiveModOutcome,
+    RunConfig,
+};
 use crate::workload::{Benchmark, RunResult};
 use distill::{distill_with_report, DistillConfig, DistillReport};
 use netsim::stats::Summary;
@@ -105,6 +108,16 @@ pub enum CellKind {
         /// Distillation parameters.
         distill: DistillConfig,
     },
+    /// The streaming pipeline end to end: collect, distill, and
+    /// modulate concurrently ([`live_modulated_run`]).
+    LiveModulated {
+        /// Scenario to collect while modulating.
+        scenario: Scenario,
+        /// Benchmark to run on the concurrently modulated Ethernet.
+        benchmark: Benchmark,
+        /// Distillation parameters for the incremental distiller.
+        distill: DistillConfig,
+    },
     /// Arbitrary work for bespoke experiments (ablations): receives
     /// (trial, config), returns any run results produced.
     Custom(CustomCell),
@@ -133,6 +146,8 @@ pub enum CellOutput {
     RunWithReport(RunResult, DistillReport),
     /// A collected trace and its distillation (figure cells).
     Collected(Trace, DistillReport),
+    /// A live streaming-pipeline run with its diagnostics.
+    LiveModulated(LiveModOutcome),
     /// Results of a custom cell.
     Runs(Vec<RunResult>),
 }
@@ -141,6 +156,7 @@ impl CellOutput {
     fn run_results(&self) -> &[RunResult] {
         match self {
             CellOutput::Run(r) | CellOutput::RunWithReport(r, _) => std::slice::from_ref(r),
+            CellOutput::LiveModulated(o) => std::slice::from_ref(&o.result),
             CellOutput::Collected(..) => &[],
             CellOutput::Runs(rs) => rs,
         }
@@ -410,6 +426,16 @@ fn execute_cell(cell: &TrialCell) -> (CellOutput, CellReport) {
             let v = scenario.duration.as_secs_f64();
             (CellOutput::Collected(trace, report), v)
         }
+        CellKind::LiveModulated {
+            scenario,
+            benchmark,
+            distill,
+        } => {
+            let o = live_modulated_run(scenario, cell.trial, *benchmark, distill, &cell.cfg);
+            // Both simulations advance in lockstep over the same span.
+            let v = o.stats.collection_secs.max(virtual_secs_of(&o.result));
+            (CellOutput::LiveModulated(o), v)
+        }
         CellKind::Custom(work) => {
             let rs = work(cell.trial, &cell.cfg);
             let v = rs.iter().map(virtual_secs_of).sum();
@@ -472,6 +498,24 @@ impl PlanResults {
                     },
                     CellOutput::RunWithReport(r, _),
                 ) if s.name == scenario && *b == benchmark => Some(r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Live streaming-pipeline outcomes for (scenario, benchmark), in
+    /// plan order.
+    pub fn live_modulated(&self, scenario: &str, benchmark: Benchmark) -> Vec<&LiveModOutcome> {
+        self.iter()
+            .filter_map(|(c, o)| match (&c.kind, o) {
+                (
+                    CellKind::LiveModulated {
+                        scenario: s,
+                        benchmark: b,
+                        ..
+                    },
+                    CellOutput::LiveModulated(out),
+                ) if s.name == scenario && *b == benchmark => Some(out),
                 _ => None,
             })
             .collect()

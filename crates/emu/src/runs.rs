@@ -4,9 +4,9 @@
 //! compensation measurement of the modulating network.
 
 use crate::testbed::{build_ethernet, build_wireless, Hardware, SERVER_IP};
-use crate::workload::{install, run_to_completion, Benchmark, RunResult};
-use distill::{distill_with_report, DistillConfig, DistillReport};
-use modulate::{Modulator, TickClock};
+use crate::workload::{extract, install, is_done, run_to_completion, Benchmark, RunResult};
+use distill::{distill_with_report, DistillConfig, DistillReport, DistillStats, Distiller};
+use modulate::{Modulator, TickClock, TupleBuffer, TupleFeed};
 use netsim::{SimDuration, SimRng, SimTime};
 use tracekit::{CollectionDaemon, Collector, PseudoDevice, ReplayTrace, Trace};
 use wavelan::Scenario;
@@ -187,6 +187,164 @@ pub fn modulated_run(
         },
     );
     run_to_completion(&mut tb, &inst)
+}
+
+/// Diagnostics from a [`live_modulated_run`]'s streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct LiveModStats {
+    /// Tuples the incremental distiller pushed into the feed.
+    pub tuples_fed: u64,
+    /// Tuples the modulator consumed from the kernel buffer.
+    pub tuples_consumed: u64,
+    /// Virtual time (s) when the modulator first consumed a tuple;
+    /// `Some(t)` with `t <` [`collection_secs`](Self::collection_secs)
+    /// demonstrates modulation starting while collection still runs.
+    pub first_consumption_secs: Option<f64>,
+    /// Virtual seconds the collection phase ran (trace span + drain).
+    pub collection_secs: f64,
+    /// High-water mark of the user-space feed backlog.
+    pub peak_backlog: usize,
+    /// Statistics from the incremental distillation.
+    pub distill: DistillStats,
+}
+
+/// Benchmark result plus pipeline diagnostics from a live run.
+#[derive(Debug, Clone)]
+pub struct LiveModOutcome {
+    /// The benchmark outcome on the modulated Ethernet.
+    pub result: RunResult,
+    /// Streaming-pipeline diagnostics.
+    pub stats: LiveModStats,
+}
+
+/// **Live modulated run**: collection, distillation, and modulation
+/// running *concurrently* — the streaming pipeline end to end. The
+/// collection testbed is built exactly like [`collect_trace`] (same
+/// seed purposes, same apps), but instead of waiting for the full
+/// trace, records are stolen from the collection daemon between
+/// lockstep slices and pushed through an incremental
+/// [`Distiller`] whose tuples flow — via a [`TupleFeed`] and the
+/// bounded kernel [`TupleBuffer`] — straight into a
+/// [`Modulator`] shimmed under the benchmark on the modulation
+/// Ethernet. The two simulations advance in 500 ms lockstep, so the
+/// benchmark experiences network quality distilled moments earlier.
+pub fn live_modulated_run(
+    scenario: &Scenario,
+    trial: u32,
+    benchmark: Benchmark,
+    dcfg: &DistillConfig,
+    cfg: &RunConfig,
+) -> LiveModOutcome {
+    // Collection side — identical construction to `collect_trace`.
+    let mut trial_rng = SimRng::seed_from_u64(seed_for(scenario.name, trial, 1));
+    let channel = scenario.channel(&mut trial_rng);
+    let meter = channel.meter();
+    let dev = PseudoDevice::new(65_536);
+    let scenario_secs = scenario.duration.as_secs_f64() as u64;
+    let (mut wl, (_ping, daemon)) = build_wireless(
+        seed_for(scenario.name, trial, 2),
+        cfg.hw,
+        channel,
+        |laptop, _server| {
+            let collector = Collector::new(dev.clone())
+                .with_signal_source(Box::new(move || meter.lock().quantized()));
+            laptop.set_tracer(Box::new(collector));
+            let mut ping_cfg = PingConfig::paper(SERVER_IP);
+            ping_cfg.duration = SimDuration::from_secs(scenario_secs);
+            let ping = laptop.add_app(Box::new(PingWorkload::new(ping_cfg)));
+            let daemon = laptop.add_app(Box::new(CollectionDaemon::new(
+                dev.clone(),
+                "thinkpad",
+                scenario.name,
+                trial,
+            )));
+            (ping, daemon)
+        },
+    );
+
+    // Modulation side — the modulator reads the same kernel buffer the
+    // feed writes into; no replay file in between.
+    let buf = TupleBuffer::new(64);
+    let mut feed = TupleFeed::new(buf.clone());
+    let mut modulator = Modulator::from_buffer(buf.clone()).with_clock(cfg.clock);
+    if let Some(vb) = cfg.compensation {
+        modulator = modulator.with_compensation(vb);
+    }
+    let (mut eth, inst) = build_ethernet(
+        seed_for(scenario.name, trial, 9),
+        cfg.hw,
+        |laptop, server| {
+            laptop.set_shim(Box::new(modulator));
+            install(benchmark, laptop, server)
+        },
+    );
+
+    let mut distiller = Some(Distiller::new(dcfg));
+    let collect_end = SimTime::from_secs(scenario_secs + 5);
+    let deadline = SimTime::ZERO + benchmark.deadline();
+    let slice = SimDuration::from_millis(500);
+
+    wl.start();
+    eth.start();
+
+    let mut now = SimTime::ZERO;
+    let mut first_consumption_secs = None;
+    let mut finished_stats: Option<DistillStats> = None;
+    loop {
+        now = (now + slice).min(deadline);
+
+        // Advance collection (while it lasts) and stream the fresh
+        // records through the distiller into the feed.
+        if let Some(d) = distiller.as_mut() {
+            let wl_now = now.min(collect_end);
+            wl.sim.run_until(wl_now);
+            let host: &mut netstack::Host = wl.sim.node_mut(wl.laptop);
+            let app = host.app_mut::<CollectionDaemon>(daemon);
+            let fresh = if wl_now >= collect_end {
+                app.finish(wl_now.as_nanos()).records
+            } else {
+                std::mem::take(&mut app.trace.records)
+            };
+            for rec in &fresh {
+                d.push_record(rec, &mut feed);
+            }
+            if wl_now >= collect_end {
+                let d = distiller.take().expect("distiller is live here");
+                finished_stats = Some(d.finish(&mut feed));
+            }
+        }
+        feed.pump();
+
+        // Advance the modulated benchmark over the same span.
+        eth.sim.run_until(now);
+        let consumed = feed.fed() - feed.backlog() as u64 - buf.len() as u64;
+        if consumed > 0 && first_consumption_secs.is_none() {
+            first_consumption_secs = Some(now.as_secs_f64());
+        }
+        if is_done(&eth, &inst) || now >= deadline {
+            break;
+        }
+    }
+
+    // The benchmark may finish before collection does; flush the
+    // distiller so its stats cover everything pushed so far.
+    let distill = finished_stats.unwrap_or_else(|| {
+        let d = distiller.take().expect("unfinished distiller");
+        d.finish(&mut feed)
+    });
+    let tuples_fed = feed.fed();
+    let tuples_consumed = tuples_fed - feed.backlog() as u64 - buf.len() as u64;
+    LiveModOutcome {
+        result: extract(&eth, &inst),
+        stats: LiveModStats {
+            tuples_fed,
+            tuples_consumed,
+            first_consumption_secs,
+            collection_secs: collect_end.min(now).as_secs_f64(),
+            peak_backlog: feed.peak_backlog(),
+            distill,
+        },
+    }
 }
 
 /// **Asymmetric modulated run** (the §6 extension): per-direction

@@ -111,7 +111,9 @@ impl RunResult {
     }
 }
 
-fn is_done(tb: &Testbed, inst: &Installed) -> bool {
+/// Has the installed benchmark's client finished? (Polled between
+/// lockstep slices by both the batch and live experiment drivers.)
+pub fn is_done(tb: &Testbed, inst: &Installed) -> bool {
     let host = tb.laptop_host();
     match inst.benchmark {
         Benchmark::Web => host.app::<WebClient>(inst.client).is_done(),
@@ -137,7 +139,8 @@ pub fn run_to_completion(tb: &mut Testbed, inst: &Installed) -> RunResult {
     extract(tb, inst)
 }
 
-fn extract(tb: &Testbed, inst: &Installed) -> RunResult {
+/// Read the benchmark's final result off the testbed.
+pub fn extract(tb: &Testbed, inst: &Installed) -> RunResult {
     let host = tb.laptop_host();
     match inst.benchmark {
         Benchmark::Web => {

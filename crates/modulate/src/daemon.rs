@@ -8,7 +8,7 @@ use netstack::{App, AppEvent, HostApi};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use tracekit::{QualityTuple, ReplayTrace};
+use tracekit::{QualityTuple, ReplayTrace, TupleSink};
 
 /// The bounded in-kernel tuple buffer shared between the daemon (writer)
 /// and the modulation layer (reader).
@@ -50,6 +50,75 @@ impl TupleBuffer {
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
+    }
+}
+
+/// Live-mode feeder: a [`TupleSink`] that accepts tuples straight from
+/// the incremental distiller and forwards them into the bounded
+/// [`TupleBuffer`], buffering overflow in user space when the kernel
+/// buffer is full (the "daemon blocks" backpressure of §3.3, without a
+/// replay file in between). Call [`pump`](TupleFeed::pump) periodically
+/// — e.g. once per lockstep slice — to move backlog into freed space.
+#[derive(Debug)]
+pub struct TupleFeed {
+    buf: TupleBuffer,
+    overflow: VecDeque<QualityTuple>,
+    fed: u64,
+    peak_backlog: usize,
+}
+
+impl TupleFeed {
+    /// A feed writing into `buf`.
+    pub fn new(buf: TupleBuffer) -> Self {
+        TupleFeed {
+            buf,
+            overflow: VecDeque::new(),
+            fed: 0,
+            peak_backlog: 0,
+        }
+    }
+
+    /// Move as much backlog as fits into the kernel buffer. Returns the
+    /// number of tuples moved.
+    pub fn pump(&mut self) -> usize {
+        let mut moved = 0;
+        while let Some(t) = self.overflow.front().copied() {
+            if self.buf.write(std::slice::from_ref(&t)) == 0 {
+                break;
+            }
+            self.overflow.pop_front();
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Total tuples accepted from the distiller so far.
+    pub fn fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Tuples waiting in user space for kernel-buffer room.
+    pub fn backlog(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// High-water mark of the user-space backlog.
+    pub fn peak_backlog(&self) -> usize {
+        self.peak_backlog
+    }
+
+    /// The shared kernel buffer this feed writes into.
+    pub fn buffer(&self) -> &TupleBuffer {
+        &self.buf
+    }
+}
+
+impl TupleSink for TupleFeed {
+    fn push_tuple(&mut self, tuple: QualityTuple) {
+        self.fed += 1;
+        self.overflow.push_back(tuple);
+        self.pump();
+        self.peak_backlog = self.peak_backlog.max(self.overflow.len());
     }
 }
 
@@ -178,6 +247,24 @@ mod tests {
         d.refill();
         assert_eq!(buf.len(), 2);
         assert_eq!(d.fed, 2);
+    }
+
+    #[test]
+    fn feed_spills_to_overflow_and_pumps() {
+        let buf = TupleBuffer::new(2);
+        let mut feed = TupleFeed::new(buf.clone());
+        for _ in 0..5 {
+            feed.push_tuple(tuple(1));
+        }
+        assert_eq!(feed.fed(), 5);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(feed.backlog(), 3);
+        // The modulator consumes; pumping moves backlog in.
+        buf.pop();
+        buf.pop();
+        assert_eq!(feed.pump(), 2);
+        assert_eq!(feed.backlog(), 1);
+        assert_eq!(feed.peak_backlog(), 3);
     }
 
     #[test]

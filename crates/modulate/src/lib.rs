@@ -11,6 +11,10 @@
 //! * [`TupleBuffer`] + [`ModulationDaemon`] — the user-level daemon that
 //!   streams tuples from a replay-trace file into the fixed-size kernel
 //!   buffer, optionally looping until interrupted;
+//! * [`TupleFeed`] — the live-mode counterpart: a
+//!   [`tracekit::TupleSink`] that forwards tuples straight from the
+//!   incremental distiller into the kernel buffer, so modulation can
+//!   begin while collection is still running;
 //! * [`compensation`] — the inbound delay-compensation term measured
 //!   once on the modulating network (Figure 1).
 
@@ -23,5 +27,5 @@ pub mod layer;
 
 pub use clock::{Quantized, TickClock};
 pub use compensation::{compensation_from_replay, link_vb_ns_per_byte};
-pub use daemon::{ModulationDaemon, TupleBuffer};
+pub use daemon::{ModulationDaemon, TupleBuffer, TupleFeed};
 pub use layer::{ModStats, Modulator};

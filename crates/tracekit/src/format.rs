@@ -1,5 +1,14 @@
 //! Compact self-descriptive binary encoding for traces and replay traces,
 //! alongside the serde/JSON representation for human inspection.
+//!
+//! Two decoding styles share one record codec:
+//!
+//! * [`decode_trace`] — batch: the whole file is in memory;
+//! * [`TraceDecoder`] — incremental: bytes are [fed](TraceDecoder::feed)
+//!   in arbitrary chunks and records are pulled out as soon as they are
+//!   complete, holding only the undecoded tail in memory. This is what
+//!   the streaming file reader ([`crate::io::TraceFileStream`]) builds
+//!   on.
 
 use crate::record::{
     DeviceRecord, Dir, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord,
@@ -93,24 +102,20 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, FormatError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        let b = <[u8; 2]>::try_from(self.take(2)?).map_err(|_| FormatError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
     fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let b = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| FormatError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, FormatError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let b = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| FormatError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
     fn f64(&mut self) -> Result<f64, FormatError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let b = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| FormatError::Truncated)?;
+        Ok(f64::from_le_bytes(b))
     }
     fn str(&mut self) -> Result<String, FormatError> {
         let n = self.u32()? as usize;
@@ -122,103 +127,37 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Encode a collected trace to bytes.
-pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+/// Trace file header: provenance plus the declared record count.
+///
+/// On the wire: magic, version, `host`, `scenario`, `trial`, then the
+/// record count as the final four (little-endian) bytes — the chunked
+/// writer exploits that placement to patch the count in after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Hostname of the traced machine.
+    pub host: String,
+    /// Scenario label ("porter", "wean", ...).
+    pub scenario: String,
+    /// Trial number within the scenario.
+    pub trial: u32,
+    /// Number of records that follow the header.
+    pub count: u32,
+}
+
+/// Encode a trace file header. The record count occupies the final four
+/// bytes of the returned buffer.
+pub fn encode_trace_header(host: &str, scenario: &str, trial: u32, count: u32) -> Vec<u8> {
     let mut w = Writer::new();
     w.buf.extend_from_slice(&TRACE_MAGIC);
     w.u16(VERSION);
-    w.str(&trace.host);
-    w.str(&trace.scenario);
-    w.u32(trace.trial);
-    w.u32(trace.records.len() as u32);
-    for r in &trace.records {
-        match r {
-            TraceRecord::Packet(p) => {
-                w.u8(1);
-                w.u64(p.timestamp_ns);
-                w.u8(match p.dir {
-                    Dir::Out => 0,
-                    Dir::In => 1,
-                });
-                w.u32(p.wire_len);
-                match &p.proto {
-                    ProtoInfo::IcmpEcho {
-                        ident,
-                        seq,
-                        payload_len,
-                        gen_ts_ns,
-                    } => {
-                        w.u8(1);
-                        w.u16(*ident);
-                        w.u16(*seq);
-                        w.u32(*payload_len);
-                        w.u64(*gen_ts_ns);
-                    }
-                    ProtoInfo::IcmpEchoReply {
-                        ident,
-                        seq,
-                        payload_len,
-                        rtt_ns,
-                    } => {
-                        w.u8(2);
-                        w.u16(*ident);
-                        w.u16(*seq);
-                        w.u32(*payload_len);
-                        w.u64(*rtt_ns);
-                    }
-                    ProtoInfo::Udp {
-                        src_port,
-                        dst_port,
-                        payload_len,
-                    } => {
-                        w.u8(3);
-                        w.u16(*src_port);
-                        w.u16(*dst_port);
-                        w.u32(*payload_len);
-                    }
-                    ProtoInfo::Tcp {
-                        src_port,
-                        dst_port,
-                        seq,
-                        ack,
-                        flags,
-                        payload_len,
-                    } => {
-                        w.u8(4);
-                        w.u16(*src_port);
-                        w.u16(*dst_port);
-                        w.u32(*seq);
-                        w.u32(*ack);
-                        w.u8(*flags);
-                        w.u32(*payload_len);
-                    }
-                    ProtoInfo::Other { protocol } => {
-                        w.u8(5);
-                        w.u8(*protocol);
-                    }
-                }
-            }
-            TraceRecord::Device(d) => {
-                w.u8(2);
-                w.u64(d.timestamp_ns);
-                w.u32(d.signal);
-                w.u32(d.quality);
-                w.u32(d.silence);
-            }
-            TraceRecord::Overrun(o) => {
-                w.u8(3);
-                w.u64(o.timestamp_ns);
-                w.u64(o.lost_packets);
-                w.u64(o.lost_device);
-            }
-        }
-    }
+    w.str(host);
+    w.str(scenario);
+    w.u32(trial);
+    w.u32(count);
     w.buf
 }
 
-/// Decode a collected trace.
-pub fn decode_trace(data: &[u8]) -> Result<Trace, FormatError> {
-    let mut r = Reader::new(data);
+fn read_trace_header(r: &mut Reader<'_>) -> Result<TraceHeader, FormatError> {
     if r.take(4)? != TRACE_MAGIC {
         return Err(FormatError::BadMagic);
     }
@@ -226,80 +165,308 @@ pub fn decode_trace(data: &[u8]) -> Result<Trace, FormatError> {
     if v != VERSION {
         return Err(FormatError::BadVersion(v));
     }
-    let host = r.str()?;
-    let scenario = r.str()?;
-    let trial = r.u32()?;
-    let count = r.u32()? as usize;
+    Ok(TraceHeader {
+        host: r.str()?,
+        scenario: r.str()?,
+        trial: r.u32()?,
+        count: r.u32()?,
+    })
+}
+
+fn write_record(w: &mut Writer, r: &TraceRecord) {
+    match r {
+        TraceRecord::Packet(p) => {
+            w.u8(1);
+            w.u64(p.timestamp_ns);
+            w.u8(match p.dir {
+                Dir::Out => 0,
+                Dir::In => 1,
+            });
+            w.u32(p.wire_len);
+            match &p.proto {
+                ProtoInfo::IcmpEcho {
+                    ident,
+                    seq,
+                    payload_len,
+                    gen_ts_ns,
+                } => {
+                    w.u8(1);
+                    w.u16(*ident);
+                    w.u16(*seq);
+                    w.u32(*payload_len);
+                    w.u64(*gen_ts_ns);
+                }
+                ProtoInfo::IcmpEchoReply {
+                    ident,
+                    seq,
+                    payload_len,
+                    rtt_ns,
+                } => {
+                    w.u8(2);
+                    w.u16(*ident);
+                    w.u16(*seq);
+                    w.u32(*payload_len);
+                    w.u64(*rtt_ns);
+                }
+                ProtoInfo::Udp {
+                    src_port,
+                    dst_port,
+                    payload_len,
+                } => {
+                    w.u8(3);
+                    w.u16(*src_port);
+                    w.u16(*dst_port);
+                    w.u32(*payload_len);
+                }
+                ProtoInfo::Tcp {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack,
+                    flags,
+                    payload_len,
+                } => {
+                    w.u8(4);
+                    w.u16(*src_port);
+                    w.u16(*dst_port);
+                    w.u32(*seq);
+                    w.u32(*ack);
+                    w.u8(*flags);
+                    w.u32(*payload_len);
+                }
+                ProtoInfo::Other { protocol } => {
+                    w.u8(5);
+                    w.u8(*protocol);
+                }
+            }
+        }
+        TraceRecord::Device(d) => {
+            w.u8(2);
+            w.u64(d.timestamp_ns);
+            w.u32(d.signal);
+            w.u32(d.quality);
+            w.u32(d.silence);
+        }
+        TraceRecord::Overrun(o) => {
+            w.u8(3);
+            w.u64(o.timestamp_ns);
+            w.u64(o.lost_packets);
+            w.u64(o.lost_device);
+        }
+    }
+}
+
+/// Encode a single record exactly as it would appear inside a trace file.
+pub fn encode_record(r: &TraceRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_record(&mut w, r);
+    w.buf
+}
+
+fn read_record(r: &mut Reader<'_>) -> Result<TraceRecord, FormatError> {
+    let tag = r.u8()?;
+    let rec = match tag {
+        1 => {
+            let timestamp_ns = r.u64()?;
+            let dir = match r.u8()? {
+                0 => Dir::Out,
+                1 => Dir::In,
+                d => return Err(FormatError::BadTag(d)),
+            };
+            let wire_len = r.u32()?;
+            let ptag = r.u8()?;
+            let proto = match ptag {
+                1 => ProtoInfo::IcmpEcho {
+                    ident: r.u16()?,
+                    seq: r.u16()?,
+                    payload_len: r.u32()?,
+                    gen_ts_ns: r.u64()?,
+                },
+                2 => ProtoInfo::IcmpEchoReply {
+                    ident: r.u16()?,
+                    seq: r.u16()?,
+                    payload_len: r.u32()?,
+                    rtt_ns: r.u64()?,
+                },
+                3 => ProtoInfo::Udp {
+                    src_port: r.u16()?,
+                    dst_port: r.u16()?,
+                    payload_len: r.u32()?,
+                },
+                4 => ProtoInfo::Tcp {
+                    src_port: r.u16()?,
+                    dst_port: r.u16()?,
+                    seq: r.u32()?,
+                    ack: r.u32()?,
+                    flags: r.u8()?,
+                    payload_len: r.u32()?,
+                },
+                5 => ProtoInfo::Other { protocol: r.u8()? },
+                t => return Err(FormatError::BadTag(t)),
+            };
+            TraceRecord::Packet(PacketRecord {
+                timestamp_ns,
+                dir,
+                wire_len,
+                proto,
+            })
+        }
+        2 => TraceRecord::Device(DeviceRecord {
+            timestamp_ns: r.u64()?,
+            signal: r.u32()?,
+            quality: r.u32()?,
+            silence: r.u32()?,
+        }),
+        3 => TraceRecord::Overrun(OverrunRecord {
+            timestamp_ns: r.u64()?,
+            lost_packets: r.u64()?,
+            lost_device: r.u64()?,
+        }),
+        t => return Err(FormatError::BadTag(t)),
+    };
+    Ok(rec)
+}
+
+/// Encode a collected trace to bytes.
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut w = Writer {
+        buf: encode_trace_header(
+            &trace.host,
+            &trace.scenario,
+            trace.trial,
+            trace.records.len() as u32,
+        ),
+    };
+    for r in &trace.records {
+        write_record(&mut w, r);
+    }
+    w.buf
+}
+
+/// Decode a collected trace.
+pub fn decode_trace(data: &[u8]) -> Result<Trace, FormatError> {
+    let mut r = Reader::new(data);
+    let header = read_trace_header(&mut r)?;
+    let count = header.count as usize;
     let mut records = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        let tag = r.u8()?;
-        let rec = match tag {
-            1 => {
-                let timestamp_ns = r.u64()?;
-                let dir = match r.u8()? {
-                    0 => Dir::Out,
-                    1 => Dir::In,
-                    d => return Err(FormatError::BadTag(d)),
-                };
-                let wire_len = r.u32()?;
-                let ptag = r.u8()?;
-                let proto = match ptag {
-                    1 => ProtoInfo::IcmpEcho {
-                        ident: r.u16()?,
-                        seq: r.u16()?,
-                        payload_len: r.u32()?,
-                        gen_ts_ns: r.u64()?,
-                    },
-                    2 => ProtoInfo::IcmpEchoReply {
-                        ident: r.u16()?,
-                        seq: r.u16()?,
-                        payload_len: r.u32()?,
-                        rtt_ns: r.u64()?,
-                    },
-                    3 => ProtoInfo::Udp {
-                        src_port: r.u16()?,
-                        dst_port: r.u16()?,
-                        payload_len: r.u32()?,
-                    },
-                    4 => ProtoInfo::Tcp {
-                        src_port: r.u16()?,
-                        dst_port: r.u16()?,
-                        seq: r.u32()?,
-                        ack: r.u32()?,
-                        flags: r.u8()?,
-                        payload_len: r.u32()?,
-                    },
-                    5 => ProtoInfo::Other { protocol: r.u8()? },
-                    t => return Err(FormatError::BadTag(t)),
-                };
-                TraceRecord::Packet(PacketRecord {
-                    timestamp_ns,
-                    dir,
-                    wire_len,
-                    proto,
-                })
-            }
-            2 => TraceRecord::Device(DeviceRecord {
-                timestamp_ns: r.u64()?,
-                signal: r.u32()?,
-                quality: r.u32()?,
-                silence: r.u32()?,
-            }),
-            3 => TraceRecord::Overrun(OverrunRecord {
-                timestamp_ns: r.u64()?,
-                lost_packets: r.u64()?,
-                lost_device: r.u64()?,
-            }),
-            t => return Err(FormatError::BadTag(t)),
-        };
-        records.push(rec);
+        records.push(read_record(&mut r)?);
     }
     Ok(Trace {
-        host,
-        scenario,
-        trial,
+        host: header.host,
+        scenario: header.scenario,
+        trial: header.trial,
         records,
     })
+}
+
+/// Incremental (push) decoder for the binary trace format.
+///
+/// Feed it bytes in whatever chunk sizes arrive — a 64 KiB file read, a
+/// network segment, one byte at a time — and pull decoded records out.
+/// Only the not-yet-decoded tail is buffered, so memory stays bounded by
+/// the chunk size plus one record, never the whole trace.
+///
+/// `next_record` returning `Ok(None)` means "need more bytes" (or, once
+/// the declared record count has been decoded, "done"). A truncation
+/// error is only reported by [`finish`](TraceDecoder::finish), when the
+/// caller knows no more bytes are coming; mid-stream, an incomplete
+/// record is simply held until its remaining bytes arrive.
+#[derive(Debug, Default)]
+pub struct TraceDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    header: Option<TraceHeader>,
+    remaining: u32,
+}
+
+impl TraceDecoder {
+    /// A decoder with no bytes fed yet.
+    pub fn new() -> Self {
+        TraceDecoder::default()
+    }
+
+    /// Append a chunk of the trace file.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// The file header, once enough bytes have been fed to decode it.
+    pub fn header(&self) -> Option<&TraceHeader> {
+        self.header.as_ref()
+    }
+
+    /// Bytes fed but not yet decoded (bounded by chunk size + one
+    /// record once decoding is under way).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Have all records declared by the header been decoded?
+    pub fn is_complete(&self) -> bool {
+        self.header.is_some() && self.remaining == 0
+    }
+
+    /// Declare end-of-input: errors with [`FormatError::Truncated`] if
+    /// the header or any declared record is still missing.
+    pub fn finish(&self) -> Result<(), FormatError> {
+        if self.is_complete() {
+            Ok(())
+        } else {
+            Err(FormatError::Truncated)
+        }
+    }
+
+    /// Attempt to decode the header from the buffered bytes. Returns
+    /// `Ok(false)` if more bytes are needed.
+    pub fn try_parse_header(&mut self) -> Result<bool, FormatError> {
+        if self.header.is_some() {
+            return Ok(true);
+        }
+        let mut r = Reader::new(&self.buf[self.pos..]);
+        match read_trace_header(&mut r) {
+            Ok(h) => {
+                self.pos += r.pos;
+                self.remaining = h.count;
+                self.header = Some(h);
+                self.compact();
+                Ok(true)
+            }
+            Err(FormatError::Truncated) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Decode the next record, or `Ok(None)` if more bytes are needed
+    /// (or all declared records have been produced).
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, FormatError> {
+        if !self.try_parse_header()? {
+            return Ok(None);
+        }
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut r = Reader::new(&self.buf[self.pos..]);
+        match read_record(&mut r) {
+            Ok(rec) => {
+                self.pos += r.pos;
+                self.remaining -= 1;
+                self.compact();
+                Ok(Some(rec))
+            }
+            Err(FormatError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    // Reclaim consumed bytes once they dominate the buffer; amortized
+    // O(1) per byte since each drain at least halves the buffer.
+    fn compact(&mut self) {
+        if self.pos > 0 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 /// Encode a replay trace (the list S of quality tuples) to bytes.
@@ -450,6 +617,85 @@ mod tests {
             decode_trace(&bytes),
             Err(FormatError::BadVersion(_))
         ));
+    }
+
+    #[test]
+    fn header_plus_records_equals_encode_trace() {
+        let t = sample();
+        let mut bytes = encode_trace_header(&t.host, &t.scenario, t.trial, t.records.len() as u32);
+        for r in &t.records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        assert_eq!(bytes, encode_trace(&t));
+    }
+
+    #[test]
+    fn incremental_decoder_single_byte_chunks() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        let mut dec = TraceDecoder::new();
+        let mut records = Vec::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(rec) = dec.next_record().unwrap() {
+                records.push(rec);
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(records, t.records);
+        let h = dec.header().unwrap();
+        assert_eq!((h.host.as_str(), h.scenario.as_str()), ("thinkpad", "wean"));
+        assert_eq!(h.count as usize, t.records.len());
+    }
+
+    #[test]
+    fn incremental_decoder_bounded_buffer() {
+        let mut t = Trace::new("h", "s", 1);
+        for i in 0..10_000u64 {
+            t.records.push(TraceRecord::Device(DeviceRecord {
+                timestamp_ns: i,
+                signal: 1,
+                quality: 2,
+                silence: 3,
+            }));
+        }
+        let bytes = encode_trace(&t);
+        let mut dec = TraceDecoder::new();
+        let mut n = 0;
+        let mut peak = 0;
+        for chunk in bytes.chunks(256) {
+            dec.feed(chunk);
+            while let Some(_rec) = dec.next_record().unwrap() {
+                n += 1;
+            }
+            peak = peak.max(dec.buffered());
+        }
+        dec.finish().unwrap();
+        assert_eq!(n, 10_000);
+        // The undecoded tail never grows past a chunk plus one record.
+        assert!(peak < 256 + 64, "peak buffered {peak}");
+    }
+
+    #[test]
+    fn incremental_decoder_truncation_only_at_finish() {
+        let bytes = encode_trace(&sample());
+        let cut = bytes.len() - 3;
+        let mut dec = TraceDecoder::new();
+        dec.feed(&bytes[..cut]);
+        while dec.next_record().unwrap().is_some() {}
+        assert!(!dec.is_complete());
+        assert_eq!(dec.finish(), Err(FormatError::Truncated));
+        // Feeding the missing tail completes the stream.
+        dec.feed(&bytes[cut..]);
+        assert!(dec.next_record().unwrap().is_some());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn incremental_decoder_bad_magic() {
+        let mut dec = TraceDecoder::new();
+        dec.feed(b"XXXX not a trace");
+        assert_eq!(dec.next_record(), Err(FormatError::BadMagic));
     }
 
     #[test]

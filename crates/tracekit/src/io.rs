@@ -1,11 +1,22 @@
 //! File I/O for traces and replay traces: binary (`.mntr` / `.mnrp`) or
 //! JSON (`.json`), chosen by extension.
+//!
+//! The binary paths are streaming end to end: [`write_trace`] appends
+//! records through a [`ChunkedTraceWriter`] and [`read_trace`] pulls
+//! them back through a [`TraceFileStream`], so neither needs the
+//! encoded file in memory. The chunked forms are public so callers can
+//! write records as they are collected and replay traces far longer
+//! than memory. JSON stays whole-file (it exists for human inspection,
+//! not scale).
 
-use crate::format::{decode_replay, decode_trace, encode_replay, encode_trace};
-use crate::record::Trace;
+use crate::format::{
+    decode_replay, encode_record, encode_replay, encode_trace_header, TraceDecoder, TraceHeader,
+};
+use crate::record::{Trace, TraceRecord};
 use crate::replay::ReplayTrace;
+use crate::stream::{RecordStream, StreamError};
 use std::fs;
-use std::io;
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 fn is_json(path: &Path) -> bool {
@@ -16,24 +27,191 @@ fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
-/// Write a collected trace to `path` (JSON if the extension is `.json`,
-/// binary otherwise).
-pub fn write_trace(path: &Path, trace: &Trace) -> io::Result<()> {
-    let bytes = if is_json(path) {
-        serde_json::to_vec_pretty(trace).map_err(invalid)?
-    } else {
-        encode_trace(trace)
-    };
-    fs::write(path, bytes)
+fn json_only(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("{what} is binary-only; JSON traces are whole-file"),
+    )
 }
 
-/// Read a collected trace from `path`.
-pub fn read_trace(path: &Path) -> io::Result<Trace> {
-    let bytes = fs::read(path)?;
+/// Incremental writer for the binary trace format: the header goes out
+/// first with a zero record count, records are appended as they arrive,
+/// and [`finish`](ChunkedTraceWriter::finish) seeks back to patch the
+/// true count in. The resulting file is byte-identical to
+/// [`write_trace`] on the equivalent batch [`Trace`].
+#[derive(Debug)]
+pub struct ChunkedTraceWriter {
+    out: io::BufWriter<fs::File>,
+    count_offset: u64,
+    count: u32,
+}
+
+impl ChunkedTraceWriter {
+    /// Start a binary trace file at `path` with the given provenance.
+    pub fn create(path: &Path, host: &str, scenario: &str, trial: u32) -> io::Result<Self> {
+        if is_json(path) {
+            return Err(json_only("chunked trace writing"));
+        }
+        let header = encode_trace_header(host, scenario, trial, 0);
+        let count_offset = (header.len() - 4) as u64;
+        let mut out = io::BufWriter::new(fs::File::create(path)?);
+        out.write_all(&header)?;
+        Ok(ChunkedTraceWriter {
+            out,
+            count_offset,
+            count: 0,
+        })
+    }
+
+    /// Append one record.
+    pub fn push_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        if self.count == u32::MAX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "trace record count overflow",
+            ));
+        }
+        self.out.write_all(&encode_record(rec))?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Patch the record count into the header and flush. Returns the
+    /// final record count.
+    pub fn finish(mut self) -> io::Result<u32> {
+        self.out.seek(SeekFrom::Start(self.count_offset))?;
+        self.out.write_all(&self.count.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Streaming reader for binary trace files: a [`RecordStream`] that
+/// reads the file in fixed-size chunks through a [`TraceDecoder`], so
+/// memory stays bounded by the chunk size regardless of trace length.
+#[derive(Debug)]
+pub struct TraceFileStream {
+    file: fs::File,
+    decoder: TraceDecoder,
+    chunk: Vec<u8>,
+    eof: bool,
+}
+
+impl TraceFileStream {
+    /// Default read chunk: 64 KiB.
+    pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+    /// Open a binary trace file with the default chunk size.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        TraceFileStream::open_chunked(path, TraceFileStream::DEFAULT_CHUNK)
+    }
+
+    /// Open a binary trace file reading `chunk` bytes at a time.
+    pub fn open_chunked(path: &Path, chunk: usize) -> io::Result<Self> {
+        if is_json(path) {
+            return Err(json_only("streaming trace reading"));
+        }
+        Ok(TraceFileStream {
+            file: fs::File::open(path)?,
+            decoder: TraceDecoder::new(),
+            chunk: vec![0; chunk.max(1)],
+            eof: false,
+        })
+    }
+
+    // Read one more chunk into the decoder; false at end of file.
+    fn fill(&mut self) -> io::Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        let n = self.file.read(&mut self.chunk)?;
+        if n == 0 {
+            self.eof = true;
+            return Ok(false);
+        }
+        self.decoder.feed(&self.chunk[..n]);
+        Ok(true)
+    }
+
+    /// The trace header (reads just enough of the file to decode it).
+    pub fn header(&mut self) -> Result<&TraceHeader, StreamError> {
+        while !self.decoder.try_parse_header()? {
+            if !self.fill()? {
+                return Err(crate::format::FormatError::Truncated.into());
+            }
+        }
+        match self.decoder.header() {
+            Some(h) => Ok(h),
+            None => Err(crate::format::FormatError::Truncated.into()),
+        }
+    }
+
+    /// Bytes currently buffered but not yet decoded (diagnostics; stays
+    /// bounded by chunk size + one record).
+    pub fn buffered(&self) -> usize {
+        self.decoder.buffered()
+    }
+}
+
+impl RecordStream for TraceFileStream {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, StreamError> {
+        loop {
+            if let Some(rec) = self.decoder.next_record()? {
+                return Ok(Some(rec));
+            }
+            if self.decoder.is_complete() {
+                return Ok(None);
+            }
+            if !self.fill()? {
+                // No more bytes: any missing record is a real truncation.
+                self.decoder.finish()?;
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// Write a collected trace to `path` (JSON if the extension is `.json`,
+/// binary otherwise). The binary path streams records through a
+/// [`ChunkedTraceWriter`].
+pub fn write_trace(path: &Path, trace: &Trace) -> io::Result<()> {
     if is_json(path) {
+        let bytes = serde_json::to_vec_pretty(trace).map_err(invalid)?;
+        fs::write(path, bytes)
+    } else {
+        let mut w = ChunkedTraceWriter::create(path, &trace.host, &trace.scenario, trace.trial)?;
+        for r in &trace.records {
+            w.push_record(r)?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+}
+
+/// Read a collected trace from `path`. The binary path streams records
+/// through a [`TraceFileStream`].
+pub fn read_trace(path: &Path) -> io::Result<Trace> {
+    if is_json(path) {
+        let bytes = fs::read(path)?;
         serde_json::from_slice(&bytes).map_err(invalid)
     } else {
-        decode_trace(&bytes).map_err(invalid)
+        let mut stream = TraceFileStream::open(path)?;
+        let header = stream.header().map_err(io::Error::from)?.clone();
+        let mut records = Vec::with_capacity((header.count as usize).min(1 << 20));
+        while let Some(rec) = stream.next_record().map_err(io::Error::from)? {
+            records.push(rec);
+        }
+        Ok(Trace {
+            host: header.host,
+            scenario: header.scenario,
+            trial: header.trial,
+            records,
+        })
     }
 }
 
@@ -60,7 +238,8 @@ pub fn read_replay(path: &Path) -> io::Result<ReplayTrace> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{Dir, PacketRecord, ProtoInfo, TraceRecord};
+    use crate::format::encode_trace;
+    use crate::record::{Dir, OverrunRecord, PacketRecord, ProtoInfo, TraceRecord};
     use crate::replay::QualityTuple;
 
     fn tmpdir() -> std::path::PathBuf {
@@ -91,6 +270,29 @@ mod tests {
                 loss: 0.05,
             }],
         }
+    }
+
+    fn bigger_trace() -> Trace {
+        let mut t = Trace::new("thinkpad", "flagstaff", 3);
+        for i in 0..500u64 {
+            t.records.push(TraceRecord::Packet(PacketRecord {
+                timestamp_ns: i * 1000,
+                dir: if i % 2 == 0 { Dir::Out } else { Dir::In },
+                wire_len: 98,
+                proto: ProtoInfo::IcmpEcho {
+                    ident: 7,
+                    seq: i as u16,
+                    payload_len: 56,
+                    gen_ts_ns: i * 1000,
+                },
+            }));
+        }
+        t.records.push(TraceRecord::Overrun(OverrunRecord {
+            timestamp_ns: 600_000,
+            lost_packets: 12,
+            lost_device: 1,
+        }));
+        t
     }
 
     #[test]
@@ -127,5 +329,82 @@ mod tests {
         let p = tmpdir().join("nonexistent.mnrp");
         let err = read_replay(&p).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn chunked_writer_matches_batch_encoding_bytewise() {
+        let dir = tmpdir();
+        let t = bigger_trace();
+        let p = dir.join("chunked.mntr");
+        let mut w = ChunkedTraceWriter::create(&p, &t.host, &t.scenario, t.trial).unwrap();
+        for r in &t.records {
+            w.push_record(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap() as usize, t.records.len());
+        assert_eq!(fs::read(&p).unwrap(), encode_trace(&t));
+    }
+
+    #[test]
+    fn file_stream_round_trip_small_chunks() {
+        let dir = tmpdir();
+        let t = bigger_trace();
+        let p = dir.join("stream.mntr");
+        write_trace(&p, &t).unwrap();
+        for chunk in [1, 7, 64, 4096] {
+            let mut s = TraceFileStream::open_chunked(&p, chunk).unwrap();
+            let h = s.header().unwrap().clone();
+            assert_eq!(h.scenario, "flagstaff");
+            let mut records = Vec::new();
+            while let Some(r) = s.next_record().unwrap() {
+                records.push(r);
+            }
+            assert_eq!(records, t.records, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn file_stream_memory_stays_bounded() {
+        let dir = tmpdir();
+        let t = bigger_trace();
+        let p = dir.join("bounded.mntr");
+        write_trace(&p, &t).unwrap();
+        let mut s = TraceFileStream::open_chunked(&p, 128).unwrap();
+        let mut peak = 0;
+        while s.next_record().unwrap().is_some() {
+            peak = peak.max(s.buffered());
+        }
+        assert!(peak <= 128 + 64, "peak buffered {peak}");
+    }
+
+    #[test]
+    fn truncated_file_streams_then_errors() {
+        let dir = tmpdir();
+        let t = bigger_trace();
+        let bytes = encode_trace(&t);
+        let p = dir.join("cut.mntr");
+        fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        let mut s = TraceFileStream::open(&p).unwrap();
+        let mut n = 0;
+        let err = loop {
+            match s.next_record() {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => panic!("truncation must surface as an error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(n > 0, "some records decode before the cut");
+        assert!(matches!(
+            err,
+            StreamError::Format(crate::format::FormatError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn json_paths_rejected_for_chunked_io() {
+        let dir = tmpdir();
+        let p = dir.join("t.json");
+        assert!(ChunkedTraceWriter::create(&p, "h", "s", 1).is_err());
+        write_trace(&p, &sample_trace()).unwrap();
+        assert!(TraceFileStream::open(&p).is_err());
     }
 }

@@ -12,9 +12,13 @@
 //!   the device boundary and samples signal status;
 //! * the user-level [`CollectionDaemon`] that drains the pseudo-device
 //!   to "disk";
+//! * pull-based [streaming](stream) abstractions — [`RecordStream`]
+//!   sources (in-memory, live device, chunked file) and [`TupleSink`]
+//!   consumers — that let distillation and modulation run with
+//!   O(window) memory while collection is still in progress;
 //! * the [`ReplayTrace`] type — the distilled ⟨d, F, Vb, Vr, L⟩ quality
 //!   tuples that the modulation layer plays back — with binary and JSON
-//!   [I/O](io).
+//!   [I/O](io), batch or chunked.
 
 #![warn(missing_docs)]
 
@@ -26,11 +30,14 @@ mod pseudodev;
 pub mod record;
 mod replay;
 mod ringbuf;
+pub mod stream;
 
 pub use collector::{Collector, SignalSource};
 pub use daemon::CollectionDaemon;
-pub use format::FormatError;
+pub use format::{FormatError, TraceDecoder, TraceHeader};
+pub use io::{ChunkedTraceWriter, TraceFileStream};
 pub use pseudodev::PseudoDevice;
 pub use record::{DeviceRecord, Dir, OverrunRecord, PacketRecord, ProtoInfo, Trace, TraceRecord};
 pub use replay::{QualityTuple, ReplayTrace};
 pub use ringbuf::RingBuffer;
+pub use stream::{DeviceStream, RecordStream, SliceStream, StreamError, TupleSink, VecStream};

@@ -8,6 +8,8 @@
 //! inputs but are **not shrunk**; case generation is deterministic per
 //! test name so failures reproduce.
 
+#![warn(missing_docs)]
+
 use rand::{Rng, RngCore, SeedableRng};
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
@@ -394,7 +396,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -7,6 +7,8 @@
 //! field attributes `#[serde(default)]` and `#[serde(default = "path")]`.
 //! Anything else panics at expansion time with a clear message.
 
+#![warn(missing_docs)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// How a missing field is filled in during deserialization.

@@ -3,22 +3,26 @@
 //! ```text
 //! tracemod scenarios
 //! tracemod collect  --scenario wean --trial 1 --out wean1.mntr [--target-out wean1-srv.mntr]
-//! tracemod distill  wean1.mntr --out wean1.mnrp [--window-secs 5]
+//! tracemod distill  wean1.mntr --out wean1.mnrp [--window-secs 5] [--horizon 30]
 //! tracemod inspect  wean1.mntr | wean1.mnrp
 //! tracemod replay   wean1.mnrp --benchmark ftp-recv [--trial 1] [--tick-ms 10]
 //! tracemod live     --scenario wean --benchmark ftp-recv [--trial 1]
+//! tracemod live-pipeline --scenario wean --benchmark ftp-recv [--trial 1] [--horizon 30]
 //! ```
 //!
 //! Files use the binary formats by default; any path ending in `.json`
-//! reads/writes the JSON encoding instead.
+//! reads/writes the JSON encoding instead. `distill` streams binary
+//! traces through the incremental distiller in bounded memory; JSON
+//! inputs fall back to the batch path (identical output).
 
-use distill::{distill_with_report, DistillConfig, WindowConfig};
-use emu::{live_run, modulated_run, Benchmark, RunConfig};
+use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
+use emu::{live_modulated_run, live_run, modulated_run, Benchmark, RunConfig};
 use modulate::TickClock;
 use netsim::SimDuration;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
+use tracekit::{ReplayTrace, TraceFileStream};
 use wavelan::Scenario;
 
 fn die(msg: &str) -> ! {
@@ -164,21 +168,45 @@ fn cmd_distill(args: &Args) {
         .unwrap_or_else(|| die("usage: tracemod distill <trace> --out <replay>"));
     let out = PathBuf::from(args.require("out"));
     let window = args.parse_num("window-secs", 5u64);
-    let trace = read_trace(Path::new(input)).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
     let cfg = DistillConfig {
         window: WindowConfig {
             width: SimDuration::from_secs(window),
             step: SimDuration::from_secs(1),
         },
+        reorder_horizon: args.parse_num("horizon", DistillConfig::default().reorder_horizon),
     };
-    let report = distill_with_report(&trace, &cfg);
-    write_replay(&out, &report.replay).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+    let path = Path::new(input);
+    let (replay, solved, corrected, triplets) = if path.extension().is_some_and(|e| e == "json") {
+        // JSON has no incremental decoder: batch path (same output).
+        let trace = read_trace(path).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
+        let report = distill_with_report(&trace, &cfg);
+        (
+            report.replay,
+            report.solved,
+            report.corrected,
+            report.triplets,
+        )
+    } else {
+        // Binary traces stream through the incremental distiller: memory
+        // stays O(window) however large the trace file is.
+        let mut stream =
+            TraceFileStream::open(path).unwrap_or_else(|e| die(&format!("open {input}: {e}")));
+        let header = stream
+            .header()
+            .unwrap_or_else(|e| die(&format!("read {input}: {e}")))
+            .clone();
+        let mut replay = ReplayTrace::new(&format!("{} trial {}", header.scenario, header.trial));
+        let stats = distill_stream(&mut stream, &cfg, &mut replay)
+            .unwrap_or_else(|e| die(&format!("distill {input}: {e}")));
+        (replay, stats.solved, stats.corrected, stats.triplets)
+    };
+    write_replay(&out, &replay).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
     eprintln!(
         "distilled {} triplets ({} solved, {} corrected) → {} tuples → {}",
-        report.triplets,
-        report.solved,
-        report.corrected,
-        report.replay.tuples.len(),
+        triplets,
+        solved,
+        corrected,
+        replay.tuples.len(),
         out.display()
     );
 }
@@ -352,6 +380,39 @@ fn cmd_live(args: &Args) {
     report_result(&r);
 }
 
+fn cmd_live_pipeline(args: &Args) {
+    let sc = scenario_arg(args);
+    let benchmark = benchmark_arg(args);
+    let trial = args.parse_num("trial", 1u32);
+    let window = args.parse_num("window-secs", 5u64);
+    let dcfg = DistillConfig {
+        window: WindowConfig {
+            width: SimDuration::from_secs(window),
+            step: SimDuration::from_secs(1),
+        },
+        reorder_horizon: args.parse_num("horizon", DistillConfig::default().reorder_horizon),
+    };
+    eprintln!(
+        "live pipeline: collecting '{}' trial {trial} while running {} modulated...",
+        sc.name,
+        benchmark.name()
+    );
+    let out = live_modulated_run(&sc, trial, benchmark, &dcfg, &RunConfig::default());
+    report_result(&out.result);
+    let s = &out.stats;
+    eprintln!(
+        "pipeline: {} tuples fed, {} consumed, peak backlog {}",
+        s.tuples_fed, s.tuples_consumed, s.peak_backlog
+    );
+    match s.first_consumption_secs {
+        Some(t) => eprintln!(
+            "modulation began at t={t:.1}s, {:.1}s before collection finished",
+            s.collection_secs - t
+        ),
+        None => eprintln!("modulation never consumed a tuple (collection too short?)"),
+    }
+}
+
 fn report_result(r: &emu::RunResult) {
     match r.elapsed {
         Some(secs) => println!("{}: {:.2} s", r.benchmark.name(), secs),
@@ -368,10 +429,12 @@ commands:
   dump-scenario --scenario S               print a scenario as editable JSON
   collect  --scenario S --trial N --out F  collect a trace (add --target-out F2 for two-sided;
                                            --scenario-file F.json uses a custom scenario)
-  distill  <trace> --out F                 distill a trace into a replay trace
+  distill  <trace> --out F                 distill a trace into a replay trace (binary traces
+                                           stream in bounded memory; --window-secs W --horizon H)
   inspect  <file> [--records N]            summarize a trace/replay file (optionally list records)
   replay   <replay> --benchmark B          run a benchmark under modulation
   live     --scenario S --benchmark B      run a benchmark live on the wireless scenario
+  live-pipeline --scenario S --benchmark B collect, distill, and modulate concurrently
 benchmarks: web, ftp-send, ftp-recv, andrew";
 
 fn main() {
@@ -385,6 +448,7 @@ fn main() {
         Some("inspect") => cmd_inspect(&args),
         Some("replay") => cmd_replay(&args),
         Some("live") => cmd_live(&args),
+        Some("live-pipeline") => cmd_live_pipeline(&args),
         _ => {
             eprintln!("{USAGE}");
             exit(2);

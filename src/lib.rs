@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the trace-modulation workspace. See README.
+#![warn(missing_docs)]
 pub use distill;
 pub use emu;
 pub use modulate;
