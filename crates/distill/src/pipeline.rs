@@ -83,6 +83,9 @@ pub struct DistillStats {
     pub late_records: usize,
     /// High-water mark of open (unretired) probe groups.
     pub peak_open_groups: usize,
+    /// Groups retired (aged out past the reorder horizon or flushed by
+    /// [`Distiller::finish`]).
+    pub groups_retired: usize,
     /// High-water mark of estimates/outcomes held inside the sliding
     /// windows — together with `peak_open_groups`, the O(window)
     /// evidence.
@@ -224,6 +227,7 @@ impl Distiller {
 
     // Per-group solve/correct and window feeding — the exact batch body.
     fn retire_group(&mut self, slot: &GroupSlot) {
+        self.stats.groups_retired += 1;
         let t0 = self.t0.unwrap_or(0);
         for k in 0..3 {
             if let Some(send) = slot.send_ns[k] {

@@ -146,8 +146,9 @@ pub enum CellOutput {
     RunWithReport(RunResult, DistillReport),
     /// A collected trace and its distillation (figure cells).
     Collected(Trace, DistillReport),
-    /// A live streaming-pipeline run with its diagnostics.
-    LiveModulated(LiveModOutcome),
+    /// A live streaming-pipeline run with its diagnostics (boxed: the
+    /// run manifest makes this by far the largest variant).
+    LiveModulated(Box<LiveModOutcome>),
     /// Results of a custom cell.
     Runs(Vec<RunResult>),
 }
@@ -211,6 +212,28 @@ impl PlanMetrics {
     pub fn parallel_speedup(&self) -> f64 {
         if self.wall_secs > 0.0 {
             self.cell_wall_secs / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of available worker-seconds spent executing cells:
+    /// `cell_wall_secs / (workers × wall_secs)`, clamped to 1. A value
+    /// near 1 means the pool was busy end to end; low values indicate
+    /// a straggler cell or an over-provisioned pool.
+    pub fn worker_utilization(&self) -> f64 {
+        let capacity = self.workers as f64 * self.wall_secs;
+        if capacity > 0.0 {
+            (self.cell_wall_secs / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Cells executed per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cells as f64 / self.wall_secs
         } else {
             0.0
         }
@@ -434,7 +457,7 @@ fn execute_cell(cell: &TrialCell) -> (CellOutput, CellReport) {
             let o = live_modulated_run(scenario, cell.trial, *benchmark, distill, &cell.cfg);
             // Both simulations advance in lockstep over the same span.
             let v = o.stats.collection_secs.max(virtual_secs_of(&o.result));
-            (CellOutput::LiveModulated(o), v)
+            (CellOutput::LiveModulated(Box::new(o)), v)
         }
         CellKind::Custom(work) => {
             let rs = work(cell.trial, &cell.cfg);
@@ -515,7 +538,7 @@ impl PlanResults {
                         ..
                     },
                     CellOutput::LiveModulated(out),
-                ) if s.name == scenario && *b == benchmark => Some(out),
+                ) if s.name == scenario && *b == benchmark => Some(&**out),
                 _ => None,
             })
             .collect()

@@ -8,8 +8,9 @@ use crate::workload::{extract, install, is_done, run_to_completion, Benchmark, R
 use distill::{distill_with_report, DistillConfig, DistillReport, DistillStats, Distiller};
 use modulate::{Modulator, TickClock, TupleBuffer, TupleFeed};
 use netsim::{SimDuration, SimRng, SimTime};
+use obs::{MetricsRegistry, RunManifest, RunnerSection};
 use tracekit::{CollectionDaemon, Collector, PseudoDevice, ReplayTrace, Trace};
-use wavelan::Scenario;
+use wavelan::{Scenario, WirelessChannel};
 use workloads::{PingConfig, PingWorkload};
 
 /// Everything configurable about an experiment run.
@@ -215,6 +216,10 @@ pub struct LiveModOutcome {
     pub result: RunResult,
     /// Streaming-pipeline diagnostics.
     pub stats: LiveModStats,
+    /// Observability manifest: deterministic metrics from every
+    /// pipeline stage, the modulation fidelity self-check, and a
+    /// wall-clock runner section.
+    pub manifest: RunManifest,
 }
 
 /// **Live modulated run**: collection, distillation, and modulation
@@ -279,6 +284,7 @@ pub fn live_modulated_run(
         },
     );
 
+    let wall_start = std::time::Instant::now();
     let mut distiller = Some(Distiller::new(dcfg));
     let collect_end = SimTime::from_secs(scenario_secs + 5);
     let deadline = SimTime::ZERO + benchmark.deadline();
@@ -289,6 +295,7 @@ pub fn live_modulated_run(
 
     let mut now = SimTime::ZERO;
     let mut first_consumption_secs = None;
+    let mut records_processed: u64 = 0;
     let mut finished_stats: Option<DistillStats> = None;
     loop {
         now = (now + slice).min(deadline);
@@ -305,6 +312,7 @@ pub fn live_modulated_run(
             } else {
                 std::mem::take(&mut app.trace.records)
             };
+            records_processed += fresh.len() as u64;
             for rec in &fresh {
                 d.push_record(rec, &mut feed);
             }
@@ -334,6 +342,84 @@ pub fn live_modulated_run(
     });
     let tuples_fed = feed.fed();
     let tuples_consumed = tuples_fed - feed.backlog() as u64 - buf.len() as u64;
+
+    // Assemble the run manifest. Everything below `metrics`/`fidelity`
+    // derives from virtual-time simulation state only; wall-clock
+    // readings go exclusively into the runner section.
+    let mut manifest = RunManifest::new(scenario.name, benchmark.name(), trial);
+    let mut m = MetricsRegistry::new();
+    m.set_counter("netsim.collect.events", wl.sim.events_processed());
+    m.set_counter(
+        "netsim.collect.peak_queue_depth",
+        wl.sim.peak_queue_depth() as u64,
+    );
+    m.set_counter("netsim.modulate.events", eth.sim.events_processed());
+    m.set_counter(
+        "netsim.modulate.peak_queue_depth",
+        eth.sim.peak_queue_depth() as u64,
+    );
+    if let Some(ch) = wl.channel {
+        let cs = wl.sim.node::<WirelessChannel>(ch).stats();
+        m.set_counter("wavelan.up_frames", cs.up_frames);
+        m.set_counter("wavelan.down_frames", cs.down_frames);
+        m.set_counter("wavelan.dropped", cs.dropped);
+        m.set_counter("wavelan.cross_frames", cs.cross_frames);
+        m.set_counter("wavelan.rate_changes", cs.rate_changes);
+        m.set_counter("wavelan.handoffs", cs.handoffs);
+    }
+    m.set_counter("distill.solved", distill.solved as u64);
+    m.set_counter("distill.corrected", distill.corrected as u64);
+    m.set_counter("distill.triplets", distill.triplets as u64);
+    m.set_counter("distill.probes_sent", distill.probes_sent as u64);
+    m.set_counter("distill.replies_seen", distill.replies_seen as u64);
+    m.set_counter("distill.tuples", distill.tuples as u64);
+    m.set_counter("distill.late_records", distill.late_records as u64);
+    m.set_counter("distill.groups_retired", distill.groups_retired as u64);
+    m.set_gauge("distill.peak_open_groups", distill.peak_open_groups as f64);
+    m.set_gauge(
+        "distill.peak_window_entries",
+        distill.peak_window_entries as f64,
+    );
+    {
+        let modulator: &Modulator = eth.laptop_host().shim();
+        let ms = modulator.stats();
+        m.set_counter("modulate.offered", ms.offered);
+        m.set_counter("modulate.immediate", ms.immediate);
+        m.set_counter("modulate.held", ms.held);
+        m.set_counter("modulate.dropped", ms.dropped);
+        m.set_counter("modulate.unmodulated", ms.unmodulated);
+        m.set_gauge("modulate.held_now", modulator.held_count() as f64);
+        manifest.fidelity = modulator.fidelity();
+    }
+    m.set_counter("modulate.buffer_written", buf.total_written());
+    m.set_counter("modulate.buffer_popped", buf.total_popped());
+    m.set_counter("modulate.buffer_rejected", buf.rejected());
+    m.set_gauge("modulate.buffer_capacity", buf.capacity() as f64);
+    m.set_gauge(
+        "modulate.buffer_peak_occupancy",
+        buf.peak_occupancy() as f64,
+    );
+    m.set_counter("modulate.feed_fed", tuples_fed);
+    m.set_gauge("modulate.feed_peak_backlog", feed.peak_backlog() as f64);
+    m.set_counter("emu.records_processed", records_processed);
+    m.set_gauge(
+        "emu.collection_virtual_secs",
+        collect_end.min(now).as_secs_f64(),
+    );
+    manifest.metrics = m;
+
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    manifest.runner = Some(RunnerSection {
+        wall_secs,
+        workers: 1,
+        records_per_sec: if wall_secs > 0.0 {
+            records_processed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        worker_utilization: 1.0,
+    });
+
     LiveModOutcome {
         result: extract(&eth, &inst),
         stats: LiveModStats {
@@ -344,6 +430,7 @@ pub fn live_modulated_run(
             peak_backlog: feed.peak_backlog(),
             distill,
         },
+        manifest,
     }
 }
 

@@ -3,7 +3,10 @@
 //! worker count — same means, same standard deviations, same per-phase
 //! summaries, same failed-run counts, same raw per-trial results.
 
-use emu::{compare, compare_with, Benchmark, Comparison, Exec, RunConfig};
+use distill::DistillConfig;
+use emu::{
+    compare, compare_with, Benchmark, CellKind, Comparison, Exec, RunConfig, TrialCell, TrialPlan,
+};
 use netsim::stats::Summary;
 use netsim::SimDuration;
 use wavelan::Scenario;
@@ -99,6 +102,61 @@ fn parallel_comparison_identical_to_serial_at_any_worker_count() {
             &Exec::with_workers(workers),
         );
         assert_identical(&serial, &parallel, workers);
+    }
+}
+
+/// The observability manifest obeys the same guarantee: every metric
+/// under `metrics`/`fidelity` is keyed to virtual time, so the
+/// deterministic form (wall-clock `runner` section stripped) must be
+/// **byte-identical** whether the plan runs serially or on 8 workers.
+#[test]
+fn obs_manifest_identical_at_any_worker_count() {
+    let mut sc = Scenario::chatterbox();
+    sc.duration = SimDuration::from_secs(30);
+    let trials = 2u32;
+
+    let plan = || {
+        let mut p = TrialPlan::new();
+        for trial in 1..=trials {
+            p.push(TrialCell {
+                label: format!("obs-{trial}"),
+                trial,
+                cfg: RunConfig::default(),
+                kind: CellKind::LiveModulated {
+                    scenario: sc.clone(),
+                    benchmark: Benchmark::Web,
+                    distill: DistillConfig::default(),
+                },
+            });
+        }
+        p
+    };
+
+    let serial: Vec<String> = plan()
+        .run(&Exec::serial())
+        .live_modulated(sc.name, Benchmark::Web)
+        .iter()
+        .map(|o| o.manifest.deterministic_json())
+        .collect();
+    assert_eq!(serial.len(), trials as usize);
+    for m in &serial {
+        assert!(
+            m.contains("modulate.offered"),
+            "manifest must carry pipeline metrics"
+        );
+    }
+
+    for workers in [2, 8] {
+        let parallel: Vec<String> = plan()
+            .run(&Exec::with_workers(workers))
+            .live_modulated(sc.name, Benchmark::Web)
+            .iter()
+            .map(|o| o.manifest.deterministic_json())
+            .collect();
+        assert_eq!(
+            serial, parallel,
+            "{workers} workers: manifest bytes diverged from serial"
+        );
     }
 }
 

@@ -10,11 +10,27 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use tracekit::{QualityTuple, ReplayTrace, TupleSink};
 
+/// Occupancy bookkeeping shared with the queue itself, so every
+/// write/pop updates it under the same lock.
+#[derive(Debug, Default)]
+struct BufState {
+    q: VecDeque<QualityTuple>,
+    peak: usize,
+    total_in: u64,
+    total_out: u64,
+    rejected: u64,
+}
+
 /// The bounded in-kernel tuple buffer shared between the daemon (writer)
 /// and the modulation layer (reader).
+///
+/// Besides the queue itself the buffer keeps occupancy accounting —
+/// peak occupancy, total tuples written/popped, and writes rejected for
+/// lack of room — maintaining the invariant
+/// `total_written − total_popped == len ≤ capacity`.
 #[derive(Debug, Clone)]
 pub struct TupleBuffer {
-    inner: Arc<Mutex<VecDeque<QualityTuple>>>,
+    inner: Arc<Mutex<BufState>>,
     capacity: usize,
 }
 
@@ -23,33 +39,67 @@ impl TupleBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "tuple buffer needs capacity");
         TupleBuffer {
-            inner: Arc::new(Mutex::new(VecDeque::new())),
+            inner: Arc::new(Mutex::new(BufState::default())),
             capacity,
         }
     }
 
     /// Write as many of `tuples` as fit; returns how many were taken.
     pub fn write(&self, tuples: &[QualityTuple]) -> usize {
-        let mut q = self.inner.lock();
-        let room = self.capacity.saturating_sub(q.len());
+        let mut st = self.inner.lock();
+        let room = self.capacity.saturating_sub(st.q.len());
         let n = room.min(tuples.len());
-        q.extend(tuples[..n].iter().copied());
+        st.q.extend(tuples[..n].iter().copied());
+        st.total_in += n as u64;
+        st.rejected += (tuples.len() - n) as u64;
+        let depth = st.q.len();
+        st.peak = st.peak.max(depth);
         n
     }
 
     /// Reader side: take the next tuple.
     pub fn pop(&self) -> Option<QualityTuple> {
-        self.inner.lock().pop_front()
+        let mut st = self.inner.lock();
+        let t = st.q.pop_front();
+        if t.is_some() {
+            st.total_out += 1;
+        }
+        t
     }
 
     /// Tuples currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().q.len()
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().q.is_empty()
+    }
+
+    /// Maximum tuples the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of buffered tuples.
+    pub fn peak_occupancy(&self) -> usize {
+        self.inner.lock().peak
+    }
+
+    /// Total tuples accepted by [`write`](TupleBuffer::write).
+    pub fn total_written(&self) -> u64 {
+        self.inner.lock().total_in
+    }
+
+    /// Total tuples handed out by [`pop`](TupleBuffer::pop).
+    pub fn total_popped(&self) -> u64 {
+        self.inner.lock().total_out
+    }
+
+    /// Tuples offered to [`write`](TupleBuffer::write) that did not fit.
+    pub fn rejected(&self) -> u64 {
+        self.inner.lock().rejected
     }
 }
 

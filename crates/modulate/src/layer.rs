@@ -20,8 +20,18 @@ use crate::clock::{Quantized, TickClock};
 use crate::daemon::TupleBuffer;
 use netsim::{SimRng, SimTime};
 use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
+use obs::{FidelityCollector, FidelityReport};
 use std::collections::BinaryHeap;
 use tracekit::{QualityTuple, ReplayTrace};
+
+/// Signed difference `a − b` in milliseconds.
+fn signed_ms(a: SimTime, b: SimTime) -> f64 {
+    if a >= b {
+        a.since(b).as_secs_f64() * 1e3
+    } else {
+        -(b.since(a).as_secs_f64() * 1e3)
+    }
+}
 
 /// Where the modulator gets its quality tuples.
 enum TupleSource {
@@ -65,6 +75,9 @@ pub struct ModStats {
 #[derive(Debug)]
 struct HeldPkt {
     due: SimTime,
+    /// The model's intended (clamped, unquantized) release time — kept
+    /// for the fidelity self-check's delay-error measurement.
+    ideal_due: SimTime,
     seq: u64,
     dir: Direction,
     bytes: Vec<u8>,
@@ -125,6 +138,7 @@ pub struct Modulator {
     last_due: [SimTime; 2],
     seq: u64,
     stats: ModStats,
+    fidelity: FidelityCollector,
 }
 
 impl Modulator {
@@ -148,6 +162,7 @@ impl Modulator {
             last_due: [SimTime::ZERO; 2],
             seq: 0,
             stats: ModStats::default(),
+            fidelity: FidelityCollector::new(),
         }
     }
 
@@ -169,6 +184,7 @@ impl Modulator {
             last_due: [SimTime::ZERO; 2],
             seq: 0,
             stats: ModStats::default(),
+            fidelity: FidelityCollector::new(),
         }
     }
 
@@ -187,6 +203,7 @@ impl Modulator {
             last_due: [SimTime::ZERO; 2],
             seq: 0,
             stats: ModStats::default(),
+            fidelity: FidelityCollector::new(),
         }
     }
 
@@ -225,6 +242,17 @@ impl Modulator {
     /// Counters.
     pub fn stats(&self) -> ModStats {
         self.stats
+    }
+
+    /// Snapshot of the fidelity self-check (intended-vs-actual delay
+    /// error, deadline misses, drift clamps, loss delta).
+    pub fn fidelity(&self) -> FidelityReport {
+        self.fidelity.report()
+    }
+
+    /// Packets still waiting in the hold queue.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
     }
 
     fn params_at(&mut self, dir: Direction, now: SimTime) -> Option<QualityTuple> {
@@ -297,8 +325,10 @@ impl LinkShim for Modulator {
         let Some(q) = self.params_at(dir, now) else {
             // No tuples yet (daemon still priming): transparent.
             self.stats.unmodulated += 1;
+            self.fidelity.on_unmodulated();
             return ShimVerdict::Pass(bytes);
         };
+        self.fidelity.on_modulated(q.loss);
         let s = bytes.len() as f64;
 
         // Bottleneck serialization, shared by both directions, with the
@@ -307,6 +337,10 @@ impl LinkShim for Modulator {
             Direction::Inbound => (q.vb_ns_per_byte - self.compensation_vb).max(0.0),
             Direction::Outbound => q.vb_ns_per_byte,
         };
+        if matches!(dir, Direction::Inbound) && self.compensation_vb > 0.0 && q.vb_ns_per_byte > 0.0
+        {
+            self.fidelity.on_compensated();
+        }
         let service = netsim::SimDuration::from_nanos((s * vb).round().max(0.0) as u64);
         let start = self.bottleneck_free.max(now);
         let leave_bottleneck = start + service;
@@ -316,6 +350,7 @@ impl LinkShim for Modulator {
         // consumed bottleneck time.
         if rng.chance(q.loss) {
             self.stats.dropped += 1;
+            self.fidelity.on_drop();
             return ShimVerdict::Drop;
         }
 
@@ -328,11 +363,15 @@ impl LinkShim for Modulator {
         };
         if due < self.last_due[dir_idx] {
             due = self.last_due[dir_idx];
+            self.fidelity.on_drift_clamp();
         }
         self.last_due[dir_idx] = due.max(now);
         match self.clock.quantize(now, due) {
             Quantized::Immediate => {
                 self.stats.immediate += 1;
+                // Released now although the model wanted `due`: the
+                // paper's §5.4 under-delay artifact (negative error).
+                self.fidelity.on_release(signed_ms(now, due), false);
                 ShimVerdict::Pass(bytes)
             }
             Quantized::At(t) => {
@@ -340,6 +379,7 @@ impl LinkShim for Modulator {
                 self.seq += 1;
                 self.held.push(HeldPkt {
                     due: t,
+                    ideal_due: due,
                     seq: self.seq,
                     dir,
                     bytes,
@@ -357,6 +397,11 @@ impl LinkShim for Modulator {
         let mut out = Vec::new();
         while matches!(self.held.peek(), Some(p) if p.due <= now) {
             let p = self.held.pop().expect("peeked entry exists");
+            // Released at `now`: positive error = held past the intended
+            // time (quantization or a late wakeup), deadline missed when
+            // the quantized due tick itself has already passed.
+            self.fidelity
+                .on_release(signed_ms(now, p.ideal_due), now > p.due);
             out.push(ShimRelease {
                 dir: p.dir,
                 bytes: p.bytes,

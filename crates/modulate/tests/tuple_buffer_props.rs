@@ -1,0 +1,122 @@
+//! Property tests for [`TupleBuffer`] occupancy accounting under
+//! bounded and overrunning feeds: whatever sequence of writes and pops
+//! the daemon and modulator interleave, the counters must keep the
+//! invariant `total_written − total_popped == len ≤ capacity`, the peak
+//! must be a true high-water mark, and every tuple offered must be
+//! accounted as either written or rejected.
+
+use modulate::{TupleBuffer, TupleFeed};
+use proptest::prelude::*;
+use tracekit::{QualityTuple, TupleSink};
+
+fn tuple(d_ms: u64) -> QualityTuple {
+    QualityTuple {
+        duration_ns: d_ms * 1_000_000,
+        latency_ns: 1_000_000,
+        vb_ns_per_byte: 4000.0,
+        vr_ns_per_byte: 0.0,
+        loss: 0.0,
+    }
+}
+
+/// One step of the interleaving: write a batch of `0..=8` tuples or pop
+/// `0..=4` times.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(usize),
+    Pop(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..=8).prop_map(Op::Write),
+        (0usize..=4).prop_map(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation + bounds for arbitrary write/pop interleavings,
+    /// including feeds much larger than the buffer (overrun).
+    #[test]
+    fn occupancy_accounting(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let buf = TupleBuffer::new(capacity);
+        let mut offered = 0u64;
+        let mut model_len = 0usize;
+        let mut model_peak = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Write(n) => {
+                    let batch = vec![tuple(1); n];
+                    let taken = buf.write(&batch);
+                    offered += n as u64;
+                    // The buffer takes exactly what fits, never more.
+                    prop_assert_eq!(taken, n.min(capacity - model_len));
+                    model_len += taken;
+                    model_peak = model_peak.max(model_len);
+                }
+                Op::Pop(n) => {
+                    for _ in 0..n {
+                        let got = buf.pop();
+                        prop_assert_eq!(got.is_some(), model_len > 0);
+                        model_len = model_len.saturating_sub(1);
+                    }
+                }
+            }
+            // Core invariant after every step.
+            prop_assert_eq!(
+                buf.total_written() - buf.total_popped(),
+                buf.len() as u64
+            );
+            prop_assert!(buf.len() <= buf.capacity());
+            prop_assert_eq!(buf.len(), model_len);
+            prop_assert_eq!(buf.peak_occupancy(), model_peak);
+            prop_assert!(buf.peak_occupancy() <= buf.capacity());
+            // Every offered tuple is either written or rejected.
+            prop_assert_eq!(buf.total_written() + buf.rejected(), offered);
+        }
+    }
+
+    /// The user-space feed spills overflow and conserves tuples:
+    /// everything fed is in the kernel buffer, already popped, or in
+    /// the backlog — nothing is lost even when the feed overruns the
+    /// buffer many times over.
+    #[test]
+    fn feed_conserves_tuples(
+        capacity in 1usize..8,
+        feeds in proptest::collection::vec(0usize..6, 1..60),
+        pops in proptest::collection::vec(0usize..6, 1..60),
+    ) {
+        let buf = TupleBuffer::new(capacity);
+        let mut feed = TupleFeed::new(buf.clone());
+        let mut fed = 0u64;
+        for (push, pop) in feeds.iter().zip(pops.iter().chain(std::iter::repeat(&0))) {
+            for _ in 0..*push {
+                feed.push_tuple(tuple(1));
+                fed += 1;
+            }
+            for _ in 0..*pop {
+                buf.pop();
+            }
+            feed.pump();
+            prop_assert_eq!(feed.fed(), fed);
+            // Conservation: fed == popped + buffered + backlog.
+            prop_assert_eq!(
+                fed,
+                buf.total_popped() + buf.len() as u64 + feed.backlog() as u64
+            );
+            prop_assert!(feed.peak_backlog() >= feed.backlog());
+            // The feed never over- or under-fills the kernel buffer.
+            prop_assert!(buf.len() <= capacity);
+            if feed.backlog() > 0 {
+                // Backlog only persists while the buffer is full.
+                prop_assert_eq!(buf.len(), capacity);
+            }
+        }
+    }
+}

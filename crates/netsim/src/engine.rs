@@ -22,6 +22,7 @@ pub struct Simulator {
     rng: SimRng,
     pending: Vec<Scheduled>,
     processed: u64,
+    queue_peak: usize,
 }
 
 impl Simulator {
@@ -37,6 +38,7 @@ impl Simulator {
             rng: SimRng::seed_from_u64(seed),
             pending: Vec::new(),
             processed: 0,
+            queue_peak: 0,
         }
     }
 
@@ -48,6 +50,18 @@ impl Simulator {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Events currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// High-water mark of the event-queue depth — keyed to event
+    /// scheduling only (virtual time), so it is identical across runs
+    /// regardless of wall-clock interleaving.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue_peak
     }
 
     /// Fork an independent RNG stream (e.g. to pre-generate workloads).
@@ -133,6 +147,7 @@ impl Simulator {
             target,
             kind,
         });
+        self.queue_peak = self.queue_peak.max(self.queue.len());
     }
 
     /// Borrow a node, downcast to its concrete type. Panics on a type
@@ -184,6 +199,7 @@ impl Simulator {
         for s in self.pending.drain(..) {
             self.queue.push(s);
         }
+        self.queue_peak = self.queue_peak.max(self.queue.len());
         true
     }
 

@@ -4,7 +4,14 @@
 
 use crate::time::SimTime;
 
-/// Online mean / standard deviation / extrema (Welford's algorithm).
+/// Online mean / standard deviation / extrema (Welford's algorithm),
+/// with optional sample retention for exact percentiles.
+///
+/// [`new`](Summary::new) keeps no samples — O(1) memory, the mode every
+/// pre-existing caller gets. [`keeping_samples`](Summary::keeping_samples)
+/// (and [`of`](Summary::of)) additionally retain each observation so
+/// [`percentile`](Summary::percentile) / [`p50`](Summary::p50) /
+/// [`p95`](Summary::p95) / [`p99`](Summary::p99) are exact.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     n: u64,
@@ -12,6 +19,7 @@ pub struct Summary {
     m2: f64,
     min: f64,
     max: f64,
+    samples: Option<Vec<f64>>,
 }
 
 impl Summary {
@@ -23,6 +31,16 @@ impl Summary {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            samples: None,
+        }
+    }
+
+    /// Empty summary that retains every observation, enabling exact
+    /// percentile queries at the cost of O(n) memory.
+    pub fn keeping_samples() -> Self {
+        Summary {
+            samples: Some(Vec::new()),
+            ..Summary::new()
         }
     }
 
@@ -34,15 +52,63 @@ impl Summary {
         self.m2 += d * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        if let Some(s) = &mut self.samples {
+            s.push(x);
+        }
     }
 
-    /// Build a summary from a slice.
+    /// Build a summary from a slice (samples are retained, so
+    /// percentiles are available).
     pub fn of(xs: &[f64]) -> Self {
-        let mut s = Summary::new();
+        let mut s = Summary::keeping_samples();
         for &x in xs {
             s.add(x);
         }
         s
+    }
+
+    /// True when observations are retained for percentile queries.
+    pub fn retains_samples(&self) -> bool {
+        self.samples.is_some()
+    }
+
+    /// The retained observations, in insertion order (`None` unless
+    /// built with [`keeping_samples`](Summary::keeping_samples) or
+    /// [`of`](Summary::of)).
+    pub fn samples(&self) -> Option<&[f64]> {
+        self.samples.as_deref()
+    }
+
+    /// Exact percentile (`p` in 0–100) with linear interpolation
+    /// between closest ranks. `None` when empty or when samples were
+    /// not retained.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let s = self.samples.as_ref()?;
+        if s.is_empty() {
+            return None;
+        }
+        let mut sorted = s.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    }
+
+    /// Median (0 when empty or samples not retained).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0).unwrap_or(0.0)
+    }
+
+    /// 95th percentile (0 when empty or samples not retained).
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0).unwrap_or(0.0)
+    }
+
+    /// 99th percentile (0 when empty or samples not retained).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0).unwrap_or(0.0)
     }
 
     /// Number of observations.
@@ -196,6 +262,32 @@ impl Histogram {
         self.total
     }
 
+    /// Approximate percentile (`p` in 0–100) from the bin counts, with
+    /// linear interpolation inside the containing bin. `None` when no
+    /// observations have been recorded. Accuracy is bounded by the bin
+    /// width; use [`Summary::percentile`] when exactness matters.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p / 100.0).clamp(0.0, 1.0) * self.total as f64;
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut seen = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if next >= target && c > 0 {
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - seen) / c as f64
+                };
+                return Some(self.lo + w * (i as f64 + frac.clamp(0.0, 1.0)));
+            }
+            seen = next;
+        }
+        Some(self.hi)
+    }
+
     /// `(bin_center, fraction_of_total)` pairs for display.
     pub fn normalized(&self) -> Vec<(f64, f64)> {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
@@ -238,6 +330,54 @@ mod tests {
         let s = Summary::of(&[3.0]);
         assert_eq!(s.mean(), 3.0);
         assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_exact_with_samples() {
+        let s = Summary::of(&(1..=100).map(f64::from).collect::<Vec<_>>());
+        assert!((s.p50() - 50.5).abs() < 1e-12);
+        assert!((s.p95() - 95.05).abs() < 1e-9);
+        assert!((s.p99() - 99.01).abs() < 1e-9);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.samples().map(<[f64]>::len), Some(100));
+    }
+
+    #[test]
+    fn summary_without_samples_has_no_percentiles() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        assert!(!s.retains_samples());
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.p95(), 0.0);
+        assert_eq!(Summary::keeping_samples().percentile(50.0), None);
+    }
+
+    #[test]
+    fn summary_streaming_moments_unaffected_by_retention() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let with = Summary::of(&xs);
+        let mut without = Summary::new();
+        for &x in &xs {
+            without.add(x);
+        }
+        assert_eq!(with.mean().to_bits(), without.mean().to_bits());
+        assert_eq!(with.stddev().to_bits(), without.stddev().to_bits());
+        assert_eq!(with.min().to_bits(), without.min().to_bits());
+        assert_eq!(with.max().to_bits(), without.max().to_bits());
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 + 0.5);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((45.0..=55.0).contains(&p50), "p50 {p50}");
+        let p95 = h.percentile(95.0).unwrap();
+        assert!((90.0..=100.0).contains(&p95), "p95 {p95}");
+        assert_eq!(Histogram::new(0.0, 1.0, 4).percentile(50.0), None);
     }
 
     #[test]

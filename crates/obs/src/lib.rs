@@ -1,0 +1,47 @@
+//! # obs — observability substrate for the emulation pipeline
+//!
+//! The paper's central claim is that trace modulation *faithfully*
+//! reproduces collected network conditions; this crate turns that claim
+//! into an always-on, machine-readable health signal. It provides:
+//!
+//! * [`Counter`] / [`Gauge`] — atomic scalar metrics for wall-clock
+//!   (runner-side) accounting;
+//! * [`Hist`] — a fixed-bucket histogram built on
+//!   [`netsim::stats::Histogram`] + [`netsim::stats::Summary`] (exact
+//!   p50/p95/p99 via retained samples — no duplicated math);
+//! * [`SpanTimer`] — span timing keyed to **virtual** time
+//!   ([`netsim::SimTime`]), so measurements are identical however the
+//!   host schedules worker threads;
+//! * [`MetricsRegistry`] — a serializable snapshot of named counters,
+//!   gauges, and histogram summaries, mergeable under a stage prefix;
+//! * [`JsonlSink`] — an append-only JSON-lines event sink;
+//! * [`FidelityCollector`] / [`FidelityReport`] — the modulation-layer
+//!   self-check (intended-vs-actual delay error percentiles, deadline
+//!   misses, drift clamps, loss-rate delta vs the replay trace) with
+//!   [`FidelityThresholds`] for CI gating;
+//! * [`RunManifest`] — the per-run artifact (`tracemod --obs-out`)
+//!   separating deterministic sim-path metrics from the wall-clock
+//!   runner section, so serial and parallel executions of the same
+//!   cell compare bitwise equal on
+//!   [`deterministic_json`](RunManifest::deterministic_json).
+//!
+//! **Determinism rule**: everything under [`RunManifest::metrics`] and
+//! [`RunManifest::fidelity`] must derive only from simulation state
+//! (virtual time, event counts, per-cell RNG streams). Wall-clock
+//! readings belong exclusively in [`RunnerSection`].
+
+#![warn(missing_docs)]
+
+pub mod fidelity;
+pub mod manifest;
+pub mod metrics;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
+pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
+pub use metrics::{Counter, Gauge, Hist, HistSnapshot};
+pub use registry::MetricsRegistry;
+pub use sink::{Event, JsonlSink};
+pub use span::SpanTimer;

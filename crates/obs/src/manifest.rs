@@ -1,0 +1,261 @@
+//! The per-run observability manifest (`tracemod --obs-out`).
+
+use crate::fidelity::{FidelityReport, FidelityThresholds};
+use crate::registry::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Manifest schema version, bumped on incompatible layout changes.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Wall-clock runner measurements. Everything in here may differ from
+/// run to run and between worker counts; it is excluded from
+/// [`RunManifest::deterministic_json`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerSection {
+    /// Wall-clock duration of the run, in seconds.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Trace records processed per wall-clock second.
+    pub records_per_sec: f64,
+    /// Fraction of worker-seconds spent executing cells (1.0 = all
+    /// workers busy the whole run).
+    pub worker_utilization: f64,
+}
+
+/// The machine-readable record of one emulation run: deterministic
+/// sim-path metrics and fidelity self-check, plus an optional
+/// wall-clock runner section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Schema version ([`MANIFEST_SCHEMA`]).
+    pub schema: u32,
+    /// Scenario name (e.g. `"porter_walk"`).
+    pub scenario: String,
+    /// Benchmark/workload name driving the run.
+    pub benchmark: String,
+    /// Trial index within the scenario.
+    pub trial: u32,
+    /// Stage-prefixed deterministic metrics
+    /// (`netsim.*`, `wavelan.*`, `distill.*`, `modulate.*`, `emu.*`).
+    pub metrics: MetricsRegistry,
+    /// Modulation-layer fidelity self-check.
+    pub fidelity: FidelityReport,
+    /// Wall-clock runner section; `None` in deterministic comparisons.
+    #[serde(default)]
+    pub runner: Option<RunnerSection>,
+}
+
+impl RunManifest {
+    /// An empty manifest for the given run identity.
+    pub fn new(scenario: &str, benchmark: &str, trial: u32) -> Self {
+        RunManifest {
+            schema: MANIFEST_SCHEMA,
+            scenario: scenario.to_string(),
+            benchmark: benchmark.to_string(),
+            trial,
+            metrics: MetricsRegistry::new(),
+            fidelity: FidelityReport::empty(),
+            runner: None,
+        }
+    }
+
+    /// Pretty-printed JSON form (what `--obs-out` writes).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Parse a manifest from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad run manifest: {e}"))
+    }
+
+    /// Compact JSON with the wall-clock section stripped — the form two
+    /// runs of the same cell must match **byte for byte**, regardless
+    /// of `--jobs`.
+    pub fn deterministic_json(&self) -> String {
+        let mut c = self.clone();
+        c.runner = None;
+        serde_json::to_string(&c).unwrap_or_default()
+    }
+
+    /// Check the fidelity section against `th` (empty = pass).
+    pub fn check(&self, th: &FidelityThresholds) -> Vec<String> {
+        self.fidelity.check(th)
+    }
+
+    /// Human-readable report (the `tracemod obs-report` output).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let f = &self.fidelity;
+        let _ = writeln!(
+            s,
+            "run manifest (schema {}): scenario={} benchmark={} trial={}",
+            self.schema, self.scenario, self.benchmark, self.trial
+        );
+
+        let _ = writeln!(s, "\n-- fidelity self-check --");
+        let _ = writeln!(
+            s,
+            "  packets:        offered {}  modulated {}  unmodulated {} ({:.1}%)",
+            f.modulated_packets + f.unmodulated_packets,
+            f.modulated_packets,
+            f.unmodulated_packets,
+            f.unmodulated_fraction * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "  released:       {}   dropped: {}",
+            f.released_packets, f.dropped_packets
+        );
+        let _ = writeln!(
+            s,
+            "  delay error:    mean {:+.3} ms  (min {:+.3} / max {:+.3})",
+            f.delay_error_ms.mean, f.delay_error_ms.min, f.delay_error_ms.max
+        );
+        let _ = writeln!(
+            s,
+            "  |delay error|:  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+            f.abs_delay_error_p50_ms, f.abs_delay_error_p95_ms, f.abs_delay_error_p99_ms
+        );
+        let _ = writeln!(
+            s,
+            "  deadlines:      {} missed (rate {:.4})",
+            f.deadline_misses, f.deadline_miss_rate
+        );
+        let _ = writeln!(
+            s,
+            "  corrections:    {} drift clamps, {} delay-compensated",
+            f.drift_clamps, f.compensated_packets
+        );
+        let _ = writeln!(
+            s,
+            "  loss rate:      expected {:.4}  observed {:.4}  delta {:+.4}",
+            f.expected_loss_rate, f.observed_loss_rate, f.loss_delta
+        );
+        let violations = self.check(&FidelityThresholds::default());
+        if violations.is_empty() {
+            let _ = writeln!(s, "  self-check:     PASS (default thresholds)");
+        } else {
+            let _ = writeln!(s, "  self-check:     FAIL");
+            for v in &violations {
+                let _ = writeln!(s, "    - {v}");
+            }
+        }
+
+        let _ = writeln!(s, "\n-- metrics ({} recorded) --", self.metrics.len());
+        let counters: Vec<_> = self.metrics.counters().collect();
+        if !counters.is_empty() {
+            let _ = writeln!(s, "  counters:");
+            for (k, v) in counters {
+                let _ = writeln!(s, "    {k:<42} {v}");
+            }
+        }
+        let gauges: Vec<_> = self.metrics.gauges().collect();
+        if !gauges.is_empty() {
+            let _ = writeln!(s, "  gauges:");
+            for (k, v) in gauges {
+                let _ = writeln!(s, "    {k:<42} {v:.4}");
+            }
+        }
+        let hists: Vec<_> = self.metrics.hists().collect();
+        if !hists.is_empty() {
+            let _ = writeln!(s, "  histograms:");
+            for (k, h) in hists {
+                let _ = writeln!(
+                    s,
+                    "    {k:<42} n={} mean={:.4} p95={:.4}",
+                    h.count, h.mean, h.p95
+                );
+            }
+        }
+
+        match &self.runner {
+            Some(r) => {
+                let _ = writeln!(s, "\n-- runner (wall clock; non-deterministic) --");
+                let _ = writeln!(s, "  wall time:      {:.3} s", r.wall_secs);
+                let _ = writeln!(s, "  workers:        {}", r.workers);
+                let _ = writeln!(s, "  records/sec:    {:.1}", r.records_per_sec);
+                let _ = writeln!(s, "  utilization:    {:.3}", r.worker_utilization);
+            }
+            None => {
+                let _ = writeln!(s, "\n-- runner: absent (deterministic form) --");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::FidelityCollector;
+
+    fn sample_manifest() -> RunManifest {
+        let mut m = RunManifest::new("porter_walk", "web", 0);
+        m.metrics.set_counter("netsim.events", 420);
+        m.metrics.set_gauge("modulate.buffer_peak", 3.0);
+        let mut fc = FidelityCollector::new();
+        for _ in 0..10 {
+            fc.on_modulated(0.05);
+            fc.on_release(1.5, false);
+        }
+        m.fidelity = fc.report();
+        m
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let mut m = sample_manifest();
+        m.runner = Some(RunnerSection {
+            wall_secs: 1.25,
+            workers: 8,
+            records_per_sec: 1000.0,
+            worker_utilization: 0.9,
+        });
+        let back = RunManifest::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.schema, MANIFEST_SCHEMA);
+    }
+
+    #[test]
+    fn deterministic_json_strips_runner() {
+        let mut a = sample_manifest();
+        let mut b = sample_manifest();
+        a.runner = Some(RunnerSection {
+            wall_secs: 0.5,
+            workers: 1,
+            records_per_sec: 10.0,
+            worker_utilization: 1.0,
+        });
+        b.runner = Some(RunnerSection {
+            wall_secs: 9.0,
+            workers: 8,
+            records_per_sec: 99.0,
+            worker_utilization: 0.2,
+        });
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(!a.deterministic_json().contains("wall_secs"));
+    }
+
+    #[test]
+    fn manifest_without_runner_field_parses() {
+        let m = sample_manifest();
+        let json = m.deterministic_json();
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back.runner, None);
+        assert_eq!(back.metrics.counter("netsim.events"), Some(420));
+    }
+
+    #[test]
+    fn render_text_has_all_sections() {
+        let m = sample_manifest();
+        let text = m.render_text();
+        assert!(text.contains("fidelity self-check"));
+        assert!(text.contains("netsim.events"));
+        assert!(text.contains("PASS"));
+        assert!(text.contains("deterministic form"));
+    }
+}

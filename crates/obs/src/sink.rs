@@ -1,0 +1,122 @@
+//! Append-only JSON-lines event sink.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One observability event: a named measurement at a virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time of the measurement, in nanoseconds.
+    pub t_virtual_ns: u64,
+    /// Pipeline stage (`"netsim"`, `"wavelan"`, `"distill"`,
+    /// `"modulate"`, `"runner"`).
+    pub stage: String,
+    /// Metric name within the stage.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// Writes [`Event`]s as one JSON object per line — the streaming
+/// complement to the end-of-run [`crate::RunManifest`] snapshot.
+pub struct JsonlSink {
+    out: Box<dyn Write + Send>,
+    events: u64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to `w`.
+    pub fn to_writer(w: impl Write + Send + 'static) -> Self {
+        JsonlSink {
+            out: Box::new(w),
+            events: 0,
+        }
+    }
+
+    /// A sink appending to the file at `path` (created if missing).
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink::to_writer(io::BufWriter::new(f)))
+    }
+
+    /// Append one event as a JSON line.
+    pub fn emit(&mut self, ev: &Event) -> io::Result<()> {
+        let line = serde_json::to_string(ev)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Events emitted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+/// Parse a JSONL byte stream back into events (skips blank lines).
+pub fn parse_events(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad event line: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Shared in-memory writer for inspecting sink output.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let shared = Shared::default();
+        let mut sink = JsonlSink::to_writer(shared.clone());
+        for i in 0..3u64 {
+            sink.emit(&Event {
+                t_virtual_ns: i * 500,
+                stage: "modulate".into(),
+                name: "queue_depth".into(),
+                value: i as f64,
+            })
+            .unwrap();
+        }
+        assert_eq!(sink.events(), 3);
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_events(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[2].value, 2.0);
+        assert_eq!(back[0].stage, "modulate");
+    }
+}

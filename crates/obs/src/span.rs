@@ -1,0 +1,113 @@
+//! Span timing keyed to virtual time.
+
+use netsim::stats::Summary;
+use netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Measures durations between `begin`/`end` pairs in **virtual** time.
+///
+/// Tokens distinguish concurrently open spans (e.g. per-packet holds in
+/// the modulation layer, keyed by packet sequence number). Because both
+/// endpoints are [`SimTime`]s, the resulting distribution depends only
+/// on the simulation — never on wall-clock scheduling — which is what
+/// lets span metrics appear in the deterministic half of a run
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct SpanTimer {
+    open: BTreeMap<u64, SimTime>,
+    durations: Summary,
+    peak_open: usize,
+}
+
+impl Default for SpanTimer {
+    fn default() -> Self {
+        SpanTimer::new()
+    }
+}
+
+impl SpanTimer {
+    /// A timer with no open spans.
+    pub fn new() -> Self {
+        SpanTimer {
+            open: BTreeMap::new(),
+            durations: Summary::keeping_samples(),
+            peak_open: 0,
+        }
+    }
+
+    /// Open a span identified by `token` at virtual time `at`.
+    /// Re-opening an already open token restarts it.
+    pub fn begin(&mut self, token: u64, at: SimTime) {
+        self.open.insert(token, at);
+        self.peak_open = self.peak_open.max(self.open.len());
+    }
+
+    /// Close span `token` at virtual time `at`, recording its duration
+    /// in seconds. Returns the duration, or `None` for an unknown
+    /// token (or a clock that went backwards).
+    pub fn end(&mut self, token: u64, at: SimTime) -> Option<SimDuration> {
+        let start = self.open.remove(&token)?;
+        if at < start {
+            return None;
+        }
+        let d = at.since(start);
+        self.durations.add(d.as_secs_f64());
+        Some(d)
+    }
+
+    /// Spans currently open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// High-water mark of concurrently open spans.
+    pub fn peak_open(&self) -> usize {
+        self.peak_open
+    }
+
+    /// Closed spans recorded.
+    pub fn count(&self) -> u64 {
+        self.durations.count()
+    }
+
+    /// Distribution of closed-span durations (seconds), with exact
+    /// percentiles.
+    pub fn durations(&self) -> &Summary {
+        &self.durations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_measure_virtual_durations() {
+        let mut t = SpanTimer::new();
+        t.begin(1, SimTime::from_millis(100));
+        t.begin(2, SimTime::from_millis(150));
+        assert_eq!(t.open_count(), 2);
+        assert_eq!(
+            t.end(1, SimTime::from_millis(160)),
+            Some(SimDuration::from_millis(60))
+        );
+        assert_eq!(
+            t.end(2, SimTime::from_millis(250)),
+            Some(SimDuration::from_millis(100))
+        );
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.peak_open(), 2);
+        assert!((t.durations().mean() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_token_and_backwards_clock_are_ignored() {
+        let mut t = SpanTimer::new();
+        assert_eq!(t.end(7, SimTime::from_secs(1)), None);
+        t.begin(7, SimTime::from_secs(2));
+        assert_eq!(t.end(7, SimTime::from_secs(1)), None);
+        assert_eq!(t.count(), 0);
+        // The failed close still consumed the token.
+        assert_eq!(t.open_count(), 0);
+    }
+}

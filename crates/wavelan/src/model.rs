@@ -36,6 +36,14 @@ pub trait ChannelModel: Any + Send {
     fn name(&self) -> &str {
         "channel"
     }
+
+    /// Base-station handoffs performed so far. Nonzero only for models
+    /// with explicit station association (e.g. the physical
+    /// WavePoint model); interpolated scenario models have no discrete
+    /// handoff events.
+    fn handoffs(&self) -> u64 {
+        0
+    }
 }
 
 /// A fixed-conditions model (useful for tests and the wired baseline).

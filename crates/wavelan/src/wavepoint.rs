@@ -259,6 +259,10 @@ impl ChannelModel for PhysicalModel {
     fn name(&self) -> &str {
         self.name
     }
+
+    fn handoffs(&self) -> u64 {
+        self.stats.handoffs
+    }
 }
 
 #[cfg(test)]

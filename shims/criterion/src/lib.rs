@@ -7,6 +7,11 @@
 //! the median batch reported, with derived element/byte throughput.
 //! No statistics, plots, or baseline comparison — just enough for
 //! `cargo bench` to compile, run, and print comparable numbers.
+//!
+//! When the `BENCH_JSON` environment variable names a file, each
+//! benchmark additionally appends one JSON line to it
+//! (`{"name":…,"median_ns_per_iter":…,…}`) so CI can archive results
+//! as an artifact without scraping stdout.
 
 #![warn(missing_docs)]
 
@@ -136,13 +141,51 @@ fn run_benchmark(
             Throughput::Bytes(n) => (n, "B/s"),
         };
         let per_sec = count as f64 * 1e9 / per_iter_ns.max(1) as f64;
-        format!("  ({} {unit})", human(per_sec))
+        (per_sec, unit)
     });
     println!(
         "bench {label:<40} {:>12}/iter{}",
         human_ns(per_iter_ns),
-        rate.unwrap_or_default()
+        rate.map(|(r, u)| format!("  ({} {u})", human(r)))
+            .unwrap_or_default()
     );
+    emit_json_line(label, per_iter_ns, rate);
+}
+
+/// Append one JSON record for this benchmark to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset; emission
+/// failures are reported on stderr but never fail the benchmark).
+fn emit_json_line(label: &str, per_iter_ns: u128, rate: Option<(f64, &str)>) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let name: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let mut line = format!("{{\"name\":\"{name}\",\"median_ns_per_iter\":{per_iter_ns}");
+    if let Some((per_sec, unit)) = rate {
+        line.push_str(&format!(
+            ",\"throughput_per_sec\":{per_sec:.1},\"throughput_unit\":\"{unit}\""
+        ));
+    }
+    line.push_str("}\n");
+    use std::io::Write;
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: BENCH_JSON {path}: {e}");
+    }
 }
 
 fn human_ns(ns: u128) -> String {

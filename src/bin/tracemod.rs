@@ -7,28 +7,49 @@
 //! tracemod inspect  wean1.mntr | wean1.mnrp
 //! tracemod replay   wean1.mnrp --benchmark ftp-recv [--trial 1] [--tick-ms 10]
 //! tracemod live     --scenario wean --benchmark ftp-recv [--trial 1]
-//! tracemod live-pipeline --scenario wean --benchmark ftp-recv [--trial 1] [--horizon 30]
+//! tracemod live-pipeline --scenario wean --benchmark ftp-recv [--trial 1] [--obs-out run.json]
+//! tracemod obs-report run.json [--check]
 //! ```
 //!
 //! Files use the binary formats by default; any path ending in `.json`
 //! reads/writes the JSON encoding instead. `distill` streams binary
 //! traces through the incremental distiller in bounded memory; JSON
 //! inputs fall back to the batch path (identical output).
+//!
+//! Every command validates its flags: unknown flags, missing required
+//! flags, and unreadable files produce an error message and a nonzero
+//! exit code (2 for usage errors, 1 for runtime failures) — no panics.
 
 use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
 use emu::{live_modulated_run, live_run, modulated_run, Benchmark, RunConfig};
 use modulate::TickClock;
 use netsim::SimDuration;
+use obs::{FidelityThresholds, RunManifest};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
 use tracekit::{ReplayTrace, TraceFileStream};
 use wavelan::Scenario;
 
-fn die(msg: &str) -> ! {
-    eprintln!("tracemod: {msg}");
-    exit(2);
+/// A command failure: usage errors exit 2, runtime failures exit 1.
+enum CliError {
+    /// Bad invocation (unknown flag, missing argument, unknown name).
+    Usage(String),
+    /// The invocation was fine but the work failed (I/O, parse).
+    Runtime(String),
 }
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
+
+type CliResult = Result<(), CliError>;
 
 /// Minimal flag parser: positionals + `--key value` pairs.
 struct Args {
@@ -44,7 +65,11 @@ impl Args {
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                    Some(v) if !v.starts_with("--") => {
+                        let v = (*v).clone();
+                        it.next();
+                        v
+                    }
                     _ => String::from("true"),
                 };
                 flags.push((key.to_string(), value));
@@ -63,55 +88,100 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, key: &str) -> &str {
+    fn require(&self, key: &str) -> Result<&str, CliError> {
         self.get(key)
-            .unwrap_or_else(|| die(&format!("missing required flag --{key}")))
+            .ok_or_else(|| CliError::usage(format!("missing required flag --{key}")))
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
-            None => default,
+            None => Ok(default),
             Some(v) => v
                 .parse()
-                .unwrap_or_else(|_| die(&format!("invalid value for --{key}: {v}"))),
+                .map_err(|_| CliError::usage(format!("invalid value for --{key}: {v}"))),
         }
     }
+
+    /// Reject flags outside `allowed` and surplus positionals beyond
+    /// `max_positional` (the command word counts as one).
+    fn check(&self, allowed: &[&str], max_positional: usize) -> CliResult {
+        for (k, _) in &self.flags {
+            if !allowed.contains(&k.as_str()) {
+                return Err(CliError::usage(format!(
+                    "unknown flag --{k} (allowed: {})",
+                    if allowed.is_empty() {
+                        "none".to_string()
+                    } else {
+                        allowed
+                            .iter()
+                            .map(|f| format!("--{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    }
+                )));
+            }
+        }
+        if self.positional.len() > max_positional {
+            return Err(CliError::usage(format!(
+                "unexpected argument '{}'",
+                self.positional[max_positional]
+            )));
+        }
+        Ok(())
+    }
 }
 
-fn scenario_arg(args: &Args) -> Scenario {
-    if let Some(path) = args.get("scenario-file") {
-        let json =
-            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-        return wavelan::ScenarioSpec::from_json(&json)
+/// Resolve `--scenario`/`--scenario-file` plus the optional
+/// `--duration-secs` override (shortens or stretches the traversal —
+/// handy for quick smoke runs and CI).
+fn scenario_arg(args: &Args) -> Result<Scenario, CliError> {
+    let mut sc = if let Some(path) = args.get("scenario-file") {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("read {path}: {e}")))?;
+        wavelan::ScenarioSpec::from_json(&json)
             .and_then(wavelan::ScenarioSpec::into_scenario)
-            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+    } else {
+        let name = args.require("scenario")?;
+        Scenario::by_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox)"
+            ))
+        })?
+    };
+    if let Some(secs) = args.get("duration-secs") {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid value for --duration-secs: {secs}")))?;
+        if secs == 0 {
+            return Err(CliError::usage("--duration-secs must be positive"));
+        }
+        sc.duration = SimDuration::from_secs(secs);
     }
-    let name = args.require("scenario");
-    Scenario::by_name(name).unwrap_or_else(|| {
-        die(&format!(
-            "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox)"
-        ))
-    })
+    Ok(sc)
 }
 
-fn cmd_dump_scenario(args: &Args) {
-    let sc = scenario_arg(args);
+fn cmd_dump_scenario(args: &Args) -> CliResult {
+    args.check(&["scenario", "scenario-file", "duration-secs"], 1)?;
+    let sc = scenario_arg(args)?;
     println!("{}", wavelan::ScenarioSpec::from_scenario(&sc).to_json());
+    Ok(())
 }
 
-fn benchmark_arg(args: &Args) -> Benchmark {
-    match args.require("benchmark") {
-        "web" => Benchmark::Web,
-        "ftp-send" => Benchmark::FtpSend,
-        "ftp-recv" => Benchmark::FtpRecv,
-        "andrew" => Benchmark::Andrew,
-        other => die(&format!(
+fn benchmark_arg(args: &Args) -> Result<Benchmark, CliError> {
+    match args.require("benchmark")? {
+        "web" => Ok(Benchmark::Web),
+        "ftp-send" => Ok(Benchmark::FtpSend),
+        "ftp-recv" => Ok(Benchmark::FtpRecv),
+        "andrew" => Ok(Benchmark::Andrew),
+        other => Err(CliError::usage(format!(
             "unknown benchmark '{other}' (try: web, ftp-send, ftp-recv, andrew)"
-        )),
+        ))),
     }
 }
 
-fn cmd_scenarios() {
+fn cmd_scenarios(args: &Args) -> CliResult {
+    args.check(&[], 1)?;
     println!(
         "{:<12} {:>9} {:>12} {:>8}  notes",
         "name", "duration", "checkpoints", "asym"
@@ -130,12 +200,24 @@ fn cmd_scenarios() {
             }
         );
     }
+    Ok(())
 }
 
-fn cmd_collect(args: &Args) {
-    let sc = scenario_arg(args);
-    let trial = args.parse_num("trial", 1u32);
-    let out = PathBuf::from(args.require("out"));
+fn cmd_collect(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "scenario",
+            "scenario-file",
+            "duration-secs",
+            "trial",
+            "out",
+            "target-out",
+        ],
+        1,
+    )?;
+    let sc = scenario_arg(args)?;
+    let trial = args.parse_num("trial", 1u32)?;
+    let out = PathBuf::from(args.require("out")?);
     let cfg = RunConfig::default();
     if let Some(target_out) = args.get("target-out") {
         eprintln!(
@@ -143,9 +225,11 @@ fn cmd_collect(args: &Args) {
             sc.name
         );
         let (mobile, target) = emu::collect_trace_two_sided(&sc, trial, &cfg);
-        write_trace(&out, &mobile).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+        write_trace(&out, &mobile)
+            .map_err(|e| CliError::runtime(format!("write {}: {e}", out.display())))?;
         let tp = PathBuf::from(target_out);
-        write_trace(&tp, &target).unwrap_or_else(|e| die(&format!("write {tp:?}: {e}")));
+        write_trace(&tp, &target)
+            .map_err(|e| CliError::runtime(format!("write {}: {e}", tp.display())))?;
         eprintln!(
             "wrote {} ({} records) and {} ({} records)",
             out.display(),
@@ -156,29 +240,36 @@ fn cmd_collect(args: &Args) {
     } else {
         eprintln!("collecting trace of '{}' trial {trial}...", sc.name);
         let trace = emu::collect_trace(&sc, trial, &cfg);
-        write_trace(&out, &trace).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+        write_trace(&out, &trace)
+            .map_err(|e| CliError::runtime(format!("write {}: {e}", out.display())))?;
         eprintln!("wrote {} ({} records)", out.display(), trace.records.len());
     }
+    Ok(())
 }
 
-fn cmd_distill(args: &Args) {
+fn distill_cfg(args: &Args) -> Result<DistillConfig, CliError> {
+    Ok(DistillConfig {
+        window: WindowConfig {
+            width: SimDuration::from_secs(args.parse_num("window-secs", 5u64)?),
+            step: SimDuration::from_secs(1),
+        },
+        reorder_horizon: args.parse_num("horizon", DistillConfig::default().reorder_horizon)?,
+    })
+}
+
+fn cmd_distill(args: &Args) -> CliResult {
+    args.check(&["out", "window-secs", "horizon"], 2)?;
     let input = args
         .positional
         .get(1)
-        .unwrap_or_else(|| die("usage: tracemod distill <trace> --out <replay>"));
-    let out = PathBuf::from(args.require("out"));
-    let window = args.parse_num("window-secs", 5u64);
-    let cfg = DistillConfig {
-        window: WindowConfig {
-            width: SimDuration::from_secs(window),
-            step: SimDuration::from_secs(1),
-        },
-        reorder_horizon: args.parse_num("horizon", DistillConfig::default().reorder_horizon),
-    };
+        .ok_or_else(|| CliError::usage("usage: tracemod distill <trace> --out <replay>"))?;
+    let out = PathBuf::from(args.require("out")?);
+    let cfg = distill_cfg(args)?;
     let path = Path::new(input);
     let (replay, solved, corrected, triplets) = if path.extension().is_some_and(|e| e == "json") {
         // JSON has no incremental decoder: batch path (same output).
-        let trace = read_trace(path).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
+        let trace =
+            read_trace(path).map_err(|e| CliError::runtime(format!("read {input}: {e}")))?;
         let report = distill_with_report(&trace, &cfg);
         (
             report.replay,
@@ -189,18 +280,19 @@ fn cmd_distill(args: &Args) {
     } else {
         // Binary traces stream through the incremental distiller: memory
         // stays O(window) however large the trace file is.
-        let mut stream =
-            TraceFileStream::open(path).unwrap_or_else(|e| die(&format!("open {input}: {e}")));
+        let mut stream = TraceFileStream::open(path)
+            .map_err(|e| CliError::runtime(format!("open {input}: {e}")))?;
         let header = stream
             .header()
-            .unwrap_or_else(|e| die(&format!("read {input}: {e}")))
+            .map_err(|e| CliError::runtime(format!("read {input}: {e}")))?
             .clone();
         let mut replay = ReplayTrace::new(&format!("{} trial {}", header.scenario, header.trial));
         let stats = distill_stream(&mut stream, &cfg, &mut replay)
-            .unwrap_or_else(|e| die(&format!("distill {input}: {e}")));
+            .map_err(|e| CliError::runtime(format!("distill {input}: {e}")))?;
         (replay, stats.solved, stats.corrected, stats.triplets)
     };
-    write_replay(&out, &replay).unwrap_or_else(|e| die(&format!("write {out:?}: {e}")));
+    write_replay(&out, &replay)
+        .map_err(|e| CliError::runtime(format!("write {}: {e}", out.display())))?;
     eprintln!(
         "distilled {} triplets ({} solved, {} corrected) → {} tuples → {}",
         triplets,
@@ -209,13 +301,15 @@ fn cmd_distill(args: &Args) {
         replay.tuples.len(),
         out.display()
     );
+    Ok(())
 }
 
-fn cmd_inspect(args: &Args) {
+fn cmd_inspect(args: &Args) -> CliResult {
+    args.check(&["records"], 2)?;
     let input = args
         .positional
         .get(1)
-        .unwrap_or_else(|| die("usage: tracemod inspect <file>"));
+        .ok_or_else(|| CliError::usage("usage: tracemod inspect <file>"))?;
     let path = Path::new(input);
     // Try replay trace first (cheap), then collected trace.
     if let Ok(replay) = read_replay(path) {
@@ -237,7 +331,7 @@ fn cmd_inspect(args: &Args) {
         println!("  mean loss:     {:.2}%", replay.mean_loss() * 100.0);
         let worst = replay.tuples.iter().map(|t| t.loss).fold(0.0f64, f64::max);
         println!("  worst loss:    {:.1}%", worst * 100.0);
-        return;
+        return Ok(());
     }
     match read_trace(path) {
         Ok(trace) => {
@@ -260,15 +354,18 @@ fn cmd_inspect(args: &Args) {
                 .count();
             println!("  probes:         {echoes} echo, {replies} reply");
             // tcpdump-style record listing.
-            let n: usize = args.parse_num("records", 0usize);
+            let n: usize = args.parse_num("records", 0usize)?;
             for r in trace.records.iter().take(n) {
                 println!("  {}", format_record(r));
             }
             if n > 0 && trace.records.len() > n {
                 println!("  ... ({} more records)", trace.records.len() - n);
             }
+            Ok(())
         }
-        Err(e) => die(&format!("{input}: not a trace or replay file ({e})")),
+        Err(e) => Err(CliError::runtime(format!(
+            "{input}: not a trace or replay file ({e})"
+        ))),
     }
 }
 
@@ -339,16 +436,17 @@ fn format_record(r: &tracekit::TraceRecord) -> String {
     }
 }
 
-fn cmd_replay(args: &Args) {
+fn cmd_replay(args: &Args) -> CliResult {
+    args.check(&["benchmark", "trial", "tick-ms"], 2)?;
     let input = args
         .positional
         .get(1)
-        .unwrap_or_else(|| die("usage: tracemod replay <replay> --benchmark <b>"));
-    let replay =
-        read_replay(Path::new(input)).unwrap_or_else(|e| die(&format!("read {input}: {e}")));
-    let benchmark = benchmark_arg(args);
-    let trial = args.parse_num("trial", 1u32);
-    let tick_ms = args.parse_num("tick-ms", 10u64);
+        .ok_or_else(|| CliError::usage("usage: tracemod replay <replay> --benchmark <b>"))?;
+    let replay = read_replay(Path::new(input))
+        .map_err(|e| CliError::runtime(format!("read {input}: {e}")))?;
+    let benchmark = benchmark_arg(args)?;
+    let trial = args.parse_num("trial", 1u32)?;
+    let tick_ms = args.parse_num("tick-ms", 10u64)?;
     let cfg = RunConfig {
         clock: if tick_ms == 0 {
             TickClock::ideal()
@@ -365,12 +463,23 @@ fn cmd_replay(args: &Args) {
     );
     let r = modulated_run(&replay, trial, benchmark, &cfg);
     report_result(&r);
+    Ok(())
 }
 
-fn cmd_live(args: &Args) {
-    let sc = scenario_arg(args);
-    let benchmark = benchmark_arg(args);
-    let trial = args.parse_num("trial", 1u32);
+fn cmd_live(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "scenario",
+            "scenario-file",
+            "duration-secs",
+            "benchmark",
+            "trial",
+        ],
+        1,
+    )?;
+    let sc = scenario_arg(args)?;
+    let benchmark = benchmark_arg(args)?;
+    let trial = args.parse_num("trial", 1u32)?;
     eprintln!(
         "running {} live on '{}' trial {trial}...",
         benchmark.name(),
@@ -378,20 +487,27 @@ fn cmd_live(args: &Args) {
     );
     let r = live_run(&sc, trial, benchmark, &RunConfig::default());
     report_result(&r);
+    Ok(())
 }
 
-fn cmd_live_pipeline(args: &Args) {
-    let sc = scenario_arg(args);
-    let benchmark = benchmark_arg(args);
-    let trial = args.parse_num("trial", 1u32);
-    let window = args.parse_num("window-secs", 5u64);
-    let dcfg = DistillConfig {
-        window: WindowConfig {
-            width: SimDuration::from_secs(window),
-            step: SimDuration::from_secs(1),
-        },
-        reorder_horizon: args.parse_num("horizon", DistillConfig::default().reorder_horizon),
-    };
+fn cmd_live_pipeline(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "scenario",
+            "scenario-file",
+            "duration-secs",
+            "benchmark",
+            "trial",
+            "window-secs",
+            "horizon",
+            "obs-out",
+        ],
+        1,
+    )?;
+    let sc = scenario_arg(args)?;
+    let benchmark = benchmark_arg(args)?;
+    let trial = args.parse_num("trial", 1u32)?;
+    let dcfg = distill_cfg(args)?;
     eprintln!(
         "live pipeline: collecting '{}' trial {trial} while running {} modulated...",
         sc.name,
@@ -411,6 +527,38 @@ fn cmd_live_pipeline(args: &Args) {
         ),
         None => eprintln!("modulation never consumed a tuple (collection too short?)"),
     }
+    if let Some(obs_out) = args.get("obs-out") {
+        std::fs::write(obs_out, out.manifest.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("write {obs_out}: {e}")))?;
+        eprintln!("wrote run manifest → {obs_out}");
+    }
+    Ok(())
+}
+
+fn cmd_obs_report(args: &Args) -> CliResult {
+    args.check(&["check"], 2)?;
+    let input = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("usage: tracemod obs-report <run.json> [--check]"))?;
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| CliError::runtime(format!("read {input}: {e}")))?;
+    let manifest =
+        RunManifest::from_json(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    print!("{}", manifest.render_text());
+    if args.get("check").is_some() {
+        let violations = manifest.check(&FidelityThresholds::default());
+        if !violations.is_empty() {
+            let mut msg = String::from("fidelity self-check failed:");
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(CliError::runtime(msg));
+        }
+        eprintln!("fidelity self-check: PASS");
+    }
+    Ok(())
 }
 
 fn report_result(r: &emu::RunResult) {
@@ -435,13 +583,17 @@ commands:
   replay   <replay> --benchmark B          run a benchmark under modulation
   live     --scenario S --benchmark B      run a benchmark live on the wireless scenario
   live-pipeline --scenario S --benchmark B collect, distill, and modulate concurrently
-benchmarks: web, ftp-send, ftp-recv, andrew";
+                                           (--obs-out F writes the observability manifest)
+  obs-report <run.json> [--check]          pretty-print a run manifest; --check gates on the
+                                           fidelity thresholds (nonzero exit on violation)
+benchmarks: web, ftp-send, ftp-recv, andrew
+scenario commands also accept --duration-secs N to shorten the traversal";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&raw);
-    match args.positional.first().map(String::as_str) {
-        Some("scenarios") => cmd_scenarios(),
+    let result = match args.positional.first().map(String::as_str) {
+        Some("scenarios") => cmd_scenarios(&args),
         Some("dump-scenario") => cmd_dump_scenario(&args),
         Some("collect") => cmd_collect(&args),
         Some("distill") => cmd_distill(&args),
@@ -449,9 +601,20 @@ fn main() {
         Some("replay") => cmd_replay(&args),
         Some("live") => cmd_live(&args),
         Some("live-pipeline") => cmd_live_pipeline(&args),
-        _ => {
+        Some("obs-report") => cmd_obs_report(&args),
+        Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
+        None => Err(CliError::usage("no command given")),
+    };
+    match result {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("tracemod: {msg}");
             eprintln!("{USAGE}");
             exit(2);
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("tracemod: {msg}");
+            exit(1);
         }
     }
 }
