@@ -14,6 +14,7 @@
 use crate::loss::LossWindow;
 use crate::solver::{solve_or_correct, DelayEstimate, TripletObservation};
 use crate::window::{DelayWindow, TimedEstimate, WindowConfig};
+use obs::flight::{FlightHandle, Stage};
 use std::collections::BTreeMap;
 use tracekit::stream::{RecordStream, StreamError, TupleSink};
 use tracekit::{ProtoInfo, QualityTuple, ReplayTrace, Trace, TraceRecord};
@@ -100,6 +101,10 @@ struct GroupSlot {
     send_ns: [Option<u64>; 3],
     wire: [Option<u32>; 3],
     rtt_ns: [Option<u64>; 3],
+    /// Flight-recorder keys of the outbound probes (only populated
+    /// when a recorder is attached), so a solved group's estimate can
+    /// be attributed back to the packets that produced it.
+    key: [Option<u64>; 3],
 }
 
 /// Incremental distillation operator: trace records in, quality tuples
@@ -123,6 +128,15 @@ pub struct Distiller {
     loss: LossWindow,
     stats: DistillStats,
     record_estimates: bool,
+    flight: Option<FlightHandle>,
+    /// Estimates awaiting tuple attribution: (probe key, estimate time
+    /// in trace seconds, solved-exactly flag).
+    pending_attr: Vec<(u64, f64, bool)>,
+    /// Cumulative playback coverage of emitted tuples (trace seconds).
+    emitted_span: f64,
+    /// Emission index of the next tuple (matches the modulator's
+    /// consumption order — the buffer between them is FIFO).
+    tuple_idx: u64,
 }
 
 impl Distiller {
@@ -142,6 +156,10 @@ impl Distiller {
             ),
             stats: DistillStats::default(),
             record_estimates: false,
+            flight: None,
+            pending_attr: Vec::new(),
+            emitted_span: 0.0,
+            tuple_idx: 0,
         }
     }
 
@@ -150,6 +168,15 @@ impl Distiller {
     /// unbounded live runs).
     pub fn record_estimates(mut self) -> Self {
         self.record_estimates = true;
+        self
+    }
+
+    /// Attach a flight recorder: each emitted tuple is stamped with its
+    /// emission index and playback coverage, and each solved probe
+    /// group's packets are attributed to the first tuple whose coverage
+    /// window their estimate fed.
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -182,6 +209,9 @@ impl Distiller {
                         let k = (seq % 3) as usize;
                         slot.send_ns[k] = Some(p.timestamp_ns);
                         slot.wire[k] = Some(p.wire_len);
+                        if self.flight.is_some() {
+                            slot.key[k] = Some(p.flight_key());
+                        }
                         self.max_group = self.max_group.max(g);
                     }
                 }
@@ -266,6 +296,11 @@ impl Distiller {
             at: (send0.saturating_sub(t0)) as f64 / 1e9,
             est,
         };
+        if self.flight.is_some() {
+            for key in slot.key.iter().flatten() {
+                self.pending_attr.push((*key, timed.at, solved));
+            }
+        }
         if self.record_estimates {
             self.stats.estimates.push(timed);
         }
@@ -283,6 +318,47 @@ impl Distiller {
             let (Some(d), Some(loss)) = (self.delay.pop(), self.loss.pop()) else {
                 break;
             };
+            let start = self.emitted_span;
+            let end = start + d.duration;
+            self.emitted_span = end;
+            let idx = self.tuple_idx;
+            self.tuple_idx += 1;
+            if let Some(fl) = &self.flight {
+                let t0 = self.t0.unwrap_or(0);
+                let at_ns = |secs: f64| t0.saturating_add((secs.max(0.0) * 1e9) as u64);
+                fl.instant(
+                    Stage::Distill,
+                    "tuple",
+                    None,
+                    Some(idx),
+                    at_ns(start),
+                    format!(
+                        "covers {start:.1}s..{end:.1}s F={:.3}ms loss={loss:.3}",
+                        d.est.f.max(0.0) * 1e3
+                    ),
+                );
+                // Attribute each waiting estimate to the first tuple
+                // whose coverage reaches past it.
+                let mut i = 0;
+                while i < self.pending_attr.len() {
+                    if self.pending_attr[i].1 < end {
+                        let (key, at, solved) = self.pending_attr.remove(i);
+                        fl.instant(
+                            Stage::Distill,
+                            "attribute",
+                            Some(key),
+                            Some(idx),
+                            at_ns(at),
+                            format!(
+                                "estimate at {at:.1}s ({}) fed tuple {idx}",
+                                if solved { "solved" } else { "corrected" }
+                            ),
+                        );
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             sink.push_tuple(QualityTuple {
                 duration_ns: (d.duration * 1e9).round() as u64,
                 latency_ns: (d.est.f.max(0.0) * 1e9).round() as u64,

@@ -1,0 +1,92 @@
+//! Flight-recorder adapters for the simulator's passive frame hook.
+//!
+//! [`netsim`] cannot depend on [`obs`] (obs depends on netsim for
+//! virtual time), so the bridge lives here: a [`FrameHook`] that stamps
+//! a `Netsim`-stage transit span for every frame a link accepts and an
+//! instant for every tail-drop. The hook has no access to scheduling or
+//! RNG state, so recording cannot perturb the simulation.
+
+use netsim::{FrameHook, NodeId, SimTime};
+use obs::flight::{frame_key, FlightHandle, Stage};
+
+/// Frame hook feeding one simulator's link activity into the shared
+/// flight recorder, labelled with the network it watches (`wl` for the
+/// wireless collection testbed, `eth` for the modulation Ethernet).
+pub struct FlightFrameHook {
+    flight: FlightHandle,
+    net: &'static str,
+}
+
+impl FlightFrameHook {
+    /// Hook recording into `flight`, labelling spans with `net`.
+    pub fn new(flight: FlightHandle, net: &'static str) -> Self {
+        FlightFrameHook { flight, net }
+    }
+}
+
+impl FrameHook for FlightFrameHook {
+    fn on_transit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: &[u8],
+        sent: SimTime,
+        arrival: SimTime,
+    ) {
+        self.flight.span(
+            Stage::Netsim,
+            "transit",
+            Some(frame_key(bytes)),
+            None,
+            sent.as_nanos(),
+            arrival.as_nanos(),
+            format!("{} n{} -> n{} {}B", self.net, from.0, to.0, bytes.len()),
+        );
+    }
+
+    fn on_link_drop(&mut self, from: NodeId, to: NodeId, bytes: &[u8], now: SimTime) {
+        self.flight.instant(
+            Stage::Netsim,
+            "link-drop",
+            Some(frame_key(bytes)),
+            None,
+            now.as_nanos(),
+            format!(
+                "{} n{} -> n{} {}B tail-drop",
+                self.net,
+                from.0,
+                to.0,
+                bytes.len()
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_records_netsim_span() {
+        let fl = FlightHandle::new(16);
+        let mut hook = FlightFrameHook::new(fl.clone(), "wl");
+        hook.on_transit(
+            NodeId(0),
+            NodeId(1),
+            &[1, 2, 3],
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(30),
+        );
+        hook.on_link_drop(NodeId(1), NodeId(0), &[4, 5], SimTime::from_nanos(40));
+        fl.with(|r| {
+            let recs: Vec<_> = r.records().cloned().collect();
+            assert_eq!(recs.len(), 2);
+            assert_eq!(recs[0].stage, Stage::Netsim);
+            assert_eq!(recs[0].begin_ns, 10);
+            assert_eq!(recs[0].end_ns, 30);
+            assert!(recs[0].detail.contains("wl n0 -> n1 3B"));
+            assert!(!recs[1].is_span());
+            assert!(recs[1].detail.contains("tail-drop"));
+        });
+    }
+}

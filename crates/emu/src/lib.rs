@@ -38,6 +38,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod hooks;
 pub mod plan;
 pub mod report;
 pub mod runs;
@@ -46,6 +47,7 @@ pub mod workload;
 
 pub use experiment::{compare, compare_with, comparison_from_plan, ethernet_baseline, Comparison};
 pub use figures::{scenario_figure, scenario_figure_with, CheckpointSeries, ScenarioFigure};
+pub use hooks::FlightFrameHook;
 pub use plan::{
     CellKind, CellOutput, CellReport, Exec, PlanMetrics, PlanResults, TrialCell, TrialPlan,
 };

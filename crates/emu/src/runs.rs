@@ -3,11 +3,13 @@
 //! modulated runs (§3.3 + §5.1's "modulated" columns), plus the one-time
 //! compensation measurement of the modulating network.
 
+use crate::hooks::FlightFrameHook;
 use crate::testbed::{build_ethernet, build_wireless, Hardware, SERVER_IP};
 use crate::workload::{extract, install, is_done, run_to_completion, Benchmark, RunResult};
 use distill::{distill_with_report, DistillConfig, DistillReport, DistillStats, Distiller};
 use modulate::{Modulator, TickClock, TupleBuffer, TupleFeed};
 use netsim::{SimDuration, SimRng, SimTime};
+use obs::flight::FlightHandle;
 use obs::{MetricsRegistry, RunManifest, RunnerSection};
 use tracekit::{CollectionDaemon, Collector, PseudoDevice, ReplayTrace, Trace};
 use wavelan::{Scenario, WirelessChannel};
@@ -220,6 +222,11 @@ pub struct LiveModOutcome {
     /// pipeline stage, the modulation fidelity self-check, and a
     /// wall-clock runner section.
     pub manifest: RunManifest,
+    /// Causal flight recorder holding per-packet lifecycle events from
+    /// every pipeline stage; export with
+    /// [`to_chrome_trace`](obs::flight::FlightHandle::to_chrome_trace)
+    /// or query with [`obs::flight::FlightRecorder::journey`].
+    pub flight: FlightHandle,
 }
 
 /// **Live modulated run**: collection, distillation, and modulation
@@ -240,19 +247,26 @@ pub fn live_modulated_run(
     dcfg: &DistillConfig,
     cfg: &RunConfig,
 ) -> LiveModOutcome {
-    // Collection side — identical construction to `collect_trace`.
+    // Collection side — identical construction to `collect_trace`,
+    // plus a flight recorder threaded through every stage. Recording is
+    // passive (no scheduling or RNG access), so the benchmark outcome
+    // and manifests are bit-identical with or without it.
+    let flight = FlightHandle::new(65_536);
     let mut trial_rng = SimRng::seed_from_u64(seed_for(scenario.name, trial, 1));
-    let channel = scenario.channel(&mut trial_rng);
+    let mut channel = scenario.channel(&mut trial_rng);
+    channel.set_flight(flight.clone());
     let meter = channel.meter();
     let dev = PseudoDevice::new(65_536);
     let scenario_secs = scenario.duration.as_secs_f64() as u64;
+    let flight_collect = flight.clone();
     let (mut wl, (_ping, daemon)) = build_wireless(
         seed_for(scenario.name, trial, 2),
         cfg.hw,
         channel,
         |laptop, _server| {
             let collector = Collector::new(dev.clone())
-                .with_signal_source(Box::new(move || meter.lock().quantized()));
+                .with_signal_source(Box::new(move || meter.lock().quantized()))
+                .with_flight(flight_collect);
             laptop.set_tracer(Box::new(collector));
             let mut ping_cfg = PingConfig::paper(SERVER_IP);
             ping_cfg.duration = SimDuration::from_secs(scenario_secs);
@@ -271,7 +285,9 @@ pub fn live_modulated_run(
     // feed writes into; no replay file in between.
     let buf = TupleBuffer::new(64);
     let mut feed = TupleFeed::new(buf.clone());
-    let mut modulator = Modulator::from_buffer(buf.clone()).with_clock(cfg.clock);
+    let mut modulator = Modulator::from_buffer(buf.clone())
+        .with_clock(cfg.clock)
+        .with_flight(flight.clone());
     if let Some(vb) = cfg.compensation {
         modulator = modulator.with_compensation(vb);
     }
@@ -283,9 +299,13 @@ pub fn live_modulated_run(
             install(benchmark, laptop, server)
         },
     );
+    wl.sim
+        .set_frame_hook(Box::new(FlightFrameHook::new(flight.clone(), "wl")));
+    eth.sim
+        .set_frame_hook(Box::new(FlightFrameHook::new(flight.clone(), "eth")));
 
     let wall_start = std::time::Instant::now();
-    let mut distiller = Some(Distiller::new(dcfg));
+    let mut distiller = Some(Distiller::new(dcfg).with_flight(flight.clone()));
     let collect_end = SimTime::from_secs(scenario_secs + 5);
     let deadline = SimTime::ZERO + benchmark.deadline();
     let slice = SimDuration::from_millis(500);
@@ -317,8 +337,9 @@ pub fn live_modulated_run(
                 d.push_record(rec, &mut feed);
             }
             if wl_now >= collect_end {
-                let d = distiller.take().expect("distiller is live here");
-                finished_stats = Some(d.finish(&mut feed));
+                if let Some(d) = distiller.take() {
+                    finished_stats = Some(d.finish(&mut feed));
+                }
             }
         }
         feed.pump();
@@ -336,10 +357,9 @@ pub fn live_modulated_run(
 
     // The benchmark may finish before collection does; flush the
     // distiller so its stats cover everything pushed so far.
-    let distill = finished_stats.unwrap_or_else(|| {
-        let d = distiller.take().expect("unfinished distiller");
-        d.finish(&mut feed)
-    });
+    let distill = finished_stats
+        .or_else(|| distiller.take().map(|d| d.finish(&mut feed)))
+        .unwrap_or_default();
     let tuples_fed = feed.fed();
     let tuples_consumed = tuples_fed - feed.backlog() as u64 - buf.len() as u64;
 
@@ -401,6 +421,12 @@ pub fn live_modulated_run(
     );
     m.set_counter("modulate.feed_fed", tuples_fed);
     m.set_gauge("modulate.feed_peak_backlog", feed.peak_backlog() as f64);
+    flight.with(|r| {
+        m.set_counter("obs.flight.recorded", r.pushed());
+        m.set_counter("obs.flight.evicted", r.evicted());
+        m.set_counter("obs.flight.packets", r.packets());
+        m.set_counter("obs.flight.dropped_open", r.dropped_open());
+    });
     m.set_counter("emu.records_processed", records_processed);
     m.set_gauge(
         "emu.collection_virtual_secs",
@@ -431,6 +457,7 @@ pub fn live_modulated_run(
             distill,
         },
         manifest,
+        flight,
     }
 }
 

@@ -160,6 +160,75 @@ fn obs_manifest_identical_at_any_worker_count() {
     }
 }
 
+/// The flight recorder inherits the determinism guarantee: its
+/// Perfetto/Chrome-trace export derives from virtual time only, so the
+/// bytes must be identical at 1, 2, and 8 workers — and the recording
+/// must resolve at least one packet's journey across all five pipeline
+/// stages (the acceptance bar for causal packet tracing).
+#[test]
+fn flight_recorder_export_identical_at_any_worker_count() {
+    let mut sc = Scenario::chatterbox();
+    sc.duration = SimDuration::from_secs(45);
+
+    let plan = || {
+        let mut p = TrialPlan::new();
+        p.push(TrialCell {
+            label: "flight-1".to_string(),
+            trial: 1,
+            cfg: RunConfig::default(),
+            kind: CellKind::LiveModulated {
+                scenario: sc.clone(),
+                benchmark: Benchmark::Web,
+                distill: DistillConfig::default(),
+            },
+        });
+        p
+    };
+
+    let export = |workers: Option<usize>| -> Vec<String> {
+        let exec = match workers {
+            None => Exec::serial(),
+            Some(n) => Exec::with_workers(n),
+        };
+        plan()
+            .run(&exec)
+            .live_modulated(sc.name, Benchmark::Web)
+            .iter()
+            .map(|o| o.flight.to_chrome_trace())
+            .collect()
+    };
+
+    let serial = export(None);
+    assert_eq!(serial.len(), 1);
+    assert!(
+        serial[0].contains("\"traceEvents\":["),
+        "export must be a Chrome trace"
+    );
+    for workers in [1, 2, 8] {
+        let parallel = export(Some(workers));
+        assert_eq!(
+            serial, parallel,
+            "{workers} workers: flight export bytes diverged from serial"
+        );
+    }
+
+    // The same recording answers the causal query: some packet's
+    // journey covers every stage (counting the modulation decisions
+    // its distilled tuple fed).
+    let outcomes = plan().run(&Exec::serial());
+    let outcomes = outcomes.live_modulated(sc.name, Benchmark::Web);
+    outcomes[0].flight.with(|r| {
+        let id = r.best_packet().expect("packets were recorded");
+        let journey = r.journey(id).expect("best packet has a journey");
+        let stages: Vec<&str> = journey.stages().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            stages,
+            ["netsim", "wavelan", "collect", "distill", "modulate"],
+            "journey for packet {id} must span the whole pipeline"
+        );
+    });
+}
+
 #[test]
 fn parallel_andrew_phases_identical() {
     // Andrew exercises the per-phase summary path.

@@ -262,7 +262,7 @@ mod tests {
         assert_eq!(buf.write(&ts), 3);
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.write(&ts), 0);
-        buf.pop().unwrap();
+        assert!(buf.pop().is_some(), "full buffer must yield a tuple");
         assert_eq!(buf.write(&ts), 1);
     }
 

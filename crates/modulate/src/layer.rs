@@ -20,6 +20,7 @@ use crate::clock::{Quantized, TickClock};
 use crate::daemon::TupleBuffer;
 use netsim::{SimRng, SimTime};
 use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
+use obs::flight::{frame_key, FlightHandle, Stage};
 use obs::{FidelityCollector, FidelityReport};
 use std::collections::BinaryHeap;
 use tracekit::{QualityTuple, ReplayTrace};
@@ -46,6 +47,10 @@ enum TupleSource {
         buf: TupleBuffer,
         current: Option<QualityTuple>,
         until: SimTime,
+        /// Tuples consumed so far; `popped − 1` is the emission index
+        /// of `current` (the distiller counts the same way, so flight
+        /// records from both stages meet on the same tuple id).
+        popped: u64,
     },
     /// Per-direction replay traces from one-way (synchronized-clocks)
     /// distillation: outbound packets follow `up`, inbound follow
@@ -81,6 +86,12 @@ struct HeldPkt {
     seq: u64,
     dir: Direction,
     bytes: Vec<u8>,
+    /// When the packet entered the modulation layer (flight recording).
+    offered: SimTime,
+    /// Flight-recorder content key, when a recorder is attached.
+    key: Option<u64>,
+    /// Tuple emission index governing this packet's delay decision.
+    tuple: Option<u64>,
 }
 
 impl PartialEq for HeldPkt {
@@ -139,6 +150,7 @@ pub struct Modulator {
     seq: u64,
     stats: ModStats,
     fidelity: FidelityCollector,
+    flight: Option<FlightHandle>,
 }
 
 impl Modulator {
@@ -163,6 +175,7 @@ impl Modulator {
             seq: 0,
             stats: ModStats::default(),
             fidelity: FidelityCollector::new(),
+            flight: None,
         }
     }
 
@@ -185,6 +198,7 @@ impl Modulator {
             seq: 0,
             stats: ModStats::default(),
             fidelity: FidelityCollector::new(),
+            flight: None,
         }
     }
 
@@ -195,6 +209,7 @@ impl Modulator {
                 buf,
                 current: None,
                 until: SimTime::ZERO,
+                popped: 0,
             },
             clock: TickClock::netbsd(),
             compensation_vb: 0.0,
@@ -204,12 +219,22 @@ impl Modulator {
             seq: 0,
             stats: ModStats::default(),
             fidelity: FidelityCollector::new(),
+            flight: None,
         }
     }
 
     /// Use a specific scheduling clock (default: the 10 ms NetBSD tick).
     pub fn with_clock(mut self, clock: TickClock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Attach a flight recorder: every intended-vs-actual delay
+    /// decision — pass-throughs, drops, drift clamps, immediate
+    /// releases, and hold spans — is recorded against the governing
+    /// tuple's emission index.
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -282,6 +307,7 @@ impl Modulator {
                 buf,
                 current,
                 until,
+                popped,
             } => {
                 // Advance through expired tuples; hold the last one if the
                 // daemon has not kept up (or the trace ended).
@@ -291,6 +317,7 @@ impl Modulator {
                             Some(t) => {
                                 *until = now + t.duration();
                                 *current = Some(t);
+                                *popped += 1;
                             }
                             None => return None,
                         },
@@ -302,6 +329,7 @@ impl Modulator {
                                 Some(t) => {
                                     *until += t.duration();
                                     *current = Some(t);
+                                    *popped += 1;
                                 }
                                 None => return Some(*c), // starved: stretch
                             }
@@ -309,6 +337,20 @@ impl Modulator {
                     }
                 }
             }
+        }
+    }
+
+    /// Emission index of the tuple currently governing decisions
+    /// (buffer source only — trace sources have no shared emission
+    /// numbering with a live distiller).
+    fn current_tuple_index(&self) -> Option<u64> {
+        match &self.source {
+            TupleSource::Buffer {
+                current: Some(_),
+                popped,
+                ..
+            } => popped.checked_sub(1),
+            _ => None,
         }
     }
 }
@@ -322,12 +364,30 @@ impl LinkShim for Modulator {
         rng: &mut SimRng,
     ) -> ShimVerdict {
         self.stats.offered += 1;
+        let key = self.flight.as_ref().map(|fl| {
+            let k = frame_key(&bytes);
+            // Benchmark packets enter the observed pipeline here, so
+            // this is where their identity is born.
+            fl.assign(k);
+            k
+        });
         let Some(q) = self.params_at(dir, now) else {
             // No tuples yet (daemon still priming): transparent.
             self.stats.unmodulated += 1;
             self.fidelity.on_unmodulated();
+            if let Some(fl) = &self.flight {
+                fl.instant(
+                    Stage::Modulate,
+                    "pass",
+                    key,
+                    None,
+                    now.as_nanos(),
+                    "unmodulated (no tuple yet)".to_string(),
+                );
+            }
             return ShimVerdict::Pass(bytes);
         };
+        let tuple = self.current_tuple_index();
         self.fidelity.on_modulated(q.loss);
         let s = bytes.len() as f64;
 
@@ -351,10 +411,21 @@ impl LinkShim for Modulator {
         if rng.chance(q.loss) {
             self.stats.dropped += 1;
             self.fidelity.on_drop();
+            if let Some(fl) = &self.flight {
+                fl.instant(
+                    Stage::Modulate,
+                    "drop",
+                    key,
+                    tuple,
+                    leave_bottleneck.as_nanos(),
+                    format!("loss process p={:.4}", q.loss),
+                );
+            }
             return ShimVerdict::Drop;
         }
 
-        let mut due = leave_bottleneck + q.latency() + q.residual_delay(bytes.len());
+        let intended = leave_bottleneck + q.latency() + q.residual_delay(bytes.len());
+        let mut due = intended;
         // Keep per-direction releases monotone (no reordering when the
         // active tuple's delay shrinks).
         let dir_idx = match dir {
@@ -364,6 +435,20 @@ impl LinkShim for Modulator {
         if due < self.last_due[dir_idx] {
             due = self.last_due[dir_idx];
             self.fidelity.on_drift_clamp();
+            if let Some(fl) = &self.flight {
+                fl.instant(
+                    Stage::Modulate,
+                    "clamp",
+                    key,
+                    tuple,
+                    now.as_nanos(),
+                    format!(
+                        "monotone clamp +{:.3}ms (intended {:.3}ms)",
+                        signed_ms(due, intended),
+                        signed_ms(intended, now)
+                    ),
+                );
+            }
         }
         self.last_due[dir_idx] = due.max(now);
         match self.clock.quantize(now, due) {
@@ -372,6 +457,20 @@ impl LinkShim for Modulator {
                 // Released now although the model wanted `due`: the
                 // paper's §5.4 under-delay artifact (negative error).
                 self.fidelity.on_release(signed_ms(now, due), false);
+                if let Some(fl) = &self.flight {
+                    fl.instant(
+                        Stage::Modulate,
+                        "release",
+                        key,
+                        tuple,
+                        now.as_nanos(),
+                        format!(
+                            "immediate, intended +{:.3}ms err {:+.3}ms",
+                            signed_ms(due, now),
+                            signed_ms(now, due)
+                        ),
+                    );
+                }
                 ShimVerdict::Pass(bytes)
             }
             Quantized::At(t) => {
@@ -383,6 +482,9 @@ impl LinkShim for Modulator {
                     seq: self.seq,
                     dir,
                     bytes,
+                    offered: now,
+                    key,
+                    tuple,
                 });
                 ShimVerdict::Hold
             }
@@ -395,13 +497,34 @@ impl LinkShim for Modulator {
 
     fn collect_due(&mut self, now: SimTime, _rng: &mut SimRng) -> Vec<ShimRelease> {
         let mut out = Vec::new();
-        while matches!(self.held.peek(), Some(p) if p.due <= now) {
-            let p = self.held.pop().expect("peeked entry exists");
+        // Pop-first rather than peek-then-pop: the not-yet-due head is
+        // pushed back, so there is no panicking unwrap on the hot path.
+        while let Some(p) = self.held.pop() {
+            if p.due > now {
+                self.held.push(p);
+                break;
+            }
             // Released at `now`: positive error = held past the intended
             // time (quantization or a late wakeup), deadline missed when
             // the quantized due tick itself has already passed.
-            self.fidelity
-                .on_release(signed_ms(now, p.ideal_due), now > p.due);
+            let err_ms = signed_ms(now, p.ideal_due);
+            let missed = now > p.due;
+            self.fidelity.on_release(err_ms, missed);
+            if let Some(fl) = &self.flight {
+                fl.span(
+                    Stage::Modulate,
+                    "hold",
+                    p.key,
+                    p.tuple,
+                    p.offered.as_nanos(),
+                    now.as_nanos(),
+                    format!(
+                        "held {:.3}ms err {err_ms:+.3}ms{}",
+                        signed_ms(now, p.offered),
+                        if missed { " (deadline missed)" } else { "" }
+                    ),
+                );
+            }
             out.push(ShimRelease {
                 dir: p.dir,
                 bytes: p.bytes,

@@ -2,7 +2,7 @@
 
 use crate::event::{EventKind, NodeId, PortId, Scheduled};
 use crate::link::{Link, LinkId, LinkParams, LinkStats};
-use crate::node::{Context, Node, PortBinding};
+use crate::node::{Context, FrameHook, Node, PortBinding};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::collections::{BinaryHeap, HashMap};
@@ -23,6 +23,7 @@ pub struct Simulator {
     pending: Vec<Scheduled>,
     processed: u64,
     queue_peak: usize,
+    frame_hook: Option<Box<dyn FrameHook>>,
 }
 
 impl Simulator {
@@ -39,7 +40,15 @@ impl Simulator {
             pending: Vec::new(),
             processed: 0,
             queue_peak: 0,
+            frame_hook: None,
         }
+    }
+
+    /// Install a passive [`FrameHook`] observing every link send.
+    /// Hooks get no scheduling or RNG access, so installing one never
+    /// changes the event trace.
+    pub fn set_frame_hook(&mut self, hook: Box<dyn FrameHook>) {
+        self.frame_hook = Some(hook);
     }
 
     /// Current simulation time.
@@ -192,6 +201,7 @@ impl Simulator {
                 links: &mut self.links,
                 ports: &self.ports,
                 rng: &mut self.rng,
+                hook: &mut self.frame_hook,
             };
             node.on_event(ev.kind, &mut ctx);
         }

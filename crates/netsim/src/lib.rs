@@ -56,6 +56,6 @@ mod time;
 pub use engine::Simulator;
 pub use event::{EventKind, Frame, NodeId, PortId};
 pub use link::{LinkId, LinkParams, LinkStats};
-pub use node::{Context, Node};
+pub use node::{Context, FrameHook, Node};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -34,6 +34,31 @@ pub trait Node: Any + Send {
     }
 }
 
+/// Passive observer of frame movement through links, installed with
+/// [`Simulator::set_frame_hook`](crate::Simulator::set_frame_hook).
+///
+/// The hook sees every [`Context::send`] outcome — accepted frames
+/// with their computed arrival time, and tail-dropped frames. It must
+/// not influence the simulation (it gets no scheduling or RNG access),
+/// so installing one cannot change an event trace.
+pub trait FrameHook: Send {
+    /// A link accepted `bytes` from `from` at `sent`; delivery to `to`
+    /// is scheduled for `arrival`.
+    fn on_transit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: &[u8],
+        sent: SimTime,
+        arrival: SimTime,
+    );
+
+    /// The outgoing link direction tail-dropped the frame at `now`.
+    fn on_link_drop(&mut self, from: NodeId, to: NodeId, bytes: &[u8], now: SimTime) {
+        let _ = (from, to, bytes, now);
+    }
+}
+
 /// Engine services available to a node while it handles an event.
 pub struct Context<'a> {
     pub(crate) now: SimTime,
@@ -43,6 +68,7 @@ pub struct Context<'a> {
     pub(crate) links: &'a mut Vec<Link>,
     pub(crate) ports: &'a HashMap<(NodeId, PortId), PortBinding>,
     pub(crate) rng: &'a mut SimRng,
+    pub(crate) hook: &'a mut Option<Box<dyn FrameHook>>,
 }
 
 impl Context<'_> {
@@ -82,6 +108,9 @@ impl Context<'_> {
         let dir = &mut self.links[binding.link].dirs[binding.dir];
         match dir.offer(self.now, frame.len()) {
             Some(arrival) => {
+                if let Some(h) = self.hook.as_mut() {
+                    h.on_transit(self.node, binding.peer, &frame.data, self.now, arrival);
+                }
                 self.push(
                     arrival,
                     binding.peer,
@@ -92,7 +121,12 @@ impl Context<'_> {
                 );
                 true
             }
-            None => false,
+            None => {
+                if let Some(h) = self.hook.as_mut() {
+                    h.on_link_drop(self.node, binding.peer, &frame.data, self.now);
+                }
+                false
+            }
         }
     }
 

@@ -1,0 +1,380 @@
+//! Cross-run benchmark regression tracking.
+//!
+//! The criterion shim emits one JSON line per benchmark
+//! (`{"name": ..., "median_ns_per_iter": ...}`) into the file named by
+//! `$BENCH_JSON`. This module compares such a file against a committed
+//! baseline (`BENCH_baseline.json`) with per-metric tolerance bands
+//! and produces machine-readable verdicts, so CI can fail on a real
+//! regression instead of eyeballing numbers.
+//!
+//! Timing on shared CI runners is noisy, so the default band is wide
+//! (a 3× ratio); a baseline line may carry its own
+//! `"tolerance_ratio"` to tighten or loosen one metric.
+
+use serde::Value;
+
+/// One benchmark measurement parsed from a `BENCH_JSON` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (`"distill_push_record"`, ...).
+    pub name: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns_per_iter: f64,
+    /// Optional per-metric tolerance ratio override (baseline only).
+    pub tolerance_ratio: Option<f64>,
+}
+
+/// Parse criterion-shim JSONL. Repeated names keep the last line
+/// (re-runs append); the result is sorted by name.
+pub fn parse_bench_jsonl(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out: Vec<BenchRecord> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("bench line {}: {e}", i + 1))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("bench line {}: expected object", i + 1))?;
+        let name = match Value::field(obj, "name") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("bench line {}: missing \"name\"", i + 1)),
+        };
+        let median = Value::field(obj, "median_ns_per_iter")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("bench line {}: missing \"median_ns_per_iter\"", i + 1))?;
+        let tolerance_ratio = Value::field(obj, "tolerance_ratio").and_then(as_f64);
+        match out.iter_mut().find(|r| r.name == name) {
+            Some(existing) => {
+                existing.median_ns_per_iter = median;
+                existing.tolerance_ratio = tolerance_ratio;
+            }
+            None => out.push(BenchRecord {
+                name,
+                median_ns_per_iter: median,
+                tolerance_ratio,
+            }),
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(serde::Num::F(f)) => Some(*f),
+        Value::Num(serde::Num::I(i)) => Some(*i as f64),
+        Value::Num(serde::Num::U(u)) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Knobs for [`BenchDiff::compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchDiffConfig {
+    /// Allowed `current / baseline` ratio before a metric regresses
+    /// (and below whose inverse it counts as improved).
+    pub default_tolerance_ratio: f64,
+    /// Metrics where both sides are under this many ns are noise and
+    /// always pass.
+    pub noise_floor_ns: f64,
+}
+
+impl Default for BenchDiffConfig {
+    fn default() -> Self {
+        BenchDiffConfig {
+            default_tolerance_ratio: 3.0,
+            noise_floor_ns: 500.0,
+        }
+    }
+}
+
+/// Verdict for one benchmark metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchStatus {
+    /// Within the tolerance band.
+    Ok,
+    /// Faster than the inverse tolerance — worth a look, not a failure.
+    Improved,
+    /// Slower than the tolerance band allows.
+    Regressed,
+    /// Present only in the current run.
+    New,
+    /// Present only in the baseline (a benchmark disappeared).
+    Missing,
+}
+
+impl BenchStatus {
+    /// Lowercase label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchStatus::Ok => "ok",
+            BenchStatus::Improved => "improved",
+            BenchStatus::Regressed => "regressed",
+            BenchStatus::New => "new",
+            BenchStatus::Missing => "missing",
+        }
+    }
+}
+
+/// One per-metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchVerdict {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns/iter, if the baseline has this metric.
+    pub baseline_ns: Option<f64>,
+    /// Current median ns/iter, if the current run has this metric.
+    pub current_ns: Option<f64>,
+    /// `current / baseline` when both are present.
+    pub ratio: Option<f64>,
+    /// Tolerance ratio applied to this metric.
+    pub tolerance_ratio: f64,
+    /// The verdict.
+    pub status: BenchStatus,
+}
+
+/// A full baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Per-metric verdicts, sorted by name.
+    pub verdicts: Vec<BenchVerdict>,
+}
+
+impl BenchDiff {
+    /// Compare `current` against `baseline` (both as returned by
+    /// [`parse_bench_jsonl`]).
+    pub fn compare(
+        baseline: &[BenchRecord],
+        current: &[BenchRecord],
+        cfg: &BenchDiffConfig,
+    ) -> BenchDiff {
+        let mut names: Vec<&str> = baseline
+            .iter()
+            .chain(current.iter())
+            .map(|r| r.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let verdicts = names
+            .into_iter()
+            .map(|name| {
+                let b = baseline.iter().find(|r| r.name == name);
+                let c = current.iter().find(|r| r.name == name);
+                let tolerance_ratio = b
+                    .and_then(|r| r.tolerance_ratio)
+                    .unwrap_or(cfg.default_tolerance_ratio)
+                    .max(1.0);
+                let (status, ratio) = match (b, c) {
+                    (Some(b), Some(c)) => {
+                        let (bn, cn) = (b.median_ns_per_iter, c.median_ns_per_iter);
+                        if bn <= cfg.noise_floor_ns && cn <= cfg.noise_floor_ns {
+                            (BenchStatus::Ok, ratio_of(bn, cn))
+                        } else {
+                            let ratio = ratio_of(bn, cn);
+                            let status = match ratio {
+                                Some(r) if r > tolerance_ratio => BenchStatus::Regressed,
+                                Some(r) if r < 1.0 / tolerance_ratio => BenchStatus::Improved,
+                                _ => BenchStatus::Ok,
+                            };
+                            (status, ratio)
+                        }
+                    }
+                    (Some(_), None) => (BenchStatus::Missing, None),
+                    (None, Some(_)) => (BenchStatus::New, None),
+                    (None, None) => (BenchStatus::Ok, None),
+                };
+                BenchVerdict {
+                    name: name.to_string(),
+                    baseline_ns: b.map(|r| r.median_ns_per_iter),
+                    current_ns: c.map(|r| r.median_ns_per_iter),
+                    ratio,
+                    tolerance_ratio,
+                    status,
+                }
+            })
+            .collect();
+        BenchDiff { verdicts }
+    }
+
+    /// True when nothing regressed or went missing. New and improved
+    /// metrics pass.
+    pub fn pass(&self) -> bool {
+        !self
+            .verdicts
+            .iter()
+            .any(|v| matches!(v.status, BenchStatus::Regressed | BenchStatus::Missing))
+    }
+
+    /// Verdicts that fail the gate.
+    pub fn failures(&self) -> impl Iterator<Item = &BenchVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v.status, BenchStatus::Regressed | BenchStatus::Missing))
+    }
+
+    /// Machine-readable report with a fixed field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":1,\"pass\":");
+        out.push_str(if self.pass() { "true" } else { "false" });
+        out.push_str(",\"verdicts\":[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  {{\"name\":\"{}\"", v.name));
+            if let Some(b) = v.baseline_ns {
+                out.push_str(&format!(",\"baseline_ns\":{b:.1}"));
+            }
+            if let Some(c) = v.current_ns {
+                out.push_str(&format!(",\"current_ns\":{c:.1}"));
+            }
+            if let Some(r) = v.ratio {
+                out.push_str(&format!(",\"ratio\":{r:.4}"));
+            }
+            out.push_str(&format!(
+                ",\"tolerance_ratio\":{:.2},\"status\":\"{}\"}}",
+                v.tolerance_ratio,
+                v.status.label()
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>12} {:>12} {:>8} {:>6}  status\n",
+            "benchmark", "baseline", "current", "ratio", "tol"
+        ));
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{:<32} {:>12} {:>12} {:>8} {:>6.2}  {}\n",
+                v.name,
+                fmt_ns(v.baseline_ns),
+                fmt_ns(v.current_ns),
+                v.ratio.map_or("-".to_string(), |r| format!("{r:.3}")),
+                v.tolerance_ratio,
+                v.status.label()
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.pass() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+fn ratio_of(baseline_ns: f64, current_ns: f64) -> Option<f64> {
+    if baseline_ns > 0.0 {
+        Some(current_ns / baseline_ns)
+    } else {
+        None
+    }
+}
+
+fn fmt_ns(v: Option<f64>) -> String {
+    match v {
+        Some(ns) if ns >= 1e6 => format!("{:.2} ms", ns / 1e6),
+        Some(ns) if ns >= 1e3 => format!("{:.2} µs", ns / 1e3),
+        Some(ns) => format!("{ns:.0} ns"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            median_ns_per_iter: ns,
+            tolerance_ratio: None,
+        }
+    }
+
+    #[test]
+    fn parse_keeps_last_and_sorts() {
+        let text = "\
+{\"name\":\"b\",\"median_ns_per_iter\":10.0}
+{\"name\":\"a\",\"median_ns_per_iter\":5.5,\"throughput_per_sec\":100.0}
+
+{\"name\":\"b\",\"median_ns_per_iter\":20.0,\"tolerance_ratio\":2.0}
+";
+        let recs = parse_bench_jsonl(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "a");
+        assert_eq!(recs[1].median_ns_per_iter, 20.0);
+        assert_eq!(recs[1].tolerance_ratio, Some(2.0));
+        assert!(parse_bench_jsonl("not json").is_err());
+        assert!(parse_bench_jsonl("{\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn verdicts_cover_all_statuses() {
+        let baseline = vec![
+            rec("fast_enough", 1000.0),
+            rec("regressed", 1000.0),
+            rec("improved", 100_000.0),
+            rec("missing", 1000.0),
+            rec("noise", 50.0),
+        ];
+        let mut current = vec![
+            rec("fast_enough", 2000.0),
+            rec("regressed", 5000.0),
+            rec("improved", 10_000.0),
+            rec("noise", 400.0), // 8× but under the noise floor
+            rec("new_bench", 700.0),
+        ];
+        current.sort_by(|a, b| a.name.cmp(&b.name));
+        let diff = BenchDiff::compare(&baseline, &current, &BenchDiffConfig::default());
+        let status = |n: &str| {
+            diff.verdicts
+                .iter()
+                .find(|v| v.name == n)
+                .map(|v| v.status)
+                .unwrap()
+        };
+        assert_eq!(status("fast_enough"), BenchStatus::Ok);
+        assert_eq!(status("regressed"), BenchStatus::Regressed);
+        assert_eq!(status("improved"), BenchStatus::Improved);
+        assert_eq!(status("missing"), BenchStatus::Missing);
+        assert_eq!(status("new_bench"), BenchStatus::New);
+        assert_eq!(status("noise"), BenchStatus::Ok);
+        assert!(!diff.pass());
+        assert_eq!(diff.failures().count(), 2);
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_default() {
+        let baseline = vec![BenchRecord {
+            name: "tight".to_string(),
+            median_ns_per_iter: 1000.0,
+            tolerance_ratio: Some(1.2),
+        }];
+        let current = vec![rec("tight", 1500.0)]; // 1.5× > 1.2
+        let diff = BenchDiff::compare(&baseline, &current, &BenchDiffConfig::default());
+        assert_eq!(diff.verdicts[0].status, BenchStatus::Regressed);
+        assert_eq!(diff.verdicts[0].tolerance_ratio, 1.2);
+    }
+
+    #[test]
+    fn json_report_is_stable_and_parseable() {
+        let baseline = vec![rec("a", 1000.0)];
+        let current = vec![rec("a", 1100.0)];
+        let diff = BenchDiff::compare(&baseline, &current, &BenchDiffConfig::default());
+        let json = diff.to_json();
+        assert_eq!(json, diff.to_json());
+        assert!(json.contains("\"pass\":true"));
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.as_object().is_some());
+        let text = diff.render_text();
+        assert!(text.contains("PASS"));
+    }
+}

@@ -23,7 +23,13 @@
 //!   separating deterministic sim-path metrics from the wall-clock
 //!   runner section, so serial and parallel executions of the same
 //!   cell compare bitwise equal on
-//!   [`deterministic_json`](RunManifest::deterministic_json).
+//!   [`deterministic_json`](RunManifest::deterministic_json);
+//! * [`flight`] — the packet-lifecycle flight recorder: a bounded,
+//!   virtual-time ring of per-packet spans across every pipeline
+//!   stage, exportable as Chrome trace-event / Perfetto JSON and
+//!   queryable as a [`PacketJourney`];
+//! * [`mod@bench`] — cross-run benchmark regression tracking
+//!   (`tracemod bench-diff` against a committed `BENCH_baseline.json`).
 //!
 //! **Determinism rule**: everything under [`RunManifest::metrics`] and
 //! [`RunManifest::fidelity`] must derive only from simulation state
@@ -32,14 +38,18 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod fidelity;
+pub mod flight;
 pub mod manifest;
 pub mod metrics;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict};
 pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
+pub use flight::{FlightHandle, FlightRecord, FlightRecorder, PacketId, PacketJourney, Stage};
 pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
 pub use metrics::{Counter, Gauge, Hist, HistSnapshot};
 pub use registry::MetricsRegistry;

@@ -185,6 +185,95 @@ impl RunManifest {
         }
         s
     }
+
+    /// Markdown report (the `tracemod obs-report --format md` output) —
+    /// suitable for pasting into a PR description or CI job summary.
+    pub fn render_markdown(&self) -> String {
+        let mut s = String::new();
+        let f = &self.fidelity;
+        let _ = writeln!(
+            s,
+            "## Run manifest: `{}` / `{}` trial {} (schema {})\n",
+            self.scenario, self.benchmark, self.trial, self.schema
+        );
+
+        let _ = writeln!(s, "### Fidelity self-check\n");
+        let _ = writeln!(s, "| metric | value |");
+        let _ = writeln!(s, "|---|---|");
+        let _ = writeln!(
+            s,
+            "| packets offered | {} ({} modulated, {} unmodulated) |",
+            f.modulated_packets + f.unmodulated_packets,
+            f.modulated_packets,
+            f.unmodulated_packets
+        );
+        let _ = writeln!(
+            s,
+            "| released / dropped | {} / {} |",
+            f.released_packets, f.dropped_packets
+        );
+        let _ = writeln!(
+            s,
+            "| delay error (ms) | mean {:+.3}, min {:+.3}, max {:+.3} |",
+            f.delay_error_ms.mean, f.delay_error_ms.min, f.delay_error_ms.max
+        );
+        let _ = writeln!(
+            s,
+            "| abs delay error (ms) | p50 {:.3}, p95 {:.3}, p99 {:.3} |",
+            f.abs_delay_error_p50_ms, f.abs_delay_error_p95_ms, f.abs_delay_error_p99_ms
+        );
+        let _ = writeln!(
+            s,
+            "| deadline misses | {} (rate {:.4}) |",
+            f.deadline_misses, f.deadline_miss_rate
+        );
+        let _ = writeln!(
+            s,
+            "| loss rate | expected {:.4}, observed {:.4} (delta {:+.4}) |",
+            f.expected_loss_rate, f.observed_loss_rate, f.loss_delta
+        );
+        let violations = self.check(&FidelityThresholds::default());
+        if violations.is_empty() {
+            let _ = writeln!(s, "\n**Self-check: PASS** (default thresholds)");
+        } else {
+            let _ = writeln!(s, "\n**Self-check: FAIL**");
+            for v in &violations {
+                let _ = writeln!(s, "- {v}");
+            }
+        }
+
+        let _ = writeln!(s, "\n### Metrics ({} recorded)\n", self.metrics.len());
+        let _ = writeln!(s, "| name | value |");
+        let _ = writeln!(s, "|---|---|");
+        for (k, v) in self.metrics.counters() {
+            let _ = writeln!(s, "| `{k}` | {v} |");
+        }
+        for (k, v) in self.metrics.gauges() {
+            let _ = writeln!(s, "| `{k}` | {v:.4} |");
+        }
+        for (k, h) in self.metrics.hists() {
+            let _ = writeln!(
+                s,
+                "| `{k}` | n={} mean={:.4} p95={:.4} |",
+                h.count, h.mean, h.p95
+            );
+        }
+
+        match &self.runner {
+            Some(r) => {
+                let _ = writeln!(s, "\n### Runner (wall clock; non-deterministic)\n");
+                let _ = writeln!(
+                    s,
+                    "{:.3} s wall, {} workers, {:.1} records/sec, {:.3} utilization",
+                    r.wall_secs, r.workers, r.records_per_sec, r.worker_utilization
+                );
+            }
+            None => {
+                let _ = writeln!(s, "\n*Runner section absent (deterministic form).*");
+            }
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +346,16 @@ mod tests {
         assert!(text.contains("netsim.events"));
         assert!(text.contains("PASS"));
         assert!(text.contains("deterministic form"));
+    }
+
+    #[test]
+    fn render_markdown_has_tables_and_verdict() {
+        let m = sample_manifest();
+        let md = m.render_markdown();
+        assert!(md.contains("## Run manifest: `porter_walk` / `web` trial 0"));
+        assert!(md.contains("| metric | value |"));
+        assert!(md.contains("| `netsim.events` | 420 |"));
+        assert!(md.contains("**Self-check: PASS**"));
+        assert!(md.contains("deterministic form"));
     }
 }

@@ -1,0 +1,86 @@
+//! Property tests for the flight recorder's ring-buffer invariants:
+//! bounded retention, oldest-first eviction (contiguous trailing seq
+//! range), and the never-split guarantee — a span's begin and end can
+//! never land on opposite sides of an eviction, because only complete
+//! records enter the ring.
+
+use obs::flight::{FlightRecorder, SpanToken, Stage};
+use proptest::prelude::*;
+
+/// One randomized recorder operation.
+/// `(kind, t, d)`: 0 = instant at `t`; 1 = complete span `[t, t+d]`;
+/// 2 = begin an open span at `t`; 3 = end the oldest open span at `t`.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    proptest::collection::vec((0u8..4, 0u64..1_000_000, 0u64..1_000), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn ring_is_bounded_contiguous_and_never_splits(
+        ops in arb_ops(),
+        capacity in 1usize..24,
+    ) {
+        let mut r = FlightRecorder::new(capacity);
+        let mut open: Vec<SpanToken> = Vec::new();
+        let mut completed: u64 = 0;
+        for &(kind, t, d) in &ops {
+            match kind {
+                0 => {
+                    r.instant(Stage::Collect, "i", Some(t), None, t, String::new());
+                    completed += 1;
+                }
+                1 => {
+                    r.span(Stage::Modulate, "s", Some(t), None, t, t + d, String::new());
+                    completed += 1;
+                }
+                2 => open.push(r.begin_span(
+                    Stage::Wavelan,
+                    "o",
+                    Some(t),
+                    None,
+                    t,
+                    String::new(),
+                )),
+                _ => {
+                    if !open.is_empty() {
+                        let tok = open.remove(0);
+                        r.end_span(tok, t);
+                        // An abandoned-open token is counted, not
+                        // pushed; a live one becomes a record.
+                    }
+                }
+            }
+            // Bounded retention at every step, not just at the end.
+            prop_assert!(r.len() <= r.capacity(), "ring over capacity");
+            prop_assert_eq!(
+                r.evicted() + r.len() as u64,
+                r.pushed(),
+                "evicted + retained != pushed"
+            );
+        }
+
+        // Ends on tokens the side table had already abandoned under
+        // pressure are counted in dropped_open, so pushed can lag the
+        // ends we issued — but never exceed what completed.
+        prop_assert!(r.pushed() >= completed, "completed records must be pushed");
+
+        let seqs: Vec<u64> = r.records().map(|rec| rec.seq).collect();
+        if let (Some(&min), Some(&max)) = (seqs.first(), seqs.last()) {
+            // Oldest-first eviction: the ring retains exactly the
+            // trailing contiguous window of sequence numbers.
+            prop_assert_eq!(max - min + 1, seqs.len() as u64, "seq range not contiguous");
+            prop_assert_eq!(max + 1, r.pushed(), "newest record missing");
+            prop_assert_eq!(min, r.evicted(), "oldest retained != eviction count");
+            prop_assert!(
+                seqs.windows(2).all(|w| w[1] == w[0] + 1),
+                "seqs not ascending by one"
+            );
+        }
+
+        // Never-split: every retained record is complete (an end at or
+        // after its begin); no bare begin can survive in the ring.
+        for rec in r.records() {
+            prop_assert!(rec.end_ns >= rec.begin_ns, "record with end before begin");
+        }
+    }
+}

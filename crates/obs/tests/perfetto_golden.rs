@@ -1,0 +1,152 @@
+//! Golden-file test for the Chrome trace-event / Perfetto export
+//! schema: field order is fixed, timestamps are virtual microseconds,
+//! and no wall-clock or environment-dependent field may ever appear.
+//! If this test fails after an intentional schema change, regenerate
+//! the golden file (the test prints the fresh export on mismatch) and
+//! bump the `schema` field in `otherData`.
+
+use obs::flight::{FlightRecorder, Stage};
+
+const GOLDEN: &str = include_str!("golden/flight_trace.json");
+
+/// A small, fully deterministic recording exercising every event shape
+/// the exporter emits: metadata, spans, instants, resolved packet ids,
+/// tuple references, detail escaping, sub-µs timestamps, and a
+/// multi-stage flow-arrow chain.
+fn sample_recorder() -> FlightRecorder {
+    let mut r = FlightRecorder::new(64);
+    let probe = 0xAAAA;
+    let parsed = 0xBBBB;
+    let bench = 0xCCCC;
+
+    let id = r.assign(probe);
+    r.alias(parsed, id);
+    r.instant(
+        Stage::Collect,
+        "collect",
+        Some(probe),
+        None,
+        1_000_500,
+        "out echo id=7 seq=1".to_string(),
+    );
+    r.span(
+        Stage::Netsim,
+        "transit",
+        Some(probe),
+        None,
+        1_000_500,
+        1_250_000,
+        "wl n0 -> n2 106B".to_string(),
+    );
+    r.span(
+        Stage::Wavelan,
+        "air",
+        Some(probe),
+        None,
+        1_250_000,
+        2_000_000,
+        "up 106B wait 0.1ms @2.0Mb/s".to_string(),
+    );
+    r.instant(
+        Stage::Wavelan,
+        "rate-change",
+        None,
+        None,
+        2_500_000,
+        "2.0 -> 1.0 Mb/s".to_string(),
+    );
+    r.instant(
+        Stage::Distill,
+        "tuple",
+        None,
+        Some(0),
+        6_000_000,
+        "covers 0.0s..5.0s F=12.000ms loss=0.010".to_string(),
+    );
+    r.instant(
+        Stage::Distill,
+        "attribute",
+        Some(parsed),
+        Some(0),
+        6_000_000,
+        "estimate at 1.0s (solved) fed tuple 0".to_string(),
+    );
+    r.assign(bench);
+    r.span(
+        Stage::Modulate,
+        "hold",
+        Some(bench),
+        Some(0),
+        7_000_000,
+        7_012_345,
+        "held 12.345ms err +0.345ms".to_string(),
+    );
+    r.instant(
+        Stage::Modulate,
+        "drop",
+        Some(bench),
+        Some(0),
+        8_000_000,
+        "loss process p=0.0100 \"q\"".to_string(),
+    );
+    r
+}
+
+#[test]
+fn export_matches_golden_bytes() {
+    let trace = sample_recorder().to_chrome_trace();
+    // `REGEN_GOLDEN=1 cargo test -p obs --test perfetto_golden` (twice:
+    // once to rewrite, once to verify against the recompiled golden).
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/flight_trace.json"
+        );
+        std::fs::write(path, &trace).expect("write golden");
+    }
+    assert_eq!(
+        trace, GOLDEN,
+        "Perfetto export schema changed; if intentional, regenerate \
+         tests/golden/flight_trace.json with REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn export_has_no_wall_clock_fields() {
+    let trace = sample_recorder().to_chrome_trace();
+    // Chrome-trace fields that would leak host time or environment.
+    for forbidden in [
+        "wall",
+        "timestamp",
+        "date",
+        "hostname",
+        "\"pid\":0",
+        "tts", // thread-clock timestamps are wall-clock derived
+    ] {
+        assert!(
+            !trace.contains(forbidden),
+            "export must not contain '{forbidden}'"
+        );
+    }
+}
+
+#[test]
+fn export_is_valid_json_with_expected_layout() {
+    use serde::Value;
+    let trace = sample_recorder().to_chrome_trace();
+    let v: Value = serde_json::from_str(&trace).expect("export must parse as JSON");
+    let entries = v.as_object().expect("top level is an object");
+    let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+    // Stable top-level field order.
+    assert_eq!(keys, ["displayTimeUnit", "otherData", "traceEvents"]);
+    let events = Value::field(entries, "traceEvents")
+        .and_then(|e| match e {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        })
+        .expect("traceEvents is an array");
+    // 6 metadata + 8 records + flow arrows: a 4-event probe chain
+    // (collect, transit, air, attribute via the parsed-record alias)
+    // and a 2-event benchmark chain (hold, drop).
+    assert_eq!(events.len(), 6 + 8 + 6);
+}

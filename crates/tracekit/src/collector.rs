@@ -6,6 +6,7 @@ use crate::pseudodev::PseudoDevice;
 use crate::record::{DeviceRecord, Dir, PacketRecord, ProtoInfo, TraceRecord};
 use netsim::SimTime;
 use netstack::{DeviceTap, Direction};
+use obs::flight::{frame_key, FlightHandle, Stage};
 use packet::{EtherHeader, EtherType, IcmpMessage, IpProtocol, Ipv4Header, TcpHeader, UdpHeader};
 
 /// A closure the collector calls to read the device's current signal
@@ -17,6 +18,7 @@ pub struct Collector {
     dev: PseudoDevice,
     signal_source: Option<SignalSource>,
     parse_failures: u64,
+    flight: Option<FlightHandle>,
 }
 
 impl Collector {
@@ -26,12 +28,22 @@ impl Collector {
             dev,
             signal_source: None,
             parse_failures: 0,
+            flight: None,
         }
     }
 
     /// Attach a device signal source (the WaveLAN meter).
     pub fn with_signal_source(mut self, src: SignalSource) -> Self {
         self.signal_source = Some(src);
+        self
+    }
+
+    /// Attach a flight recorder: each observed frame is assigned its
+    /// [`obs::flight::PacketId`] here (collection is where a packet's
+    /// identity is born), its parsed-record key is aliased to the same
+    /// id, and a `collect` instant is stamped.
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -147,6 +159,20 @@ impl DeviceTap for Collector {
         };
         match Collector::parse_frame(bytes, d, now) {
             Some(rec) => {
+                if let Some(fl) = &self.flight {
+                    fl.with(|r| {
+                        let id = r.assign(frame_key(bytes));
+                        r.alias(rec.flight_key(), id);
+                        r.instant(
+                            Stage::Collect,
+                            "collect",
+                            Some(frame_key(bytes)),
+                            None,
+                            now.as_nanos(),
+                            describe(&rec),
+                        );
+                    });
+                }
                 self.dev.offer(TraceRecord::Packet(rec));
             }
             None => self.parse_failures += 1,
@@ -163,6 +189,27 @@ impl DeviceTap for Collector {
                 silence,
             }));
         }
+    }
+}
+
+/// Short deterministic description for flight-recorder details.
+fn describe(rec: &PacketRecord) -> String {
+    let dir = match rec.dir {
+        Dir::Out => "out",
+        Dir::In => "in",
+    };
+    match &rec.proto {
+        ProtoInfo::IcmpEcho { ident, seq, .. } => format!("{dir} echo id={ident} seq={seq}"),
+        ProtoInfo::IcmpEchoReply { ident, seq, .. } => {
+            format!("{dir} echo-reply id={ident} seq={seq}")
+        }
+        ProtoInfo::Udp {
+            src_port, dst_port, ..
+        } => format!("{dir} udp {src_port}->{dst_port}"),
+        ProtoInfo::Tcp {
+            src_port, dst_port, ..
+        } => format!("{dir} tcp {src_port}->{dst_port}"),
+        ProtoInfo::Other { protocol } => format!("{dir} proto {protocol}"),
     }
 }
 

@@ -86,6 +86,70 @@ pub struct PacketRecord {
     pub proto: ProtoInfo,
 }
 
+impl PacketRecord {
+    /// Stable content key for the flight recorder: the parsed-record
+    /// counterpart of [`obs::flight::frame_key`]. Every stage holding
+    /// this record computes the same key independently; the collector
+    /// ties it to the raw frame's key via `FlightRecorder::alias`.
+    pub fn flight_key(&self) -> u64 {
+        let (tag, a, b, c, d) = match &self.proto {
+            ProtoInfo::IcmpEcho {
+                ident,
+                seq,
+                payload_len,
+                gen_ts_ns,
+            } => (
+                1,
+                *ident as u64,
+                *seq as u64,
+                *payload_len as u64,
+                *gen_ts_ns,
+            ),
+            ProtoInfo::IcmpEchoReply {
+                ident,
+                seq,
+                payload_len,
+                rtt_ns,
+            } => (2, *ident as u64, *seq as u64, *payload_len as u64, *rtt_ns),
+            ProtoInfo::Udp {
+                src_port,
+                dst_port,
+                payload_len,
+            } => (
+                3,
+                *src_port as u64,
+                *dst_port as u64,
+                *payload_len as u64,
+                0,
+            ),
+            ProtoInfo::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                ..
+            } => (
+                4,
+                *src_port as u64,
+                *dst_port as u64,
+                *seq as u64,
+                *ack as u64,
+            ),
+            ProtoInfo::Other { protocol } => (5, *protocol as u64, 0, 0, 0),
+        };
+        obs::flight::mix_key(&[
+            self.timestamp_ns,
+            matches!(self.dir, Dir::In) as u64,
+            self.wire_len as u64,
+            tag,
+            a,
+            b,
+            c,
+            d,
+        ])
+    }
+}
+
 /// Periodic device-status sample (WaveLAN signal characteristics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceRecord {

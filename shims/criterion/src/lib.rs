@@ -152,9 +152,18 @@ fn run_benchmark(
     emit_json_line(label, per_iter_ns, rate);
 }
 
+/// Paths already written by this process: the first write to a path
+/// truncates any stale file from a previous run, later writes append.
+fn bench_json_started() -> &'static std::sync::Mutex<Vec<String>> {
+    static STARTED: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    STARTED.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
 /// Append one JSON record for this benchmark to the file named by the
 /// `BENCH_JSON` environment variable (no-op when unset; emission
-/// failures are reported on stderr but never fail the benchmark).
+/// failures are reported on stderr but never fail the benchmark). The
+/// first record a process writes to a given path truncates it, so a
+/// `cargo bench` run never mixes its lines with a previous run's.
 fn emit_json_line(label: &str, per_iter_ns: u128, rate: Option<(f64, &str)>) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -162,6 +171,17 @@ fn emit_json_line(label: &str, per_iter_ns: u128, rate: Option<(f64, &str)>) {
     if path.is_empty() {
         return;
     }
+    let fresh = {
+        let mut started = bench_json_started()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if started.contains(&path) {
+            false
+        } else {
+            started.push(path.clone());
+            true
+        }
+    };
     let name: String = label
         .chars()
         .flat_map(|c| match c {
@@ -178,9 +198,13 @@ fn emit_json_line(label: &str, per_iter_ns: u128, rate: Option<(f64, &str)>) {
     }
     line.push_str("}\n");
     use std::io::Write;
-    let res = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
+    let mut opts = std::fs::OpenOptions::new();
+    if fresh {
+        opts.create(true).write(true).truncate(true);
+    } else {
+        opts.create(true).append(true);
+    }
+    let res = opts
         .open(&path)
         .and_then(|mut f| f.write_all(line.as_bytes()));
     if let Err(e) = res {

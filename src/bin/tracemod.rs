@@ -8,7 +8,10 @@
 //! tracemod replay   wean1.mnrp --benchmark ftp-recv [--trial 1] [--tick-ms 10]
 //! tracemod live     --scenario wean --benchmark ftp-recv [--trial 1]
 //! tracemod live-pipeline --scenario wean --benchmark ftp-recv [--trial 1] [--obs-out run.json]
-//! tracemod obs-report run.json [--check]
+//! tracemod obs-report run.json [--check] [--format text|json|md]
+//! tracemod trace-export --scenario porter --benchmark web --out flight.json
+//! tracemod journey [--packet-id N | --window T0..T1]
+//! tracemod bench-diff current.jsonl [--baseline BENCH_baseline.json] [--check] [--json]
 //! ```
 //!
 //! Files use the binary formats by default; any path ending in `.json`
@@ -21,9 +24,11 @@
 //! exit code (2 for usage errors, 1 for runtime failures) — no panics.
 
 use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
-use emu::{live_modulated_run, live_run, modulated_run, Benchmark, RunConfig};
+use emu::{live_modulated_run, live_run, modulated_run, Benchmark, LiveModOutcome, RunConfig};
 use modulate::TickClock;
 use netsim::SimDuration;
+use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig};
+use obs::flight::PacketId;
 use obs::{FidelityThresholds, RunManifest};
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -135,6 +140,13 @@ impl Args {
 /// `--duration-secs` override (shortens or stretches the traversal —
 /// handy for quick smoke runs and CI).
 fn scenario_arg(args: &Args) -> Result<Scenario, CliError> {
+    scenario_arg_default(args, None)
+}
+
+/// Like [`scenario_arg`] but falls back to `default` when neither
+/// `--scenario` nor `--scenario-file` is given (flight-recorder
+/// commands default to the Porter walk).
+fn scenario_arg_default(args: &Args, default: Option<&str>) -> Result<Scenario, CliError> {
     let mut sc = if let Some(path) = args.get("scenario-file") {
         let json = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("read {path}: {e}")))?;
@@ -142,7 +154,11 @@ fn scenario_arg(args: &Args) -> Result<Scenario, CliError> {
             .and_then(wavelan::ScenarioSpec::into_scenario)
             .map_err(|e| CliError::runtime(format!("{path}: {e}")))?
     } else {
-        let name = args.require("scenario")?;
+        let name = match (args.get("scenario"), default) {
+            (Some(n), _) => n,
+            (None, Some(d)) => d,
+            (None, None) => return Err(CliError::usage("missing required flag --scenario")),
+        };
         Scenario::by_name(name).ok_or_else(|| {
             CliError::usage(format!(
                 "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox)"
@@ -168,8 +184,8 @@ fn cmd_dump_scenario(args: &Args) -> CliResult {
     Ok(())
 }
 
-fn benchmark_arg(args: &Args) -> Result<Benchmark, CliError> {
-    match args.require("benchmark")? {
+fn benchmark_named(name: &str) -> Result<Benchmark, CliError> {
+    match name {
         "web" => Ok(Benchmark::Web),
         "ftp-send" => Ok(Benchmark::FtpSend),
         "ftp-recv" => Ok(Benchmark::FtpRecv),
@@ -178,6 +194,10 @@ fn benchmark_arg(args: &Args) -> Result<Benchmark, CliError> {
             "unknown benchmark '{other}' (try: web, ftp-send, ftp-recv, andrew)"
         ))),
     }
+}
+
+fn benchmark_arg(args: &Args) -> Result<Benchmark, CliError> {
+    benchmark_named(args.require("benchmark")?)
 }
 
 fn cmd_scenarios(args: &Args) -> CliResult {
@@ -536,16 +556,24 @@ fn cmd_live_pipeline(args: &Args) -> CliResult {
 }
 
 fn cmd_obs_report(args: &Args) -> CliResult {
-    args.check(&["check"], 2)?;
-    let input = args
-        .positional
-        .get(1)
-        .ok_or_else(|| CliError::usage("usage: tracemod obs-report <run.json> [--check]"))?;
+    args.check(&["check", "format"], 2)?;
+    let input = args.positional.get(1).ok_or_else(|| {
+        CliError::usage("usage: tracemod obs-report <run.json> [--check] [--format text|json|md]")
+    })?;
     let text = std::fs::read_to_string(input)
         .map_err(|e| CliError::runtime(format!("read {input}: {e}")))?;
     let manifest =
         RunManifest::from_json(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
-    print!("{}", manifest.render_text());
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", manifest.render_text()),
+        "json" => println!("{}", manifest.to_json_pretty()),
+        "md" => print!("{}", manifest.render_markdown()),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format '{other}' (try: text, json, md)"
+            )))
+        }
+    }
     if args.get("check").is_some() {
         let violations = manifest.check(&FidelityThresholds::default());
         if !violations.is_empty() {
@@ -557,6 +585,153 @@ fn cmd_obs_report(args: &Args) -> CliResult {
             return Err(CliError::runtime(msg));
         }
         eprintln!("fidelity self-check: PASS");
+    }
+    Ok(())
+}
+
+/// Flags shared by the flight-recorder commands (`trace-export`,
+/// `journey`): which live pipeline to run.
+const FLIGHT_RUN_FLAGS: [&str; 7] = [
+    "scenario",
+    "scenario-file",
+    "duration-secs",
+    "benchmark",
+    "trial",
+    "window-secs",
+    "horizon",
+];
+
+/// Run the live pipeline the flight-recorder commands observe.
+/// Scenario defaults to the Porter walk and benchmark to `web`, so
+/// `tracemod journey` works bare.
+fn flight_run(args: &Args) -> Result<LiveModOutcome, CliError> {
+    let sc = scenario_arg_default(args, Some("porter"))?;
+    let benchmark = benchmark_named(args.get("benchmark").unwrap_or("web"))?;
+    let trial = args.parse_num("trial", 1u32)?;
+    let dcfg = distill_cfg(args)?;
+    eprintln!(
+        "recording flight of '{}' trial {trial} under {}...",
+        sc.name,
+        benchmark.name()
+    );
+    Ok(live_modulated_run(
+        &sc,
+        trial,
+        benchmark,
+        &dcfg,
+        &RunConfig::default(),
+    ))
+}
+
+fn cmd_trace_export(args: &Args) -> CliResult {
+    let mut allowed: Vec<&str> = FLIGHT_RUN_FLAGS.to_vec();
+    allowed.push("out");
+    args.check(&allowed, 1)?;
+    let out_path = PathBuf::from(args.require("out")?);
+    let outcome = flight_run(args)?;
+    let json = outcome.flight.to_chrome_trace();
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::runtime(format!("write {}: {e}", out_path.display())))?;
+    outcome.flight.with(|r| {
+        eprintln!(
+            "wrote {} ({} events, {} packets, {} evicted) — load in Perfetto or chrome://tracing",
+            out_path.display(),
+            r.len(),
+            r.packets(),
+            r.evicted()
+        );
+    });
+    Ok(())
+}
+
+/// Parse `--window T0..T1` (seconds, decimals allowed) into ns bounds.
+fn window_arg(spec: &str) -> Result<(u64, u64), CliError> {
+    let bad = || {
+        CliError::usage(format!(
+            "invalid --window '{spec}' (expected T0..T1 in seconds)"
+        ))
+    };
+    let (a, b) = spec.split_once("..").ok_or_else(bad)?;
+    let t0: f64 = a.trim().parse().map_err(|_| bad())?;
+    let t1: f64 = b.trim().parse().map_err(|_| bad())?;
+    if t0 < 0.0 || t1 < t0 {
+        return Err(bad());
+    }
+    Ok(((t0 * 1e9) as u64, (t1 * 1e9) as u64))
+}
+
+fn cmd_journey(args: &Args) -> CliResult {
+    let mut allowed: Vec<&str> = FLIGHT_RUN_FLAGS.to_vec();
+    allowed.extend(["packet-id", "window"]);
+    args.check(&allowed, 1)?;
+    if args.get("packet-id").is_some() && args.get("window").is_some() {
+        return Err(CliError::usage(
+            "--packet-id and --window are mutually exclusive",
+        ));
+    }
+    let window = args.get("window").map(window_arg).transpose()?;
+    let packet_id: Option<u64> = match args.get("packet-id") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::usage(format!("invalid value for --packet-id: {v}")))?,
+        ),
+    };
+    let outcome = flight_run(args)?;
+    let rendered = outcome.flight.with(|r| -> Result<String, CliError> {
+        if let Some((t0_ns, t1_ns)) = window {
+            return Ok(r.render_window(t0_ns, t1_ns));
+        }
+        let id = match packet_id {
+            Some(n) => PacketId(n),
+            None => r
+                .best_packet()
+                .ok_or_else(|| CliError::runtime("no packets recorded"))?,
+        };
+        let journey = r
+            .journey(id)
+            .ok_or_else(|| CliError::runtime(format!("no retained records for packet {id}")))?;
+        Ok(journey.render_text())
+    })?;
+    print!("{rendered}");
+    Ok(())
+}
+
+fn cmd_bench_diff(args: &Args) -> CliResult {
+    args.check(&["baseline", "check", "json", "tolerance"], 2)?;
+    let current_path = args.positional.get(1).ok_or_else(|| {
+        CliError::usage("usage: tracemod bench-diff <current.jsonl> [--baseline F] [--check]")
+    })?;
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_baseline.json");
+    let read = |p: &str| {
+        std::fs::read_to_string(p)
+            .map_err(|e| CliError::runtime(format!("read {p}: {e}")))
+            .and_then(|t| parse_bench_jsonl(&t).map_err(|e| CliError::runtime(format!("{p}: {e}"))))
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    let cfg = BenchDiffConfig {
+        default_tolerance_ratio: args.parse_num(
+            "tolerance",
+            BenchDiffConfig::default().default_tolerance_ratio,
+        )?,
+        ..BenchDiffConfig::default()
+    };
+    if cfg.default_tolerance_ratio < 1.0 {
+        return Err(CliError::usage("--tolerance must be >= 1.0"));
+    }
+    let diff = BenchDiff::compare(&baseline, &current, &cfg);
+    if args.get("json").is_some() {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render_text());
+    }
+    if args.get("check").is_some() && !diff.pass() {
+        let names: Vec<&str> = diff.failures().map(|v| v.name.as_str()).collect();
+        return Err(CliError::runtime(format!(
+            "benchmark regression gate failed: {}",
+            names.join(", ")
+        )));
     }
     Ok(())
 }
@@ -584,8 +759,16 @@ commands:
   live     --scenario S --benchmark B      run a benchmark live on the wireless scenario
   live-pipeline --scenario S --benchmark B collect, distill, and modulate concurrently
                                            (--obs-out F writes the observability manifest)
-  obs-report <run.json> [--check]          pretty-print a run manifest; --check gates on the
-                                           fidelity thresholds (nonzero exit on violation)
+  obs-report <run.json> [--check]          pretty-print a run manifest (--format text|json|md);
+                                           --check gates on the fidelity thresholds
+  trace-export --out F                     run the live pipeline with the flight recorder and
+                                           export Perfetto/chrome://tracing JSON
+                                           (defaults: --scenario porter --benchmark web)
+  journey [--packet-id N | --window T0..T1] run the live pipeline and print one packet's causal
+                                           timeline (default: the packet covering most stages)
+  bench-diff <current.jsonl> [--check]     compare criterion JSONL against a baseline
+                                           (--baseline F, default BENCH_baseline.json;
+                                           --json for machine-readable verdicts; --tolerance R)
 benchmarks: web, ftp-send, ftp-recv, andrew
 scenario commands also accept --duration-secs N to shorten the traversal";
 
@@ -602,6 +785,9 @@ fn main() {
         Some("live") => cmd_live(&args),
         Some("live-pipeline") => cmd_live_pipeline(&args),
         Some("obs-report") => cmd_obs_report(&args),
+        Some("trace-export") => cmd_trace_export(&args),
+        Some("journey") => cmd_journey(&args),
+        Some("bench-diff") => cmd_bench_diff(&args),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("no command given")),
     };
