@@ -1,0 +1,144 @@
+//! **Chaos soak** — repeated Porter-walk pipeline iterations under a
+//! rotating set of fault plans, gated on the emulation-fidelity
+//! self-check.
+//!
+//! Each iteration runs the full streaming pipeline (collect → distill →
+//! modulate, benchmark concurrent) under the next plan in the rotation
+//! — clean, corruption, truncation, tuple loss, feed stall, clock jump,
+//! ring exhaustion, worker kill, and a combination — with a fresh seed,
+//! then asserts the run's [`FidelityReport`] still passes the default
+//! [`FidelityThresholds`]: graceful degradation means *bounded* error,
+//! not a free pass. Any violation fails the soak (exit 1).
+//!
+//! ```text
+//! soak [--iterations N] [--duration-secs S] [--seed BASE] [--fault-out FILE]
+//! ```
+//!
+//! `--fault-out` appends one JSONL line per injected fault, tagged with
+//! the iteration and plan name, for CI artifact upload.
+//!
+//! [`FidelityReport`]: obs::FidelityReport
+
+use distill::DistillConfig;
+use emu::{chaos_live_run, Benchmark, RunConfig};
+use faultkit::FaultPlan;
+use netsim::SimDuration;
+use obs::FidelityThresholds;
+use std::fmt::Write as _;
+use wavelan::Scenario;
+
+/// The rotation: every fault type alone, plus a clean control and a
+/// combined plan.
+fn rotation() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::new()),
+        (
+            "corrupt",
+            FaultPlan::new().corrupt_chunk(2_048).corrupt_chunk(8_192),
+        ),
+        ("truncate", FaultPlan::new().truncate_trace(10.0)),
+        ("drop", FaultPlan::new().drop_tuples(2..5)),
+        ("stall", FaultPlan::new().stall_feed(12_000)),
+        ("clock-jump", FaultPlan::new().clock_jump(750)),
+        ("oom", FaultPlan::new().oom_ring(256)),
+        ("kill", FaultPlan::new().kill_worker(0, 300)),
+        (
+            "combo",
+            FaultPlan::new()
+                .corrupt_chunk(4_096)
+                .truncate_trace(5.0)
+                .stall_feed(8_000)
+                .oom_ring(512),
+        ),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!("usage: soak [--iterations N] [--duration-secs S] [--seed BASE] [--fault-out FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut iterations = 10u32;
+    let mut duration_secs = 30u64;
+    let mut base_seed = 1u64;
+    let mut fault_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--iterations" => iterations = value().parse().unwrap_or_else(|_| usage()),
+            "--duration-secs" => duration_secs = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => base_seed = value().parse().unwrap_or_else(|_| usage()),
+            "--fault-out" => fault_out = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let mut sc = Scenario::porter();
+    sc.duration = SimDuration::from_secs(duration_secs);
+    let dcfg = DistillConfig::default();
+    let cfg = RunConfig::default();
+    let thresholds = FidelityThresholds::default();
+    let plans = rotation();
+
+    println!(
+        "chaos soak: {iterations} iteration(s) of '{}' ({duration_secs}s walk), \
+         {}-plan rotation, base seed {base_seed}",
+        sc.name,
+        plans.len()
+    );
+
+    let mut fault_log = String::new();
+    let mut violations = 0u32;
+    for i in 0..iterations {
+        let (name, plan) = &plans[i as usize % plans.len()];
+        let seed = base_seed + u64::from(i);
+        let out = chaos_live_run(&sc, i + 1, Benchmark::Web, &dcfg, &cfg, seed, plan, 0);
+
+        for ev in &out.faults {
+            let ev_json = serde_json::to_string(ev).expect("fault event serializes");
+            let _ = writeln!(
+                fault_log,
+                "{{\"iteration\":{},\"plan\":\"{}\",\"event\":{}}}",
+                i + 1,
+                name,
+                ev_json
+            );
+        }
+
+        let fidelity = &out.outcome.manifest.fidelity;
+        let failures = out.outcome.manifest.check(&thresholds);
+        println!(
+            "iteration {:>2}/{iterations}  plan {:<10}  seed {:<4}  {:>2} fault(s)  \
+             delay p95 {:>6.3} ms  unmod {:>5.1}%  degraded {}  {}",
+            i + 1,
+            name,
+            seed,
+            out.counters.injected_total(),
+            fidelity.abs_delay_error_p95_ms,
+            fidelity.unmodulated_fraction * 100.0,
+            if fidelity.degraded { "YES" } else { "no " },
+            if failures.is_empty() { "ok" } else { "FAIL" }
+        );
+        for f in &failures {
+            println!("    fidelity regression: {f}");
+        }
+        violations += failures.len() as u32;
+    }
+
+    if let Some(path) = fault_out {
+        std::fs::write(&path, &fault_log).unwrap_or_else(|e| {
+            eprintln!("soak: write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("fault events written to {path}");
+    }
+
+    if violations > 0 {
+        eprintln!("soak: {violations} fidelity violation(s) across {iterations} iteration(s)");
+        std::process::exit(1);
+    }
+    println!("soak: all {iterations} iteration(s) within fidelity thresholds");
+}

@@ -137,6 +137,13 @@ pub struct Distiller {
     /// Emission index of the next tuple (matches the modulator's
     /// consumption order — the buffer between them is FIFO).
     tuple_idx: u64,
+    /// Monotone watermarks for window feed times. The windows require
+    /// time-sorted input; a hostile trace (clock jumps, corruption)
+    /// can retire groups with regressing send times, so feed times are
+    /// clamped up to the watermark instead of wedging the stage. A
+    /// no-op on well-ordered traces.
+    loss_watermark: f64,
+    delay_watermark: f64,
 }
 
 impl Distiller {
@@ -160,6 +167,8 @@ impl Distiller {
             pending_attr: Vec::new(),
             emitted_span: 0.0,
             tuple_idx: 0,
+            loss_watermark: 0.0,
+            delay_watermark: 0.0,
         }
     }
 
@@ -261,8 +270,10 @@ impl Distiller {
         let t0 = self.t0.unwrap_or(0);
         for k in 0..3 {
             if let Some(send) = slot.send_ns[k] {
+                let at = ((send.saturating_sub(t0)) as f64 / 1e9).max(self.loss_watermark);
+                self.loss_watermark = at;
                 self.loss.push(crate::loss::ProbeOutcome {
-                    at: (send.saturating_sub(t0)) as f64 / 1e9,
+                    at,
                     replied: slot.rtt_ns[k].is_some(),
                 });
             }
@@ -293,9 +304,10 @@ impl Distiller {
             self.stats.corrected += 1;
         }
         let timed = TimedEstimate {
-            at: (send0.saturating_sub(t0)) as f64 / 1e9,
+            at: ((send0.saturating_sub(t0)) as f64 / 1e9).max(self.delay_watermark),
             est,
         };
+        self.delay_watermark = timed.at;
         if self.flight.is_some() {
             for key in slot.key.iter().flatten() {
                 self.pending_attr.push((*key, timed.at, solved));

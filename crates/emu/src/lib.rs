@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiment;
 pub mod figures;
 pub mod hooks;
@@ -45,6 +46,7 @@ pub mod runs;
 pub mod testbed;
 pub mod workload;
 
+pub use chaos::{chaos_live_run, ChaosOutcome};
 pub use experiment::{compare, compare_with, comparison_from_plan, ethernet_baseline, Comparison};
 pub use figures::{scenario_figure, scenario_figure_with, CheckpointSeries, ScenarioFigure};
 pub use hooks::FlightFrameHook;

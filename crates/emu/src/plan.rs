@@ -13,12 +13,14 @@
 //!
 //! [`Comparison`]: crate::experiment::Comparison
 
+use crate::chaos::{chaos_live_run, ChaosOutcome};
 use crate::runs::{
     collect_trace, ethernet_run, live_modulated_run, live_run, modulated_run, LiveModOutcome,
     RunConfig,
 };
 use crate::workload::{Benchmark, RunResult};
 use distill::{distill_with_report, DistillConfig, DistillReport};
+use faultkit::FaultPlan;
 use netsim::stats::Summary;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -118,6 +120,23 @@ pub enum CellKind {
         /// Distillation parameters for the incremental distiller.
         distill: DistillConfig,
     },
+    /// The streaming pipeline under deterministic fault injection
+    /// ([`chaos_live_run`]). `kill_worker` plan entries target the
+    /// cell's *plan index*, so results are identical at any worker
+    /// count.
+    Chaos {
+        /// Scenario to collect while modulating.
+        scenario: Scenario,
+        /// Benchmark to run on the concurrently modulated Ethernet.
+        benchmark: Benchmark,
+        /// Distillation parameters for the incremental distiller.
+        distill: DistillConfig,
+        /// Fault RNG seed (combined with the plan, fully determines
+        /// every injection).
+        seed: u64,
+        /// The faults to inject.
+        plan: FaultPlan,
+    },
     /// Arbitrary work for bespoke experiments (ablations): receives
     /// (trial, config), returns any run results produced.
     Custom(CustomCell),
@@ -149,6 +168,8 @@ pub enum CellOutput {
     /// A live streaming-pipeline run with its diagnostics (boxed: the
     /// run manifest makes this by far the largest variant).
     LiveModulated(Box<LiveModOutcome>),
+    /// A chaos run: the pipeline outcome plus its fault ledger.
+    Chaos(Box<ChaosOutcome>),
     /// Results of a custom cell.
     Runs(Vec<RunResult>),
 }
@@ -158,6 +179,7 @@ impl CellOutput {
         match self {
             CellOutput::Run(r) | CellOutput::RunWithReport(r, _) => std::slice::from_ref(r),
             CellOutput::LiveModulated(o) => std::slice::from_ref(&o.result),
+            CellOutput::Chaos(o) => std::slice::from_ref(&o.outcome.result),
             CellOutput::Collected(..) => &[],
             CellOutput::Runs(rs) => rs,
         }
@@ -341,7 +363,7 @@ impl TrialPlan {
 
         if exec.workers <= 1 || n <= 1 {
             for (i, cell) in self.cells.iter().enumerate() {
-                let out = execute_cell(cell);
+                let out = execute_cell(cell, i);
                 if exec.progress {
                     progress_line(i + 1, n, &out.1);
                 }
@@ -360,7 +382,7 @@ impl TrialPlan {
                         if i >= n {
                             break;
                         }
-                        let out = execute_cell(&cells[i]);
+                        let out = execute_cell(&cells[i], i);
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if exec.progress {
                             progress_line(finished, n, &out.1);
@@ -416,7 +438,7 @@ fn virtual_secs_of(result: &RunResult) -> f64 {
         .unwrap_or_else(|| result.benchmark.deadline().as_secs_f64())
 }
 
-fn execute_cell(cell: &TrialCell) -> (CellOutput, CellReport) {
+fn execute_cell(cell: &TrialCell, cell_index: usize) -> (CellOutput, CellReport) {
     let started = Instant::now();
     let (output, virtual_secs) = match &cell.kind {
         CellKind::Live {
@@ -458,6 +480,23 @@ fn execute_cell(cell: &TrialCell) -> (CellOutput, CellReport) {
             // Both simulations advance in lockstep over the same span.
             let v = o.stats.collection_secs.max(virtual_secs_of(&o.result));
             (CellOutput::LiveModulated(Box::new(o)), v)
+        }
+        CellKind::Chaos {
+            scenario,
+            benchmark,
+            distill,
+            seed,
+            plan,
+        } => {
+            let o = chaos_live_run(
+                scenario, cell.trial, *benchmark, distill, &cell.cfg, *seed, plan, cell_index,
+            );
+            let v = o
+                .outcome
+                .stats
+                .collection_secs
+                .max(virtual_secs_of(&o.outcome.result));
+            (CellOutput::Chaos(Box::new(o)), v)
         }
         CellKind::Custom(work) => {
             let rs = work(cell.trial, &cell.cfg);
@@ -579,6 +618,23 @@ impl PlanResults {
                 {
                     Some((t, r))
                 }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Chaos outcomes for (scenario, benchmark), in plan order.
+    pub fn chaos(&self, scenario: &str, benchmark: Benchmark) -> Vec<&ChaosOutcome> {
+        self.iter()
+            .filter_map(|(c, o)| match (&c.kind, o) {
+                (
+                    CellKind::Chaos {
+                        scenario: s,
+                        benchmark: b,
+                        ..
+                    },
+                    CellOutput::Chaos(out),
+                ) if s.name == scenario && *b == benchmark => Some(&**out),
                 _ => None,
             })
             .collect()

@@ -7,6 +7,7 @@ use crate::hooks::FlightFrameHook;
 use crate::testbed::{build_ethernet, build_wireless, Hardware, SERVER_IP};
 use crate::workload::{extract, install, is_done, run_to_completion, Benchmark, RunResult};
 use distill::{distill_with_report, DistillConfig, DistillReport, DistillStats, Distiller};
+use faultkit::{ChaosSink, FaultInjector};
 use modulate::{Modulator, TickClock, TupleBuffer, TupleFeed};
 use netsim::{SimDuration, SimRng, SimTime};
 use obs::flight::FlightHandle;
@@ -247,6 +248,29 @@ pub fn live_modulated_run(
     dcfg: &DistillConfig,
     cfg: &RunConfig,
 ) -> LiveModOutcome {
+    match live_modulated_run_inner(scenario, trial, benchmark, dcfg, cfg, None, None) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("no abort point configured"),
+    }
+}
+
+/// The chaos-aware core of [`live_modulated_run`]. With `injector:
+/// None` this is byte-for-byte the clean pipeline; with an injector the
+/// fault hooks activate (ring-cap override, record corruption/
+/// truncation/clock-jump via the injector's decode chain, tuple drops,
+/// feed stalls). `abort_at_record` simulates a worker kill: once that
+/// many records have been stolen from the collection daemon the run
+/// aborts, returning `Err(virtual_time_ns)` so the plan runner can
+/// restart the cell.
+pub(crate) fn live_modulated_run_inner(
+    scenario: &Scenario,
+    trial: u32,
+    benchmark: Benchmark,
+    dcfg: &DistillConfig,
+    cfg: &RunConfig,
+    mut injector: Option<&mut FaultInjector>,
+    abort_at_record: Option<u64>,
+) -> Result<LiveModOutcome, u64> {
     // Collection side — identical construction to `collect_trace`,
     // plus a flight recorder threaded through every stage. Recording is
     // passive (no scheduling or RNG access), so the benchmark outcome
@@ -256,7 +280,14 @@ pub fn live_modulated_run(
     let mut channel = scenario.channel(&mut trial_rng);
     channel.set_flight(flight.clone());
     let meter = channel.meter();
-    let dev = PseudoDevice::new(65_536);
+    let mut ring_cap = 65_536;
+    if let Some(inj) = injector.as_deref_mut() {
+        if let Some(cap) = inj.oom_ring_cap() {
+            ring_cap = cap;
+            inj.note_oom_ring();
+        }
+    }
+    let dev = PseudoDevice::new(ring_cap);
     let scenario_secs = scenario.duration.as_secs_f64() as u64;
     let flight_collect = flight.clone();
     let (mut wl, (_ping, daemon)) = build_wireless(
@@ -319,6 +350,9 @@ pub fn live_modulated_run(
     let mut finished_stats: Option<DistillStats> = None;
     loop {
         now = (now + slice).min(deadline);
+        if let Some(inj) = injector.as_deref_mut() {
+            inj.set_now(now.as_nanos());
+        }
 
         // Advance collection (while it lasts) and stream the fresh
         // records through the distiller into the feed.
@@ -333,15 +367,48 @@ pub fn live_modulated_run(
                 std::mem::take(&mut app.trace.records)
             };
             records_processed += fresh.len() as u64;
-            for rec in &fresh {
-                d.push_record(rec, &mut feed);
+            match injector.as_deref_mut() {
+                Some(inj) => {
+                    // Faulted path: records detour through the
+                    // injector's encode→corrupt→decode→quarantine
+                    // chain, and tuples through the dropping sink.
+                    let survivors = inj.process_records(&fresh);
+                    let mut sink = ChaosSink::new(&mut feed, inj);
+                    for rec in &survivors {
+                        d.push_record(rec, &mut sink);
+                    }
+                }
+                None => {
+                    for rec in &fresh {
+                        d.push_record(rec, &mut feed);
+                    }
+                }
             }
             if wl_now >= collect_end {
                 if let Some(d) = distiller.take() {
-                    finished_stats = Some(d.finish(&mut feed));
+                    finished_stats = Some(match injector.as_deref_mut() {
+                        Some(inj) => {
+                            inj.finish_records();
+                            let mut sink = ChaosSink::new(&mut feed, inj);
+                            d.finish(&mut sink)
+                        }
+                        None => d.finish(&mut feed),
+                    });
+                    // Collection is over: an empty buffer from here on
+                    // means end-of-trace, not starvation.
+                    feed.close();
                 }
             }
         }
+        if let Some(at) = abort_at_record {
+            if records_processed >= at {
+                return Err(now.as_nanos());
+            }
+        }
+        let stalled = injector
+            .as_deref_mut()
+            .is_some_and(|inj| inj.stall_feed_active());
+        feed.set_paused(stalled);
         feed.pump();
 
         // Advance the modulated benchmark over the same span.
@@ -358,7 +425,23 @@ pub fn live_modulated_run(
     // The benchmark may finish before collection does; flush the
     // distiller so its stats cover everything pushed so far.
     let distill = finished_stats
-        .or_else(|| distiller.take().map(|d| d.finish(&mut feed)))
+        .or_else(|| {
+            distiller.take().map(|d| {
+                let stats = match injector.as_deref_mut() {
+                    Some(inj) => {
+                        inj.finish_records();
+                        let mut sink = ChaosSink::new(&mut feed, inj);
+                        d.finish(&mut sink)
+                    }
+                    None => d.finish(&mut feed),
+                };
+                // Close the buffer directly (no pump): nothing consumes
+                // after the loop, and pumping here would perturb the
+                // buffer counters relative to the established baseline.
+                buf.close();
+                stats
+            })
+        })
         .unwrap_or_default();
     let tuples_fed = feed.fed();
     let tuples_consumed = tuples_fed - feed.backlog() as u64 - buf.len() as u64;
@@ -432,6 +515,24 @@ pub fn live_modulated_run(
         "emu.collection_virtual_secs",
         collect_end.min(now).as_secs_f64(),
     );
+    if let Some(inj) = injector.as_deref() {
+        // Chaos runs only: injected-fault tallies (one counter per
+        // fault kind) plus the degradation side-channels. Absent
+        // entirely on clean runs so baselines stay unchanged.
+        let c = inj.counters();
+        m.set_counter("fault.injected_total", c.injected_total());
+        m.set_counter("fault.corrupt_chunks", c.corrupt_chunks);
+        m.set_counter("fault.truncations", c.truncations);
+        m.set_counter("fault.dropped_tuples", c.dropped_tuples);
+        m.set_counter("fault.stalls", c.stalls);
+        m.set_counter("fault.clock_jumps", c.clock_jumps);
+        m.set_counter("fault.worker_kills", c.worker_kills);
+        m.set_counter("fault.oom_rings", c.oom_rings);
+        m.set_counter("fault.truncated_records", c.truncated_records);
+        m.set_counter("fault.quarantined_records", c.quarantined_records);
+        m.set_counter("fault.quarantined_bytes", c.quarantined_bytes);
+        m.set_counter("fault.rejected_timestamps", c.rejected_timestamps);
+    }
     manifest.metrics = m;
 
     let wall_secs = wall_start.elapsed().as_secs_f64();
@@ -446,7 +547,7 @@ pub fn live_modulated_run(
         worker_utilization: 1.0,
     });
 
-    LiveModOutcome {
+    Ok(LiveModOutcome {
         result: extract(&eth, &inst),
         stats: LiveModStats {
             tuples_fed,
@@ -458,7 +559,7 @@ pub fn live_modulated_run(
         },
         manifest,
         flight,
-    }
+    })
 }
 
 /// **Asymmetric modulated run** (the §6 extension): per-direction

@@ -19,6 +19,7 @@ struct BufState {
     total_in: u64,
     total_out: u64,
     rejected: u64,
+    closed: bool,
 }
 
 /// The bounded in-kernel tuple buffer shared between the daemon (writer)
@@ -101,6 +102,21 @@ impl TupleBuffer {
     pub fn rejected(&self) -> u64 {
         self.inner.lock().rejected
     }
+
+    /// Writer side: declare that no more tuples will ever be written.
+    ///
+    /// Once closed, an empty buffer means *end of trace*; while open,
+    /// an empty buffer only means *starved right now* — the reader
+    /// (the modulation layer) treats the two very differently (final
+    /// hold vs. backoff-and-retry with a `degraded` mark).
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+    }
+
+    /// True once the writer has declared end-of-trace.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
 }
 
 /// Live-mode feeder: a [`TupleSink`] that accepts tuples straight from
@@ -115,6 +131,8 @@ pub struct TupleFeed {
     overflow: VecDeque<QualityTuple>,
     fed: u64,
     peak_backlog: usize,
+    closing: bool,
+    paused: bool,
 }
 
 impl TupleFeed {
@@ -125,12 +143,22 @@ impl TupleFeed {
             overflow: VecDeque::new(),
             fed: 0,
             peak_backlog: 0,
+            closing: false,
+            paused: false,
         }
     }
 
     /// Move as much backlog as fits into the kernel buffer. Returns the
     /// number of tuples moved.
+    ///
+    /// A paused feed ([`set_paused`](TupleFeed::set_paused)) moves
+    /// nothing: the backlog accumulates in user space and the kernel
+    /// buffer drains, which is exactly the starvation a stalled feeder
+    /// process produces.
     pub fn pump(&mut self) -> usize {
+        if self.paused {
+            return 0;
+        }
         let mut moved = 0;
         while let Some(t) = self.overflow.front().copied() {
             if self.buf.write(std::slice::from_ref(&t)) == 0 {
@@ -139,7 +167,37 @@ impl TupleFeed {
             self.overflow.pop_front();
             moved += 1;
         }
+        // End-of-trace propagates only once the backlog has drained:
+        // the buffer must not look closed while tuples are still on
+        // their way in.
+        if self.closing && self.overflow.is_empty() {
+            self.buf.close();
+        }
         moved
+    }
+
+    /// Declare that the distiller has emitted its last tuple. The
+    /// underlying buffer is closed as soon as the remaining backlog
+    /// has been pumped in.
+    pub fn close(&mut self) {
+        self.closing = true;
+        self.pump();
+    }
+
+    /// Pause or resume the feed. While paused, tuples still arrive in
+    /// the user-space backlog but none reach the kernel buffer — the
+    /// fault-injection hook for a stalled feeder. Resuming pumps
+    /// immediately.
+    pub fn set_paused(&mut self, on: bool) {
+        self.paused = on;
+        if !on {
+            self.pump();
+        }
+    }
+
+    /// True while the feed is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
     }
 
     /// Total tuples accepted from the distiller so far.
@@ -203,10 +261,12 @@ impl ModulationDaemon {
     fn refill(&mut self) {
         loop {
             if self.replay.tuples.is_empty() {
+                self.buf.close(); // nothing will ever arrive
                 return;
             }
             if self.pos >= self.replay.tuples.len() {
                 if !self.loop_trace {
+                    self.buf.close(); // one pass done: genuine end of trace
                     return;
                 }
                 self.pos = 0;
@@ -315,6 +375,25 @@ mod tests {
         assert_eq!(feed.pump(), 2);
         assert_eq!(feed.backlog(), 1);
         assert_eq!(feed.peak_backlog(), 3);
+    }
+
+    #[test]
+    fn paused_feed_starves_the_buffer() {
+        let buf = TupleBuffer::new(4);
+        let mut feed = TupleFeed::new(buf.clone());
+        feed.set_paused(true);
+        for _ in 0..3 {
+            feed.push_tuple(tuple(1));
+        }
+        assert!(buf.is_empty(), "paused feed must not reach the buffer");
+        assert_eq!(feed.backlog(), 3);
+        // Closing while paused must not mark the buffer ended: tuples
+        // are still pending in user space.
+        feed.close();
+        assert!(!buf.is_closed());
+        feed.set_paused(false);
+        assert_eq!(buf.len(), 3);
+        assert!(buf.is_closed(), "backlog drained after resume => EOF");
     }
 
     #[test]

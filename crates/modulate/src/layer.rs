@@ -18,12 +18,19 @@
 
 use crate::clock::{Quantized, TickClock};
 use crate::daemon::TupleBuffer;
-use netsim::{SimRng, SimTime};
+use netsim::{SimDuration, SimRng, SimTime};
 use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
 use obs::flight::{frame_key, FlightHandle, Stage};
 use obs::{FidelityCollector, FidelityReport};
 use std::collections::BinaryHeap;
 use tracekit::{QualityTuple, ReplayTrace};
+
+/// First backoff window after the live tuple buffer runs dry
+/// mid-stream (doubles per consecutive empty poll).
+const STARVE_BACKOFF_INITIAL_NS: u64 = 250_000_000;
+/// Backoff cap. Reaching it means the feed starved for a sustained
+/// stretch (several seconds), which marks the run degraded.
+const STARVE_BACKOFF_MAX_NS: u64 = 8_000_000_000;
 
 /// Signed difference `a − b` in milliseconds.
 fn signed_ms(a: SimTime, b: SimTime) -> f64 {
@@ -51,6 +58,13 @@ enum TupleSource {
         /// of `current` (the distiller counts the same way, so flight
         /// records from both stages meet on the same tuple id).
         popped: u64,
+        /// In a starvation backoff window: the buffer was open but
+        /// empty when `current` expired, so the stale tuple is being
+        /// replayed until the next poll.
+        starved: bool,
+        /// Width of the next backoff window (ns), doubling per
+        /// consecutive empty poll up to [`STARVE_BACKOFF_MAX_NS`].
+        backoff_ns: u64,
     },
     /// Per-direction replay traces from one-way (synchronized-clocks)
     /// distillation: outbound packets follow `up`, inbound follow
@@ -210,6 +224,8 @@ impl Modulator {
                 current: None,
                 until: SimTime::ZERO,
                 popped: 0,
+                starved: false,
+                backoff_ns: STARVE_BACKOFF_INITIAL_NS,
             },
             clock: TickClock::netbsd(),
             compensation_vb: 0.0,
@@ -308,9 +324,16 @@ impl Modulator {
                 current,
                 until,
                 popped,
+                starved,
+                backoff_ns,
             } => {
-                // Advance through expired tuples; hold the last one if the
-                // daemon has not kept up (or the trace ended).
+                // Advance through expired tuples. An empty buffer means
+                // two very different things depending on whether the
+                // writer closed it: end-of-trace (hold the final tuple
+                // silently, as a replay file would) versus starvation
+                // (replay the *stale* tuple, back off exponentially,
+                // and — once the backoff saturates — mark the run
+                // degraded).
                 loop {
                     match current {
                         None => match buf.pop() {
@@ -327,11 +350,37 @@ impl Modulator {
                             }
                             match buf.pop() {
                                 Some(t) => {
-                                    *until += t.duration();
+                                    if *starved {
+                                        // Recovered: the schedule
+                                        // slipped during the outage, so
+                                        // restart the tuple clock.
+                                        *starved = false;
+                                        *backoff_ns = STARVE_BACKOFF_INITIAL_NS;
+                                        *until = now + t.duration();
+                                    } else {
+                                        *until += t.duration();
+                                    }
                                     *current = Some(t);
                                     *popped += 1;
                                 }
-                                None => return Some(*c), // starved: stretch
+                                None if buf.is_closed() => {
+                                    // Genuine end of trace: hold the
+                                    // final tuple, not a degradation.
+                                    return Some(*c);
+                                }
+                                None => {
+                                    // Starved: replay the stale tuple
+                                    // for one backoff window before
+                                    // polling again.
+                                    *starved = true;
+                                    *until = now + SimDuration::from_nanos(*backoff_ns);
+                                    *backoff_ns = (*backoff_ns * 2).min(STARVE_BACKOFF_MAX_NS);
+                                    self.fidelity.on_starvation_hold();
+                                    if *backoff_ns >= STARVE_BACKOFF_MAX_NS {
+                                        self.fidelity.on_starvation_saturated();
+                                    }
+                                    return Some(*c);
+                                }
                             }
                         }
                     }
@@ -727,6 +776,99 @@ mod tests {
             m.next_wakeup(),
             Some(SimTime::from_secs(30) + SimDuration::from_millis(40))
         );
+    }
+
+    #[test]
+    fn starvation_and_stream_end_are_distinguished() {
+        let mk = |lat_ms: u64| QualityTuple {
+            duration_ns: 1_000_000_000,
+            latency_ns: lat_ms * 1_000_000,
+            vb_ns_per_byte: 0.0,
+            vr_ns_per_byte: 0.0,
+            loss: 0.0,
+        };
+        // --- Open buffer that runs dry: starvation with backoff. ---
+        let buf = TupleBuffer::new(8);
+        buf.write(&[mk(5)]);
+        let mut m = Modulator::from_buffer(buf.clone()).with_clock(TickClock::ideal());
+        let mut r = rng();
+        offer(&mut m, Direction::Outbound, 10, SimTime::ZERO, &mut r);
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(5)));
+        m.collect_due(SimTime::from_secs(1), &mut r);
+        // Tuple expired at 1 s, buffer open + empty → starvation hold:
+        // the stale 5 ms tuple still modulates.
+        offer(
+            &mut m,
+            Direction::Outbound,
+            10,
+            SimTime::from_millis(1100),
+            &mut r,
+        );
+        assert_eq!(m.fidelity().starvation_holds, 1);
+        assert!(
+            !m.fidelity().degraded,
+            "transient starvation is not degradation"
+        );
+        m.collect_due(SimTime::from_millis(1150), &mut r);
+        // Within the 250 ms backoff window the buffer is NOT re-polled:
+        // a fresh tuple sits unread while the stale one replays.
+        buf.write(&[mk(40)]);
+        offer(
+            &mut m,
+            Direction::Outbound,
+            10,
+            SimTime::from_millis(1200),
+            &mut r,
+        );
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(1205)));
+        assert_eq!(m.fidelity().starvation_holds, 1);
+        m.collect_due(SimTime::from_secs(2), &mut r);
+        // Past the window: recovery pops the fresh tuple and restarts
+        // its clock from now.
+        offer(
+            &mut m,
+            Direction::Outbound,
+            10,
+            SimTime::from_millis(1400),
+            &mut r,
+        );
+        assert_eq!(m.next_wakeup(), Some(SimTime::from_millis(1440)));
+        assert_eq!(m.fidelity().starvation_holds, 1);
+        m.collect_due(SimTime::from_secs(3), &mut r);
+        // Sustained starvation (no refill): consecutive empty polls
+        // escalate 250→500→1000→2000→4000 ms; when the next window
+        // reaches the 8 s cap the run is marked degraded.
+        let mut t = SimTime::from_millis(2500);
+        for _ in 0..5 {
+            offer(&mut m, Direction::Outbound, 10, t, &mut r);
+            m.collect_due(t + SimDuration::from_secs(20), &mut r);
+            t += SimDuration::from_secs(20);
+        }
+        assert_eq!(m.fidelity().starvation_holds, 6);
+        assert!(m.fidelity().degraded, "saturated backoff marks degradation");
+
+        // --- Closed buffer: end of trace, a silent final hold. ---
+        let buf2 = TupleBuffer::new(8);
+        buf2.write(&[mk(7)]);
+        buf2.close();
+        let mut m2 = Modulator::from_buffer(buf2).with_clock(TickClock::ideal());
+        offer(&mut m2, Direction::Outbound, 10, SimTime::ZERO, &mut r);
+        m2.collect_due(SimTime::from_secs(5), &mut r);
+        // Long after the tuple expired: still modulates with it, with
+        // no starvation accounting — the stream simply ended.
+        offer(
+            &mut m2,
+            Direction::Outbound,
+            10,
+            SimTime::from_secs(6),
+            &mut r,
+        );
+        assert_eq!(
+            m2.next_wakeup(),
+            Some(SimTime::from_secs(6) + SimDuration::from_millis(7))
+        );
+        assert_eq!(m2.fidelity().starvation_holds, 0);
+        assert!(!m2.fidelity().degraded);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct FidelityCollector {
     dropped: u64,
     unmodulated: u64,
     released: u64,
+    starvation_holds: u64,
+    starvation_saturated: bool,
 }
 
 impl Default for FidelityCollector {
@@ -63,6 +65,8 @@ impl FidelityCollector {
             dropped: 0,
             unmodulated: 0,
             released: 0,
+            starvation_holds: 0,
+            starvation_saturated: false,
         }
     }
 
@@ -91,6 +95,23 @@ impl FidelityCollector {
     /// Inbound delay compensation reduced this packet's `Vb`.
     pub fn on_compensated(&mut self) {
         self.compensated += 1;
+    }
+
+    /// The live tuple feed starved: the modulator held its last tuple
+    /// past its duration and backed off. One call per backoff window.
+    /// Transient holds are inherent to streaming distillation (the
+    /// tuple stream trails collection by the reorder horizon), so holds
+    /// alone do not mark the run degraded — see
+    /// [`on_starvation_saturated`](Self::on_starvation_saturated).
+    pub fn on_starvation_hold(&mut self) {
+        self.starvation_holds += 1;
+    }
+
+    /// Feed starvation persisted long enough for the hold backoff to
+    /// saturate at its cap: the modulator replayed stale network
+    /// quality for a sustained stretch. Marks the run `degraded`.
+    pub fn on_starvation_saturated(&mut self) {
+        self.starvation_saturated = true;
     }
 
     /// A modulated packet was released (immediately or from the hold
@@ -142,6 +163,8 @@ impl FidelityCollector {
             observed_loss_rate,
             loss_delta: observed_loss_rate - expected_loss_rate,
             unmodulated_fraction: self.unmodulated as f64 / offered,
+            starvation_holds: self.starvation_holds,
+            degraded: self.starvation_saturated,
         }
     }
 }
@@ -182,6 +205,16 @@ pub struct FidelityReport {
     pub loss_delta: f64,
     /// Fraction of offered packets that went unmodulated.
     pub unmodulated_fraction: f64,
+    /// Feed-starvation backoff windows: times the modulator held its
+    /// last tuple past its duration because the live feed had nothing.
+    #[serde(default)]
+    pub starvation_holds: u64,
+    /// The run degraded gracefully instead of failing: stale network
+    /// quality was replayed during *sustained* feed starvation (the
+    /// hold backoff saturated at its cap). Transient starvation only
+    /// bumps `starvation_holds`.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl FidelityReport {
@@ -309,6 +342,32 @@ mod tests {
         let r = c.report();
         let v = r.check(&FidelityThresholds::default());
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn starvation_marks_run_degraded() {
+        let mut c = FidelityCollector::new();
+        c.on_modulated(0.0);
+        c.on_release(0.0, false);
+        let clean = c.report();
+        assert!(!clean.degraded);
+        assert_eq!(clean.starvation_holds, 0);
+        // Transient starvation: counted but not degraded — the tuple
+        // stream inherently trails collection by the reorder horizon.
+        c.on_starvation_hold();
+        c.on_starvation_hold();
+        let r = c.report();
+        assert!(!r.degraded);
+        assert_eq!(r.starvation_holds, 2);
+        // Sustained starvation (backoff saturated) marks degradation.
+        c.on_starvation_hold();
+        c.on_starvation_saturated();
+        let r = c.report();
+        assert!(r.degraded);
+        assert_eq!(r.starvation_holds, 3);
+        // Degradation is surfaced, not gated: default thresholds still
+        // judge the run on its release precision.
+        assert!(r.check(&FidelityThresholds::default()).is_empty());
     }
 
     #[test]

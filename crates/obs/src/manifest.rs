@@ -134,6 +134,13 @@ impl RunManifest {
             "  loss rate:      expected {:.4}  observed {:.4}  delta {:+.4}",
             f.expected_loss_rate, f.observed_loss_rate, f.loss_delta
         );
+        if f.degraded {
+            let _ = writeln!(
+                s,
+                "  degraded:       YES ({} starvation holds — stale tuples replayed)",
+                f.starvation_holds
+            );
+        }
         let violations = self.check(&FidelityThresholds::default());
         if violations.is_empty() {
             let _ = writeln!(s, "  self-check:     PASS (default thresholds)");
@@ -232,6 +239,13 @@ impl RunManifest {
             "| loss rate | expected {:.4}, observed {:.4} (delta {:+.4}) |",
             f.expected_loss_rate, f.observed_loss_rate, f.loss_delta
         );
+        if f.degraded {
+            let _ = writeln!(
+                s,
+                "| degraded | YES ({} starvation holds) |",
+                f.starvation_holds
+            );
+        }
         let violations = self.check(&FidelityThresholds::default());
         if violations.is_empty() {
             let _ = writeln!(s, "\n**Self-check: PASS** (default thresholds)");

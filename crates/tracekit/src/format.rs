@@ -372,18 +372,53 @@ pub fn decode_trace(data: &[u8]) -> Result<Trace, FormatError> {
 /// error is only reported by [`finish`](TraceDecoder::finish), when the
 /// caller knows no more bytes are coming; mid-stream, an incomplete
 /// record is simply held until its remaining bytes arrive.
+///
+/// # Quarantine mode
+///
+/// With [`quarantining`](TraceDecoder::quarantining) enabled, a
+/// malformed record body (an unknown tag byte) no longer errors the
+/// whole stream. The decoder instead skips forward one byte at a time
+/// until a record decodes again, counting each contiguous skip run as
+/// one quarantined record and every skipped byte in
+/// [`quarantined_bytes`](TraceDecoder::quarantined_bytes). Header
+/// corruption ([`FormatError::BadMagic`] / [`FormatError::BadVersion`])
+/// is still a hard error: without a trusted header nothing downstream
+/// is meaningful.
 #[derive(Debug, Default)]
 pub struct TraceDecoder {
     buf: Vec<u8>,
     pos: usize,
     header: Option<TraceHeader>,
     remaining: u32,
+    quarantine: bool,
+    skipping: bool,
+    quarantined_records: u64,
+    quarantined_bytes: u64,
 }
 
 impl TraceDecoder {
     /// A decoder with no bytes fed yet.
     pub fn new() -> Self {
         TraceDecoder::default()
+    }
+
+    /// Enable quarantine mode: malformed record bodies are skipped and
+    /// counted instead of erroring the stream.
+    pub fn quarantining(mut self) -> Self {
+        self.quarantine = true;
+        self
+    }
+
+    /// Contiguous runs of malformed record bytes skipped so far (each
+    /// run counts as one lost record).
+    pub fn quarantined_records(&self) -> u64 {
+        self.quarantined_records
+    }
+
+    /// Total bytes skipped while resynchronizing after malformed
+    /// records.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined_bytes
     }
 
     /// Append a chunk of the trace file.
@@ -443,19 +478,37 @@ impl TraceDecoder {
         if !self.try_parse_header()? {
             return Ok(None);
         }
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        let mut r = Reader::new(&self.buf[self.pos..]);
-        match read_record(&mut r) {
-            Ok(rec) => {
-                self.pos += r.pos;
-                self.remaining -= 1;
-                self.compact();
-                Ok(Some(rec))
+        loop {
+            if self.remaining == 0 {
+                return Ok(None);
             }
-            Err(FormatError::Truncated) => Ok(None),
-            Err(e) => Err(e),
+            let mut r = Reader::new(&self.buf[self.pos..]);
+            match read_record(&mut r) {
+                Ok(rec) => {
+                    self.pos += r.pos;
+                    self.remaining -= 1;
+                    self.skipping = false;
+                    self.compact();
+                    return Ok(Some(rec));
+                }
+                Err(FormatError::Truncated) => return Ok(None),
+                Err(e) => {
+                    if !self.quarantine {
+                        return Err(e);
+                    }
+                    // Start of a new malformed run: charge one record
+                    // against the declared count so the stream can
+                    // still complete.
+                    if !self.skipping {
+                        self.skipping = true;
+                        self.quarantined_records += 1;
+                        self.remaining -= 1;
+                    }
+                    self.pos += 1;
+                    self.quarantined_bytes += 1;
+                    self.compact();
+                }
+            }
         }
     }
 

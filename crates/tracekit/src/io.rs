@@ -156,6 +156,24 @@ impl TraceFileStream {
     pub fn buffered(&self) -> usize {
         self.decoder.buffered()
     }
+
+    /// Switch the underlying decoder into quarantine mode: malformed
+    /// record bodies are skipped and counted instead of erroring the
+    /// stream (see [`TraceDecoder::quarantining`]).
+    pub fn quarantining(mut self) -> Self {
+        self.decoder = std::mem::take(&mut self.decoder).quarantining();
+        self
+    }
+
+    /// Malformed-record runs quarantined so far (quarantine mode only).
+    pub fn quarantined_records(&self) -> u64 {
+        self.decoder.quarantined_records()
+    }
+
+    /// Bytes skipped while resynchronizing (quarantine mode only).
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.decoder.quarantined_bytes()
+    }
 }
 
 impl RecordStream for TraceFileStream {
@@ -300,8 +318,8 @@ mod tests {
         let dir = tmpdir();
         for name in ["t.mntr", "t.json"] {
             let p = dir.join(name);
-            write_trace(&p, &sample_trace()).unwrap();
-            assert_eq!(read_trace(&p).unwrap(), sample_trace());
+            write_trace(&p, &sample_trace()).expect("write trace");
+            assert_eq!(read_trace(&p).expect("read trace"), sample_trace());
         }
     }
 
@@ -310,8 +328,8 @@ mod tests {
         let dir = tmpdir();
         for name in ["r.mnrp", "r.json"] {
             let p = dir.join(name);
-            write_replay(&p, &sample_replay()).unwrap();
-            assert_eq!(read_replay(&p).unwrap(), sample_replay());
+            write_replay(&p, &sample_replay()).expect("write replay");
+            assert_eq!(read_replay(&p).expect("read replay"), sample_replay());
         }
     }
 
@@ -319,15 +337,15 @@ mod tests {
     fn corrupt_file_is_invalid_data() {
         let dir = tmpdir();
         let p = dir.join("junk.mntr");
-        fs::write(&p, b"not a trace").unwrap();
-        let err = read_trace(&p).unwrap_err();
+        fs::write(&p, b"not a trace").expect("write junk file");
+        let err = read_trace(&p).expect_err("corrupt trace must fail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
     fn missing_file_is_not_found() {
         let p = tmpdir().join("nonexistent.mnrp");
-        let err = read_replay(&p).unwrap_err();
+        let err = read_replay(&p).expect_err("missing file must fail");
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
@@ -336,12 +354,13 @@ mod tests {
         let dir = tmpdir();
         let t = bigger_trace();
         let p = dir.join("chunked.mntr");
-        let mut w = ChunkedTraceWriter::create(&p, &t.host, &t.scenario, t.trial).unwrap();
+        let mut w = ChunkedTraceWriter::create(&p, &t.host, &t.scenario, t.trial)
+            .expect("create chunked writer");
         for r in &t.records {
-            w.push_record(r).unwrap();
+            w.push_record(r).expect("push record");
         }
-        assert_eq!(w.finish().unwrap() as usize, t.records.len());
-        assert_eq!(fs::read(&p).unwrap(), encode_trace(&t));
+        assert_eq!(w.finish().expect("finish writer") as usize, t.records.len());
+        assert_eq!(fs::read(&p).expect("read file bytes"), encode_trace(&t));
     }
 
     #[test]
@@ -349,13 +368,13 @@ mod tests {
         let dir = tmpdir();
         let t = bigger_trace();
         let p = dir.join("stream.mntr");
-        write_trace(&p, &t).unwrap();
+        write_trace(&p, &t).expect("write trace");
         for chunk in [1, 7, 64, 4096] {
-            let mut s = TraceFileStream::open_chunked(&p, chunk).unwrap();
-            let h = s.header().unwrap().clone();
+            let mut s = TraceFileStream::open_chunked(&p, chunk).expect("open stream");
+            let h = s.header().expect("stream header").clone();
             assert_eq!(h.scenario, "flagstaff");
             let mut records = Vec::new();
-            while let Some(r) = s.next_record().unwrap() {
+            while let Some(r) = s.next_record().expect("next record") {
                 records.push(r);
             }
             assert_eq!(records, t.records, "chunk size {chunk}");
@@ -367,10 +386,10 @@ mod tests {
         let dir = tmpdir();
         let t = bigger_trace();
         let p = dir.join("bounded.mntr");
-        write_trace(&p, &t).unwrap();
-        let mut s = TraceFileStream::open_chunked(&p, 128).unwrap();
+        write_trace(&p, &t).expect("write trace");
+        let mut s = TraceFileStream::open_chunked(&p, 128).expect("open stream");
         let mut peak = 0;
-        while s.next_record().unwrap().is_some() {
+        while s.next_record().expect("next record").is_some() {
             peak = peak.max(s.buffered());
         }
         assert!(peak <= 128 + 64, "peak buffered {peak}");
@@ -382,8 +401,8 @@ mod tests {
         let t = bigger_trace();
         let bytes = encode_trace(&t);
         let p = dir.join("cut.mntr");
-        fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
-        let mut s = TraceFileStream::open(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() / 2]).expect("write truncated file");
+        let mut s = TraceFileStream::open(&p).expect("open stream");
         let mut n = 0;
         let err = loop {
             match s.next_record() {
@@ -404,7 +423,7 @@ mod tests {
         let dir = tmpdir();
         let p = dir.join("t.json");
         assert!(ChunkedTraceWriter::create(&p, "h", "s", 1).is_err());
-        write_trace(&p, &sample_trace()).unwrap();
+        write_trace(&p, &sample_trace()).expect("write trace");
         assert!(TraceFileStream::open(&p).is_err());
     }
 }

@@ -225,20 +225,32 @@ mod tests {
     fn vec_stream_yields_in_order() {
         let mut s = VecStream::new(vec![pkt(1), pkt(2), pkt(3)]);
         let mut ts = Vec::new();
-        while let Some(r) = s.next_record().unwrap() {
+        while let Some(r) = s.next_record().expect("stream ok") {
             ts.push(r.timestamp_ns());
         }
         assert_eq!(ts, vec![1, 2, 3]);
-        assert!(s.next_record().unwrap().is_none());
+        assert!(s.next_record().expect("stream ok").is_none());
     }
 
     #[test]
     fn slice_stream_matches_vec_stream() {
         let records = vec![pkt(5), pkt(9)];
         let mut s = SliceStream::new(&records);
-        assert_eq!(s.next_record().unwrap().unwrap().timestamp_ns(), 5);
-        assert_eq!(s.next_record().unwrap().unwrap().timestamp_ns(), 9);
-        assert!(s.next_record().unwrap().is_none());
+        assert_eq!(
+            s.next_record()
+                .expect("stream ok")
+                .expect("record present")
+                .timestamp_ns(),
+            5
+        );
+        assert_eq!(
+            s.next_record()
+                .expect("stream ok")
+                .expect("record present")
+                .timestamp_ns(),
+            9
+        );
+        assert!(s.next_record().expect("stream ok").is_none());
     }
 
     #[test]
@@ -264,16 +276,34 @@ mod tests {
         dev.open();
         let mut s = DeviceStream::new(dev.clone(), 4);
         // Empty now — non-terminal None.
-        assert!(s.next_record().unwrap().is_none());
+        assert!(s.next_record().expect("stream ok").is_none());
         dev.offer(pkt(1));
         dev.offer(pkt(2));
         s.set_now(10);
-        assert_eq!(s.next_record().unwrap().unwrap().timestamp_ns(), 1);
-        assert_eq!(s.next_record().unwrap().unwrap().timestamp_ns(), 2);
-        assert!(s.next_record().unwrap().is_none());
+        assert_eq!(
+            s.next_record()
+                .expect("stream ok")
+                .expect("record present")
+                .timestamp_ns(),
+            1
+        );
+        assert_eq!(
+            s.next_record()
+                .expect("stream ok")
+                .expect("record present")
+                .timestamp_ns(),
+            2
+        );
+        assert!(s.next_record().expect("stream ok").is_none());
         // More records arrive later; the stream picks them up.
         dev.offer(pkt(3));
-        assert_eq!(s.next_record().unwrap().unwrap().timestamp_ns(), 3);
+        assert_eq!(
+            s.next_record()
+                .expect("stream ok")
+                .expect("record present")
+                .timestamp_ns(),
+            3
+        );
     }
 
     #[test]
@@ -285,7 +315,7 @@ mod tests {
             dev.offer(pkt(i));
         }
         s.set_now(99);
-        let first = s.next_record().unwrap().unwrap();
+        let first = s.next_record().expect("stream ok").expect("record present");
         assert!(matches!(first, TraceRecord::Overrun(_)));
     }
 }

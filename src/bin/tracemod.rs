@@ -24,7 +24,11 @@
 //! exit code (2 for usage errors, 1 for runtime failures) — no panics.
 
 use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
-use emu::{live_modulated_run, live_run, modulated_run, Benchmark, LiveModOutcome, RunConfig};
+use emu::{
+    live_modulated_run, live_run, modulated_run, Benchmark, CellKind, Exec, LiveModOutcome,
+    RunConfig, TrialCell, TrialPlan,
+};
+use faultkit::FaultPlan;
 use modulate::TickClock;
 use netsim::SimDuration;
 use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig};
@@ -736,6 +740,151 @@ fn cmd_bench_diff(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_chaos(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "seed",
+            "plan",
+            "scenario",
+            "scenario-file",
+            "duration-secs",
+            "benchmark",
+            "trial",
+            "trials",
+            "window-secs",
+            "horizon",
+            "jobs",
+            "obs-out",
+            "fault-out",
+            "fault-budget",
+            "check",
+        ],
+        1,
+    )?;
+    let seed: u64 = args
+        .require("seed")?
+        .parse()
+        .map_err(|_| CliError::usage("invalid value for --seed (expected u64)"))?;
+    let plan_path = args.require("plan")?;
+    // A bad plan file is a bad invocation, not a mid-run failure: the
+    // run has not started yet, so both unreadable and unparseable plans
+    // are usage errors (exit 2).
+    let plan_text = std::fs::read_to_string(plan_path)
+        .map_err(|e| CliError::usage(format!("read fault plan {plan_path}: {e}")))?;
+    let fault_plan = FaultPlan::from_json(&plan_text)
+        .map_err(|e| CliError::usage(format!("{plan_path}: {e}")))?;
+    let sc = scenario_arg_default(args, Some("porter"))?;
+    let benchmark = benchmark_named(args.get("benchmark").unwrap_or("web"))?;
+    let trial0 = args.parse_num("trial", 1u32)?;
+    let trials = args.parse_num("trials", 1u32)?.max(1);
+    let dcfg = distill_cfg(args)?;
+    let jobs = args.parse_num("jobs", 1usize)?.max(1);
+
+    eprintln!(
+        "chaos: '{}' under {} with {} fault(s), seed {seed}, {} trial(s), {} worker(s)...",
+        sc.name,
+        benchmark.name(),
+        fault_plan.len(),
+        trials,
+        jobs
+    );
+    let mut tplan = TrialPlan::new();
+    for i in 0..trials {
+        let trial = trial0 + i;
+        tplan.push(TrialCell {
+            label: format!("{}/{}/chaos#{trial}", sc.name, benchmark.name()),
+            trial,
+            cfg: RunConfig::default(),
+            kind: CellKind::Chaos {
+                scenario: sc.clone(),
+                benchmark,
+                distill: dcfg,
+                seed,
+                plan: fault_plan.clone(),
+            },
+        });
+    }
+    let results = tplan.run(&Exec::with_workers(jobs));
+    let outcomes = results.chaos(sc.name, benchmark);
+
+    let mut manifests = String::new();
+    let mut fault_log = String::new();
+    let mut injected_total = 0u64;
+    for (i, o) in outcomes.iter().enumerate() {
+        let trial = trial0 + i as u32;
+        report_result(&o.outcome.result);
+        for ev in &o.faults {
+            // One observable event per injected fault.
+            eprintln!(
+                "[fault] trial {trial} t={:9.3}s {:<13} {}",
+                ev.t_virtual_ns as f64 / 1e9,
+                ev.fault,
+                ev.info
+            );
+            fault_log.push_str(
+                &serde_json::to_string(ev).map_err(|e| CliError::runtime(e.to_string()))?,
+            );
+            fault_log.push('\n');
+        }
+        let c = &o.counters;
+        injected_total += c.injected_total();
+        eprintln!(
+            "chaos trial {trial}: {} fault(s) injected ({} quarantined records, {} truncated, \
+             {} rejected timestamps), degraded: {}",
+            c.injected_total(),
+            c.quarantined_records,
+            c.truncated_records,
+            c.rejected_timestamps,
+            if o.outcome.manifest.fidelity.degraded {
+                "YES"
+            } else {
+                "no"
+            }
+        );
+        // Runner-stripped manifests: byte-comparable across --jobs.
+        manifests.push_str(&o.outcome.manifest.deterministic_json());
+        manifests.push('\n');
+    }
+    if let Some(obs_out) = args.get("obs-out") {
+        std::fs::write(obs_out, &manifests)
+            .map_err(|e| CliError::runtime(format!("write {obs_out}: {e}")))?;
+        eprintln!("wrote {} run manifest(s) → {obs_out}", outcomes.len());
+    }
+    if let Some(fault_out) = args.get("fault-out") {
+        std::fs::write(fault_out, &fault_log)
+            .map_err(|e| CliError::runtime(format!("write {fault_out}: {e}")))?;
+        eprintln!("wrote fault-event log → {fault_out}");
+    }
+    if let Some(budget) = args.get("fault-budget") {
+        let budget: u64 = budget
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid value for --fault-budget: {budget}")))?;
+        if injected_total > budget {
+            return Err(CliError::runtime(format!(
+                "fault budget exceeded: {injected_total} faults injected > budget {budget}"
+            )));
+        }
+    }
+    if args.get("check").is_some() {
+        let mut msgs = Vec::new();
+        for (i, o) in outcomes.iter().enumerate() {
+            for v in o.outcome.manifest.check(&FidelityThresholds::default()) {
+                msgs.push(format!("trial {}: {v}", trial0 + i as u32));
+            }
+        }
+        if !msgs.is_empty() {
+            let mut msg = String::from("fidelity self-check failed under faults:");
+            for v in &msgs {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(CliError::runtime(msg));
+        }
+        eprintln!("fidelity self-check: PASS");
+    }
+    Ok(())
+}
+
 fn report_result(r: &emu::RunResult) {
     match r.elapsed {
         Some(secs) => println!("{}: {:.2} s", r.benchmark.name(), secs),
@@ -769,6 +918,12 @@ commands:
   bench-diff <current.jsonl> [--check]     compare criterion JSONL against a baseline
                                            (--baseline F, default BENCH_baseline.json;
                                            --json for machine-readable verdicts; --tolerance R)
+  chaos --seed N --plan F                  run the live pipeline under a deterministic fault plan
+                                           (defaults: --scenario porter --benchmark web; --trials T
+                                           --jobs J for a matrix; --obs-out F / --fault-out F write
+                                           runner-stripped manifests and the fault-event JSONL;
+                                           --fault-budget N gates on injected faults; --check gates
+                                           on the fidelity thresholds)
 benchmarks: web, ftp-send, ftp-recv, andrew
 scenario commands also accept --duration-secs N to shorten the traversal";
 
@@ -788,6 +943,7 @@ fn main() {
         Some("trace-export") => cmd_trace_export(&args),
         Some("journey") => cmd_journey(&args),
         Some("bench-diff") => cmd_bench_diff(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("no command given")),
     };

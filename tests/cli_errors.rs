@@ -1,0 +1,206 @@
+//! CLI error-path contract tests for `tracemod`, driven through the
+//! real binary: usage mistakes exit 2 with a diagnostic on stderr,
+//! mid-run failures exit 1, and the `chaos` subcommand's artifacts are
+//! byte-identical across reruns and worker counts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tracemod(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tracemod"))
+        .args(args)
+        .output()
+        .expect("tracemod binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_exit(out: &Output, code: i32, stderr_needle: &str) {
+    let stderr = stderr_of(out);
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "expected exit {code}; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(stderr_needle),
+        "stderr must mention {stderr_needle:?}; got:\n{stderr}"
+    );
+}
+
+/// A unique temp path per test file usage (tests run in one process).
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "tracemod-cli-{}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed),
+        tag
+    ))
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = tracemod(&["frobnicate"]);
+    assert_exit(&out, 2, "unknown command 'frobnicate'");
+    assert!(stderr_of(&out).contains("usage"), "must print usage help");
+}
+
+#[test]
+fn no_command_is_a_usage_error() {
+    let out = tracemod(&[]);
+    assert_exit(&out, 2, "no command given");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = tracemod(&["chaos", "--seed", "1", "--bogus", "x"]);
+    assert_exit(&out, 2, "--bogus");
+}
+
+#[test]
+fn chaos_without_seed_is_a_usage_error() {
+    let out = tracemod(&["chaos", "--plan", "/nonexistent.json"]);
+    assert_exit(&out, 2, "missing required flag --seed");
+}
+
+#[test]
+fn chaos_with_non_numeric_seed_is_a_usage_error() {
+    let out = tracemod(&["chaos", "--seed", "banana", "--plan", "/nonexistent.json"]);
+    assert_exit(&out, 2, "invalid value for --seed");
+}
+
+#[test]
+fn chaos_with_unreadable_plan_is_a_usage_error() {
+    let out = tracemod(&["chaos", "--seed", "1", "--plan", "/nonexistent/plan.json"]);
+    assert_exit(&out, 2, "read fault plan");
+}
+
+#[test]
+fn chaos_with_malformed_plan_json_is_a_usage_error() {
+    let path = temp_path("bad-plan.json");
+    std::fs::write(&path, "this is not json").unwrap();
+    let out = tracemod(&["chaos", "--seed", "1", "--plan", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_exit(&out, 2, "bad fault plan");
+}
+
+#[test]
+fn chaos_fault_budget_exceeded_is_a_runtime_error() {
+    let plan = temp_path("busy-plan.json");
+    std::fs::write(
+        &plan,
+        r#"{"faults":[{"DropTuples":{"start":0,"end":50}},{"OomRing":{"cap":128}}]}"#,
+    )
+    .unwrap();
+    let out = tracemod(&[
+        "chaos",
+        "--seed",
+        "5",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--scenario",
+        "porter",
+        "--duration-secs",
+        "30",
+        "--fault-budget",
+        "1",
+    ]);
+    std::fs::remove_file(&plan).ok();
+    assert_exit(&out, 1, "fault budget exceeded");
+}
+
+#[test]
+fn chaos_check_passes_on_an_empty_plan() {
+    let plan = temp_path("empty-plan.json");
+    std::fs::write(&plan, r#"{"faults":[]}"#).unwrap();
+    let out = tracemod(&[
+        "chaos",
+        "--seed",
+        "7",
+        "--plan",
+        plan.to_str().unwrap(),
+        "--scenario",
+        "porter",
+        "--duration-secs",
+        "30",
+        "--check",
+    ]);
+    std::fs::remove_file(&plan).ok();
+    let stderr = stderr_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fidelity gate must pass a fault-free run; stderr:\n{stderr}"
+    );
+}
+
+/// The acceptance bar from the chaos design: the same `(seed, plan)`
+/// produces byte-identical manifest and fault-log artifacts whether the
+/// trial plan runs on 1, 2 or 8 workers, and across reruns.
+#[test]
+fn chaos_artifacts_identical_across_jobs_and_reruns() {
+    let plan = temp_path("det-plan.json");
+    std::fs::write(
+        &plan,
+        r#"{"faults":[
+            {"CorruptChunk":{"at_byte":2048}},
+            {"TruncateTrace":{"pct":10.0}},
+            {"DropTuples":{"start":3,"end":6}},
+            {"StallFeed":{"virtual_ms":15000}},
+            {"ClockJump":{"delta_ms":400}},
+            {"KillWorker":{"idx":0,"at_record":200}},
+            {"OomRing":{"cap":128}}
+        ]}"#,
+    )
+    .unwrap();
+
+    let run = |jobs: &str, tag: &str| -> (Vec<u8>, Vec<u8>) {
+        let obs = temp_path(&format!("obs-{jobs}-{tag}.json"));
+        let faults = temp_path(&format!("faults-{jobs}-{tag}.jsonl"));
+        let out = tracemod(&[
+            "chaos",
+            "--seed",
+            "42",
+            "--plan",
+            plan.to_str().unwrap(),
+            "--scenario",
+            "porter",
+            "--duration-secs",
+            "30",
+            "--trials",
+            "3",
+            "--jobs",
+            jobs,
+            "--obs-out",
+            obs.to_str().unwrap(),
+            "--fault-out",
+            faults.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "chaos run failed; stderr:\n{}",
+            stderr_of(&out)
+        );
+        let pair = (
+            std::fs::read(&obs).expect("obs artifact written"),
+            std::fs::read(&faults).expect("fault artifact written"),
+        );
+        std::fs::remove_file(&obs).ok();
+        std::fs::remove_file(&faults).ok();
+        pair
+    };
+
+    let baseline = run("1", "a");
+    assert!(!baseline.0.is_empty(), "manifests must not be empty");
+    assert!(!baseline.1.is_empty(), "fault log must not be empty");
+    assert_eq!(run("1", "b"), baseline, "rerun at --jobs 1 diverged");
+    assert_eq!(run("2", "a"), baseline, "--jobs 2 diverged from --jobs 1");
+    assert_eq!(run("8", "a"), baseline, "--jobs 8 diverged from --jobs 1");
+
+    std::fs::remove_file(&plan).ok();
+}
