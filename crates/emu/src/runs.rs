@@ -461,6 +461,21 @@ pub(crate) fn live_modulated_run_inner(
         "netsim.modulate.peak_queue_depth",
         eth.sim.peak_queue_depth() as u64,
     );
+    // Calendar-queue health for both event cores: all virtual-time
+    // deterministic, so they are part of the cross-worker byte-identity
+    // surface like every other counter here.
+    for (prefix, qs) in [
+        ("netsim.collect", wl.sim.queue_stats()),
+        ("netsim.modulate", eth.sim.queue_stats()),
+    ] {
+        m.set_counter(&format!("{prefix}.wheel_pushes"), qs.pushes);
+        m.set_counter(&format!("{prefix}.wheel_overflow"), qs.overflow_pushes);
+        m.set_counter(&format!("{prefix}.wheel_buckets"), qs.buckets_opened);
+        m.set_counter(
+            &format!("{prefix}.wheel_whole_drains"),
+            qs.buckets_drained_whole,
+        );
+    }
     if let Some(ch) = wl.channel {
         let cs = wl.sim.node::<WirelessChannel>(ch).stats();
         m.set_counter("wavelan.up_frames", cs.up_frames);
@@ -492,6 +507,10 @@ pub(crate) fn live_modulated_run_inner(
         m.set_counter("modulate.dropped", ms.dropped);
         m.set_counter("modulate.unmodulated", ms.unmodulated);
         m.set_gauge("modulate.held_now", modulator.held_count() as f64);
+        let ss = modulator.sched_stats();
+        m.set_counter("modulate.sched.pushes", ss.pushes);
+        m.set_counter("modulate.sched.whole_drains", ss.buckets_drained_whole);
+        m.set_gauge("modulate.sched.peak_held", ss.peak_len as f64);
         manifest.fidelity = modulator.fidelity();
     }
     m.set_counter("modulate.buffer_written", buf.total_written());

@@ -18,6 +18,7 @@
 
 use crate::clock::{Quantized, TickClock};
 use crate::daemon::TupleBuffer;
+use netsim::wheel::{CalendarQueue, WheelStats};
 use netsim::{SimDuration, SimRng, SimTime};
 use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
 use obs::flight::{frame_key, FlightHandle, Stage};
@@ -128,6 +129,91 @@ impl Ord for HeldPkt {
     }
 }
 
+impl netsim::wheel::WheelItem for HeldPkt {
+    fn due_ns(&self) -> u64 {
+        self.due.as_nanos()
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Hold-queue bucket width: the scheduling clock's tick (every quantized
+/// release lands on a tick boundary, so one bucket per tick), or ~1 ms
+/// for the ideal clock.
+fn hold_tick_ns(clock: &TickClock) -> u64 {
+    match clock.resolution.as_nanos() {
+        0 => 1 << 20,
+        r => r,
+    }
+}
+
+/// The modulator's delay queue. The calendar queue is the production
+/// scheduler; the binary heap it replaced is retained as the reference
+/// implementation — both pop in ascending `(due, seq)` order, and the
+/// equivalence tests in `tests/wheel_vs_heap.rs` hold them to
+/// bit-identical schedules.
+enum HoldQueue {
+    Wheel(Box<CalendarQueue<HeldPkt>>),
+    Heap(BinaryHeap<HeldPkt>),
+}
+
+impl HoldQueue {
+    fn len(&self) -> usize {
+        match self {
+            HoldQueue::Wheel(q) => q.len(),
+            HoldQueue::Heap(h) => h.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, pkt: HeldPkt) {
+        match self {
+            HoldQueue::Wheel(q) => q.push(pkt),
+            HoldQueue::Heap(h) => h.push(pkt),
+        }
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        match self {
+            HoldQueue::Wheel(q) => q.next_due_ns().map(SimTime::from_nanos),
+            HoldQueue::Heap(h) => h.peek().map(|p| p.due),
+        }
+    }
+
+    /// Append every packet due at or before `now` to `out`, ascending
+    /// `(due, seq)`.
+    fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<HeldPkt>) {
+        match self {
+            HoldQueue::Wheel(q) => q.drain_due_into(now.as_nanos(), out),
+            HoldQueue::Heap(h) => {
+                // Pop-first rather than peek-then-pop: the not-yet-due
+                // head is pushed back, so there is no panicking unwrap
+                // on the hot path.
+                while let Some(p) = h.pop() {
+                    if p.due > now {
+                        h.push(p);
+                        break;
+                    }
+                    out.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// A cached `params_at` result for replay-backed sources: `tuple` is in
+/// effect for elapsed times in `[from_ns, until_ns)`.
+#[derive(Clone, Copy)]
+struct TupleWindow {
+    tuple: QualityTuple,
+    from_ns: u64,
+    until_ns: u64,
+}
+
 /// The modulation layer.
 ///
 /// ```
@@ -156,7 +242,7 @@ pub struct Modulator {
     /// network, in ns/byte, subtracted from inbound `Vb`.
     compensation_vb: f64,
     bottleneck_free: SimTime,
-    held: BinaryHeap<HeldPkt>,
+    held: HoldQueue,
     /// Latest release time per direction ([out, in]): releases are kept
     /// monotone so a tuple transition to lower latency cannot reorder
     /// packets within a direction (a real serial path never would).
@@ -165,6 +251,13 @@ pub struct Modulator {
     stats: ModStats,
     fidelity: FidelityCollector,
     flight: Option<FlightHandle>,
+    /// Cached governing-tuple window per direction ([out, in]) for
+    /// replay-backed sources, so the hot path does one interval scan
+    /// per tuple transition instead of one per packet. (The buffer
+    /// source is already incremental and bypasses this.)
+    window: [Option<TupleWindow>; 2],
+    /// Reused drain buffer for `collect_due_into`.
+    release_scratch: Vec<HeldPkt>,
 }
 
 impl Modulator {
@@ -175,21 +268,28 @@ impl Modulator {
     /// [`looping`](Modulator::looping) to replay the file until
     /// interrupted instead, as the paper's daemon optionally does.
     pub fn from_replay(replay: ReplayTrace) -> Self {
+        Modulator::with_source(TupleSource::Trace {
+            replay,
+            start: None,
+            looping: false,
+        })
+    }
+
+    fn with_source(source: TupleSource) -> Self {
+        let clock = TickClock::netbsd();
         Modulator {
-            source: TupleSource::Trace {
-                replay,
-                start: None,
-                looping: false,
-            },
-            clock: TickClock::netbsd(),
+            source,
+            held: HoldQueue::Wheel(Box::new(CalendarQueue::new(hold_tick_ns(&clock)))),
+            clock,
             compensation_vb: 0.0,
             bottleneck_free: SimTime::ZERO,
-            held: BinaryHeap::new(),
             last_due: [SimTime::ZERO; 2],
             seq: 0,
             stats: ModStats::default(),
             fidelity: FidelityCollector::new(),
             flight: None,
+            window: [None; 2],
+            release_scratch: Vec::new(),
         }
     }
 
@@ -198,50 +298,49 @@ impl Modulator {
     /// uplink trace, inbound the downlink trace. No symmetry assumption
     /// and no compensation needed.
     pub fn from_asymmetric(up: ReplayTrace, down: ReplayTrace) -> Self {
-        Modulator {
-            source: TupleSource::Asymmetric {
-                up,
-                down,
-                start: None,
-            },
-            clock: TickClock::netbsd(),
-            compensation_vb: 0.0,
-            bottleneck_free: SimTime::ZERO,
-            held: BinaryHeap::new(),
-            last_due: [SimTime::ZERO; 2],
-            seq: 0,
-            stats: ModStats::default(),
-            fidelity: FidelityCollector::new(),
-            flight: None,
-        }
+        Modulator::with_source(TupleSource::Asymmetric {
+            up,
+            down,
+            start: None,
+        })
     }
 
     /// Modulator reading tuples from the daemon-fed kernel buffer.
     pub fn from_buffer(buf: TupleBuffer) -> Self {
-        Modulator {
-            source: TupleSource::Buffer {
-                buf,
-                current: None,
-                until: SimTime::ZERO,
-                popped: 0,
-                starved: false,
-                backoff_ns: STARVE_BACKOFF_INITIAL_NS,
-            },
-            clock: TickClock::netbsd(),
-            compensation_vb: 0.0,
-            bottleneck_free: SimTime::ZERO,
-            held: BinaryHeap::new(),
-            last_due: [SimTime::ZERO; 2],
-            seq: 0,
-            stats: ModStats::default(),
-            fidelity: FidelityCollector::new(),
-            flight: None,
-        }
+        Modulator::with_source(TupleSource::Buffer {
+            buf,
+            current: None,
+            until: SimTime::ZERO,
+            popped: 0,
+            starved: false,
+            backoff_ns: STARVE_BACKOFF_INITIAL_NS,
+        })
     }
 
     /// Use a specific scheduling clock (default: the 10 ms NetBSD tick).
     pub fn with_clock(mut self, clock: TickClock) -> Self {
         self.clock = clock;
+        // Re-bucket the calendar queue to the new tick (construction
+        // time only: the queue is still empty).
+        if let HoldQueue::Wheel(q) = &self.held {
+            if q.is_empty() {
+                self.held =
+                    HoldQueue::Wheel(Box::new(CalendarQueue::new(hold_tick_ns(&self.clock))));
+            }
+        }
+        self
+    }
+
+    /// Schedule holds on the original binary heap instead of the
+    /// calendar queue. The two produce bit-identical release schedules;
+    /// the heap survives as the reference implementation the
+    /// equivalence proptests compare against.
+    pub fn with_heap_scheduler(mut self) -> Self {
+        assert!(
+            self.held.is_empty(),
+            "switch schedulers before offering packets"
+        );
+        self.held = HoldQueue::Heap(BinaryHeap::new());
         self
     }
 
@@ -278,6 +377,7 @@ impl Modulator {
             }
             TupleSource::Buffer { .. } => {}
         }
+        self.window = [None; 2];
     }
 
     /// Counters.
@@ -296,15 +396,63 @@ impl Modulator {
         self.held.len()
     }
 
+    /// Calendar-queue usage counters (all zero under the reference heap
+    /// scheduler). Virtual-time deterministic.
+    pub fn sched_stats(&self) -> WheelStats {
+        match &self.held {
+            HoldQueue::Wheel(q) => q.stats(),
+            HoldQueue::Heap(_) => WheelStats::default(),
+        }
+    }
+
+    /// Offer a batch of same-direction frames that all arrived at `now`
+    /// — the per-tick entry point, equivalent to calling
+    /// [`offer`](LinkShim::offer) per frame (same verdicts, same RNG
+    /// draws, same counters) but without a verdict round-trip each
+    /// time: pass-throughs are appended to `out` as immediate releases
+    /// in offer order, holds enter the delay queue, drops are counted
+    /// in [`stats`](Modulator::stats).
+    pub fn offer_batch(
+        &mut self,
+        dir: Direction,
+        frames: impl IntoIterator<Item = Vec<u8>>,
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut Vec<ShimRelease>,
+    ) {
+        for bytes in frames {
+            if let ShimVerdict::Pass(bytes) = self.offer(dir, bytes, now, rng) {
+                out.push(ShimRelease { dir, bytes });
+            }
+        }
+    }
+
     fn params_at(&mut self, dir: Direction, now: SimTime) -> Option<QualityTuple> {
+        let dir_idx = match dir {
+            Direction::Outbound => 0,
+            Direction::Inbound => 1,
+        };
         match &mut self.source {
             TupleSource::Asymmetric { up, down, start } => {
                 let s = *start.get_or_insert(now);
+                let elapsed = now.since(s);
+                if let Some(w) = &self.window[dir_idx] {
+                    let e = elapsed.as_nanos();
+                    if w.from_ns <= e && e < w.until_ns {
+                        return Some(w.tuple);
+                    }
+                }
                 let trace = match dir {
                     Direction::Outbound => up,
                     Direction::Inbound => down,
                 };
-                trace.at_clamped(now.since(s)).copied()
+                let (tuple, from_ns, until_ns) = trace.window_at(elapsed, false)?;
+                self.window[dir_idx] = Some(TupleWindow {
+                    tuple,
+                    from_ns,
+                    until_ns,
+                });
+                Some(tuple)
             }
             TupleSource::Trace {
                 replay,
@@ -313,11 +461,20 @@ impl Modulator {
             } => {
                 let s = *start.get_or_insert(now);
                 let elapsed = now.since(s);
-                if *looping {
-                    replay.at(elapsed).copied()
-                } else {
-                    replay.at_clamped(elapsed).copied()
+                // Both directions share one trace: cache in slot 0.
+                if let Some(w) = &self.window[0] {
+                    let e = elapsed.as_nanos();
+                    if w.from_ns <= e && e < w.until_ns {
+                        return Some(w.tuple);
+                    }
                 }
+                let (tuple, from_ns, until_ns) = replay.window_at(elapsed, *looping)?;
+                self.window[0] = Some(TupleWindow {
+                    tuple,
+                    from_ns,
+                    until_ns,
+                });
+                Some(tuple)
             }
             TupleSource::Buffer {
                 buf,
@@ -541,18 +698,23 @@ impl LinkShim for Modulator {
     }
 
     fn next_wakeup(&self) -> Option<SimTime> {
-        self.held.peek().map(|p| p.due)
+        self.held.next_due()
     }
 
-    fn collect_due(&mut self, now: SimTime, _rng: &mut SimRng) -> Vec<ShimRelease> {
+    fn collect_due(&mut self, now: SimTime, rng: &mut SimRng) -> Vec<ShimRelease> {
         let mut out = Vec::new();
-        // Pop-first rather than peek-then-pop: the not-yet-due head is
-        // pushed back, so there is no panicking unwrap on the hot path.
-        while let Some(p) = self.held.pop() {
-            if p.due > now {
-                self.held.push(p);
-                break;
-            }
+        self.collect_due_into(now, rng, &mut out);
+        out
+    }
+
+    fn collect_due_into(&mut self, now: SimTime, _rng: &mut SimRng, out: &mut Vec<ShimRelease>) {
+        // Drain in one batch (wholesale-sorted buckets on the wheel
+        // path), then account each release in `(due, seq)` order — the
+        // same per-packet side-effect sequence the heap path produces.
+        let mut due = std::mem::take(&mut self.release_scratch);
+        due.clear();
+        self.held.drain_due_into(now, &mut due);
+        for p in due.drain(..) {
             // Released at `now`: positive error = held past the intended
             // time (quantization or a late wakeup), deadline missed when
             // the quantized due tick itself has already passed.
@@ -579,7 +741,7 @@ impl LinkShim for Modulator {
                 bytes: p.bytes,
             });
         }
-        out
+        self.release_scratch = due;
     }
 }
 

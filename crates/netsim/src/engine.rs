@@ -5,7 +5,13 @@ use crate::link::{Link, LinkId, LinkParams, LinkStats};
 use crate::node::{Context, FrameHook, Node, PortBinding};
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use std::collections::{BinaryHeap, HashMap};
+use crate::wheel::{CalendarQueue, WheelStats};
+use std::collections::HashMap;
+
+/// Event-queue bucket width: ~1 ms (power of two so the divide is a
+/// shift). Quantization affects only where the calendar queue files an
+/// event, never dispatch order, which stays exact `(time, seq)`.
+const QUEUE_TICK_NS: u64 = 1 << 20;
 
 /// A deterministic discrete-event network simulator.
 ///
@@ -15,7 +21,7 @@ use std::collections::{BinaryHeap, HashMap};
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    queue: CalendarQueue<Scheduled>,
     nodes: Vec<Option<Box<dyn Node>>>,
     links: Vec<Link>,
     ports: HashMap<(NodeId, PortId), PortBinding>,
@@ -32,7 +38,7 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(QUEUE_TICK_NS),
             nodes: Vec::new(),
             links: Vec::new(),
             ports: HashMap::new(),
@@ -71,6 +77,12 @@ impl Simulator {
     /// regardless of wall-clock interleaving.
     pub fn peak_queue_depth(&self) -> usize {
         self.queue_peak
+    }
+
+    /// Calendar-queue usage counters (pushes, overflow pushes, buckets
+    /// opened/drained, peak length). Virtual-time deterministic.
+    pub fn queue_stats(&self) -> WheelStats {
+        self.queue.stats()
     }
 
     /// Fork an independent RNG stream (e.g. to pre-generate workloads).
@@ -182,7 +194,7 @@ impl Simulator {
 
     /// Process the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop_next() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
@@ -228,8 +240,8 @@ impl Simulator {
     /// Run until simulated time reaches `deadline` (events at exactly
     /// `deadline` are processed) or the queue empties.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.time > deadline {
+        while let Some(due) = self.queue.next_due_ns() {
+            if due > deadline.as_nanos() {
                 break;
             }
             self.step();

@@ -78,7 +78,18 @@ pub(crate) struct Scheduled {
     pub kind: EventKind,
 }
 
+impl crate::wheel::WheelItem for Scheduled {
+    fn due_ns(&self) -> u64 {
+        self.time.as_nanos()
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 // Order by (time, seq) ascending; BinaryHeap is a max-heap so invert.
+// Kept alongside the calendar queue as the reference ordering (tests
+// compare wheel pop order against this).
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq

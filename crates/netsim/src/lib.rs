@@ -52,6 +52,7 @@ mod node;
 mod rng;
 pub mod stats;
 mod time;
+pub mod wheel;
 
 pub use engine::Simulator;
 pub use event::{EventKind, Frame, NodeId, PortId};
@@ -59,3 +60,4 @@ pub use link::{LinkId, LinkParams, LinkStats};
 pub use node::{Context, FrameHook, Node};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use wheel::{CalendarQueue, WheelItem, WheelStats};

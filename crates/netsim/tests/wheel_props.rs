@@ -1,0 +1,146 @@
+//! Property tests pitting [`CalendarQueue`] against the reference
+//! binary-heap scheduler: both must yield the exact same `(due, seq)`
+//! delivery sequence for arbitrary push/drain/pop interleavings —
+//! including clock jumps far past the wheel horizon, stalls (repeated
+//! drains at a frozen clock), and drains at `u64::MAX`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use netsim::{CalendarQueue, WheelItem};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Item {
+    due: u64,
+    seq: u64,
+}
+
+impl WheelItem for Item {
+    fn due_ns(&self) -> u64 {
+        self.due
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Reference scheduler: a plain min-heap on `(due, seq)`.
+#[derive(Default)]
+struct HeapRef {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl HeapRef {
+    fn push(&mut self, it: Item) {
+        self.heap.push(Reverse((it.due, it.seq)));
+    }
+    fn drain_due(&mut self, now: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(&Reverse(k)) = self.heap.peek() {
+            if k.0 > now {
+                break;
+            }
+            self.heap.pop();
+            out.push(k);
+        }
+        out
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(k)| k)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push a batch of items due `delta_ns` after the current clock,
+    /// fanned out over `spread_ns`.
+    Push {
+        count: u8,
+        delta_ns: u64,
+        spread_ns: u64,
+    },
+    /// Advance the clock by `gap_ns` (0 = stall) and drain everything
+    /// due.
+    Drain { gap_ns: u64 },
+    /// Pop up to `n` single items without moving the clock.
+    Pop { n: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let tick = 1u64 << 20; // QUEUE_TICK_NS
+    prop_oneof![
+        // In-window, far-overflow, and straddling pushes.
+        (1u8..8, 0u64..tick * 64, 0u64..tick * 8).prop_map(|(count, delta_ns, spread_ns)| {
+            Op::Push {
+                count,
+                delta_ns,
+                spread_ns,
+            }
+        }),
+        (1u8..4, tick * 4000..tick * 1_000_000, 0u64..tick * 100_000).prop_map(
+            |(count, delta_ns, spread_ns)| Op::Push {
+                count,
+                delta_ns,
+                spread_ns,
+            }
+        ),
+        // Stalls, tick-scale steps, and clock jumps past the horizon.
+        prop_oneof![Just(0u64), 1u64..tick * 2, tick * 4096..tick * 2_000_000,]
+            .prop_map(|gap_ns| Op::Drain { gap_ns }),
+        (1u8..6).prop_map(|n| Op::Pop { n }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The calendar queue and the reference heap deliver identical
+    /// `(due, seq)` sequences at identical drain instants.
+    #[test]
+    fn wheel_matches_heap_for_arbitrary_schedules(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        seed_due in 0u64..u64::MAX / 2,
+    ) {
+        let tick = 1u64 << 20;
+        let mut wheel: CalendarQueue<Item> = CalendarQueue::new(tick);
+        let mut heap = HeapRef::default();
+        let mut now = seed_due;
+        let mut seq = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push { count, delta_ns, spread_ns } => {
+                    for i in 0..count as u64 {
+                        let due = now
+                            .saturating_add(delta_ns)
+                            .saturating_add(i * (spread_ns / count as u64));
+                        let it = Item { due, seq };
+                        seq += 1;
+                        wheel.push(it);
+                        heap.push(it);
+                    }
+                }
+                Op::Drain { gap_ns } => {
+                    now = now.saturating_add(gap_ns);
+                    let mut got = Vec::new();
+                    wheel.drain_due_into(now, &mut got);
+                    let got: Vec<_> = got.iter().map(|it| (it.due, it.seq)).collect();
+                    prop_assert_eq!(got, heap.drain_due(now));
+                }
+                Op::Pop { n } => {
+                    for _ in 0..n {
+                        prop_assert_eq!(wheel.next_due_ns(), heap.heap.peek().map(|r| r.0 .0));
+                        prop_assert_eq!(wheel.pop_next().map(|it| (it.due, it.seq)), heap.pop());
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.heap.len());
+        }
+        // Final total drain must empty both in the same order.
+        let mut got = Vec::new();
+        wheel.drain_due_into(u64::MAX, &mut got);
+        let got: Vec<_> = got.iter().map(|it| (it.due, it.seq)).collect();
+        prop_assert_eq!(got, heap.drain_due(u64::MAX));
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -72,6 +72,14 @@ pub trait LinkShim: Any + Send {
 
     /// Remove and return every frame due at or before `now`, in order.
     fn collect_due(&mut self, now: SimTime, rng: &mut SimRng) -> Vec<ShimRelease>;
+
+    /// Like [`collect_due`](LinkShim::collect_due) but appending into a
+    /// caller-owned buffer, so a host servicing its shim timer every
+    /// tick can reuse one allocation. The default forwards to
+    /// `collect_due`; shims with a batch-drain fast path override it.
+    fn collect_due_into(&mut self, now: SimTime, rng: &mut SimRng, out: &mut Vec<ShimRelease>) {
+        out.extend(self.collect_due(now, rng));
+    }
 }
 
 /// A shim that passes everything through — useful as a baseline and in

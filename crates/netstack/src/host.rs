@@ -5,7 +5,7 @@
 
 use crate::app::{App, AppEvent, AppId};
 use crate::config::HostConfig;
-use crate::hooks::{DeviceTap, Direction, LinkShim, ShimVerdict};
+use crate::hooks::{DeviceTap, Direction, LinkShim, ShimRelease, ShimVerdict};
 use crate::tcp::{ConnEvent, EngineOut, TcpEngine, TcpHandle, TcpState};
 use netsim::{Context, EventKind, Frame, Node, PortId, SimDuration, SimRng, SimTime};
 use packet::{EtherHeader, EtherType, IcmpMessage, IpProtocol, Ipv4Header, MacAddr, UdpHeader};
@@ -74,6 +74,9 @@ pub struct HostCore {
     frags: HashMap<(Ipv4Addr, u16, u8), FragBuf>,
     tcp_timer_armed: Option<SimTime>,
     shim_timer_armed: Option<SimTime>,
+    /// Reused release buffer for shim-timer service (one allocation for
+    /// the life of the host instead of one per timer fire).
+    shim_scratch: Vec<ShimRelease>,
     /// Device status poll cadence while a tracer is attached.
     pub poll_interval: SimDuration,
     stats: HostStats,
@@ -100,6 +103,7 @@ impl HostCore {
             frags: HashMap::new(),
             tcp_timer_armed: None,
             shim_timer_armed: None,
+            shim_scratch: Vec::new(),
             poll_interval: SimDuration::from_millis(100),
             stats: HostStats::default(),
         }
@@ -430,17 +434,19 @@ impl HostCore {
         if self.shim.is_none() {
             return;
         }
-        let due = self
-            .shim
+        let mut due = std::mem::take(&mut self.shim_scratch);
+        due.clear();
+        self.shim
             .as_mut()
             .expect("checked above")
-            .collect_due(ctx.now(), ctx.rng());
-        for rel in due {
+            .collect_due_into(ctx.now(), ctx.rng(), &mut due);
+        for rel in due.drain(..) {
             match rel.dir {
                 Direction::Outbound => self.device_tx(rel.bytes, ctx),
                 Direction::Inbound => self.ip_input(&rel.bytes, ctx),
             }
         }
+        self.shim_scratch = due;
     }
 
     fn tap_poll(&mut self, ctx: &mut Context<'_>) {

@@ -522,6 +522,163 @@ impl TraceDecoder {
     }
 }
 
+/// How far the carry buffer is topped up per attempt while completing
+/// an item that straddles a chunk boundary. Records are at most ~41
+/// wire bytes, so one step almost always completes a record; headers
+/// (variable-length strings) may take a few.
+const CARRY_STEP: usize = 64;
+
+/// One step of chunk decoding: a parsed item (header → `None`, record →
+/// `Some`) plus the bytes it consumed, or a request for more input.
+enum Parsed {
+    Item(Option<TraceRecord>, usize),
+    NeedMore,
+}
+
+/// Zero-copy incremental decoder for the binary trace format.
+///
+/// Where [`TraceDecoder`] copies every fed byte into an internal buffer
+/// before parsing, this decoder parses records *directly from the
+/// caller's chunk slice*. Only the bytes of an item that straddles a
+/// chunk boundary are copied into a small carry buffer (bounded by one
+/// record — or the header — plus a small top-up step); everything else is
+/// decoded in place. That removes the per-chunk memcpy from the
+/// distillation ingest path.
+///
+/// Decoded records are appended to a caller-owned `Vec`, so a streaming
+/// reader can reuse one allocation across the whole file.
+///
+/// Malformed input is a hard error; for the fault-injection quarantine
+/// mode, use [`TraceDecoder`].
+#[derive(Debug, Default)]
+pub struct ChunkDecoder {
+    header: Option<TraceHeader>,
+    remaining: u32,
+    carry: Vec<u8>,
+}
+
+impl ChunkDecoder {
+    /// A decoder with no bytes seen yet.
+    pub fn new() -> Self {
+        ChunkDecoder::default()
+    }
+
+    /// The file header, once enough bytes have been decoded.
+    pub fn header(&self) -> Option<&TraceHeader> {
+        self.header.as_ref()
+    }
+
+    /// Bytes held over from the last chunk (an incomplete item).
+    pub fn buffered(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Have all records declared by the header been decoded?
+    pub fn is_complete(&self) -> bool {
+        self.header.is_some() && self.remaining == 0
+    }
+
+    /// Declare end-of-input: errors with [`FormatError::Truncated`] if
+    /// the header or any declared record is still missing.
+    pub fn finish(&self) -> Result<(), FormatError> {
+        if self.is_complete() {
+            Ok(())
+        } else {
+            Err(FormatError::Truncated)
+        }
+    }
+
+    /// Decode every complete record in `chunk` (plus whatever the carry
+    /// buffer was holding), appending to `out`. The trailing incomplete
+    /// item, if any, is carried into the next call.
+    pub fn decode_chunk(
+        &mut self,
+        chunk: &[u8],
+        out: &mut Vec<TraceRecord>,
+    ) -> Result<(), FormatError> {
+        let mut rest = chunk;
+        if !self.carry.is_empty() {
+            // Finish the straddling item: top the carry up in small
+            // steps until it parses, then drain any complete items the
+            // top-ups brought along.
+            let mut carry = std::mem::take(&mut self.carry);
+            loop {
+                if self.is_complete() {
+                    carry.clear();
+                    break;
+                }
+                match self.parse_step(&carry)? {
+                    Parsed::Item(rec, used) => {
+                        if let Some(r) = rec {
+                            out.push(r);
+                        }
+                        carry.drain(..used);
+                        if carry.is_empty() {
+                            break;
+                        }
+                    }
+                    Parsed::NeedMore => {
+                        if rest.is_empty() {
+                            break;
+                        }
+                        let take = rest.len().min(CARRY_STEP);
+                        carry.extend_from_slice(&rest[..take]);
+                        rest = &rest[take..];
+                    }
+                }
+            }
+            self.carry = carry;
+            if !self.carry.is_empty() {
+                debug_assert!(rest.is_empty(), "carry persists only when input ran out");
+                return Ok(());
+            }
+        }
+        // Fast path: parse in place from the borrowed chunk.
+        let mut pos = 0;
+        while !self.is_complete() {
+            match self.parse_step(&rest[pos..])? {
+                Parsed::Item(rec, used) => {
+                    if let Some(r) = rec {
+                        out.push(r);
+                    }
+                    pos += used;
+                }
+                Parsed::NeedMore => {
+                    self.carry.extend_from_slice(&rest[pos..]);
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Try to parse one item (header first, then records) from the
+    /// front of `buf`.
+    fn parse_step(&mut self, buf: &[u8]) -> Result<Parsed, FormatError> {
+        let mut r = Reader::new(buf);
+        if self.header.is_none() {
+            return match read_trace_header(&mut r) {
+                Ok(h) => {
+                    self.remaining = h.count;
+                    self.header = Some(h);
+                    Ok(Parsed::Item(None, r.pos))
+                }
+                Err(FormatError::Truncated) => Ok(Parsed::NeedMore),
+                Err(e) => Err(e),
+            };
+        }
+        debug_assert!(self.remaining > 0, "callers check is_complete first");
+        match read_record(&mut r) {
+            Ok(rec) => {
+                self.remaining -= 1;
+                Ok(Parsed::Item(Some(rec), r.pos))
+            }
+            Err(FormatError::Truncated) => Ok(Parsed::NeedMore),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Encode a replay trace (the list S of quality tuples) to bytes.
 pub fn encode_replay(replay: &ReplayTrace) -> Vec<u8> {
     let mut w = Writer::new();
@@ -749,6 +906,68 @@ mod tests {
         let mut dec = TraceDecoder::new();
         dec.feed(b"XXXX not a trace");
         assert_eq!(dec.next_record(), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn chunk_decoder_matches_trace_decoder_at_every_chunk_size() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        for chunk_size in [1usize, 2, 3, 7, 16, 64, 1024, bytes.len()] {
+            let mut dec = ChunkDecoder::new();
+            let mut records = Vec::new();
+            for chunk in bytes.chunks(chunk_size) {
+                dec.decode_chunk(chunk, &mut records).unwrap();
+            }
+            dec.finish().unwrap();
+            assert_eq!(records, t.records, "chunk size {chunk_size}");
+            let h = dec.header().unwrap();
+            assert_eq!((h.host.as_str(), h.scenario.as_str()), ("thinkpad", "wean"));
+        }
+    }
+
+    #[test]
+    fn chunk_decoder_carry_stays_bounded() {
+        let mut t = Trace::new("h", "s", 1);
+        for i in 0..10_000u64 {
+            t.records.push(TraceRecord::Device(DeviceRecord {
+                timestamp_ns: i,
+                signal: 1,
+                quality: 2,
+                silence: 3,
+            }));
+        }
+        let bytes = encode_trace(&t);
+        let mut dec = ChunkDecoder::new();
+        let mut records = Vec::new();
+        let mut peak = 0;
+        for chunk in bytes.chunks(256) {
+            dec.decode_chunk(chunk, &mut records).unwrap();
+            peak = peak.max(dec.buffered());
+        }
+        dec.finish().unwrap();
+        assert_eq!(records.len(), 10_000);
+        // Only the straddling item is ever copied.
+        assert!(peak < 64 + CARRY_STEP, "peak carry {peak}");
+    }
+
+    #[test]
+    fn chunk_decoder_truncation_and_bad_magic() {
+        let bytes = encode_trace(&sample());
+        let mut dec = ChunkDecoder::new();
+        let mut records = Vec::new();
+        let cut = bytes.len() - 3;
+        dec.decode_chunk(&bytes[..cut], &mut records).unwrap();
+        assert!(!dec.is_complete());
+        assert_eq!(dec.finish(), Err(FormatError::Truncated));
+        dec.decode_chunk(&bytes[cut..], &mut records).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(records, sample().records);
+
+        let mut bad = ChunkDecoder::new();
+        assert_eq!(
+            bad.decode_chunk(b"XXXX not a trace", &mut Vec::new()),
+            Err(FormatError::BadMagic)
+        );
     }
 
     #[test]

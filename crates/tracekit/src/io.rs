@@ -10,11 +10,13 @@
 //! not scale).
 
 use crate::format::{
-    decode_replay, encode_record, encode_replay, encode_trace_header, TraceDecoder, TraceHeader,
+    decode_replay, encode_record, encode_replay, encode_trace_header, ChunkDecoder, TraceDecoder,
+    TraceHeader,
 };
 use crate::record::{Trace, TraceRecord};
 use crate::replay::ReplayTrace;
 use crate::stream::{RecordStream, StreamError};
+use std::collections::VecDeque;
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -91,14 +93,29 @@ impl ChunkedTraceWriter {
     }
 }
 
+// Which decoder a `TraceFileStream` runs on. The zero-copy
+// `ChunkDecoder` is the default; quarantine mode needs the buffering
+// `TraceDecoder` because resynchronizing after a malformed record can
+// scan arbitrarily far across chunk boundaries.
+#[derive(Debug)]
+enum FileDecoder {
+    Chunk(ChunkDecoder),
+    Quarantine(TraceDecoder),
+}
+
 /// Streaming reader for binary trace files: a [`RecordStream`] that
-/// reads the file in fixed-size chunks through a [`TraceDecoder`], so
-/// memory stays bounded by the chunk size regardless of trace length.
+/// reads the file in fixed-size chunks through a zero-copy
+/// [`ChunkDecoder`], so memory stays bounded by the chunk size
+/// regardless of trace length and only record bytes straddling a chunk
+/// boundary are ever copied. [`quarantining`](TraceFileStream::quarantining)
+/// switches to the buffering [`TraceDecoder`] path.
 #[derive(Debug)]
 pub struct TraceFileStream {
     file: fs::File,
-    decoder: TraceDecoder,
+    decoder: FileDecoder,
     chunk: Vec<u8>,
+    ready: VecDeque<TraceRecord>,
+    batch: Vec<TraceRecord>,
     eof: bool,
 }
 
@@ -118,14 +135,16 @@ impl TraceFileStream {
         }
         Ok(TraceFileStream {
             file: fs::File::open(path)?,
-            decoder: TraceDecoder::new(),
+            decoder: FileDecoder::Chunk(ChunkDecoder::new()),
             chunk: vec![0; chunk.max(1)],
+            ready: VecDeque::new(),
+            batch: Vec::new(),
             eof: false,
         })
     }
 
-    // Read one more chunk into the decoder; false at end of file.
-    fn fill(&mut self) -> io::Result<bool> {
+    // Read and decode one more chunk; false at end of file.
+    fn fill(&mut self) -> Result<bool, StreamError> {
         if self.eof {
             return Ok(false);
         }
@@ -134,60 +153,110 @@ impl TraceFileStream {
             self.eof = true;
             return Ok(false);
         }
-        self.decoder.feed(&self.chunk[..n]);
+        match &mut self.decoder {
+            FileDecoder::Chunk(d) => {
+                let mut batch = std::mem::take(&mut self.batch);
+                let res = d.decode_chunk(&self.chunk[..n], &mut batch);
+                self.ready.extend(batch.drain(..));
+                self.batch = batch;
+                res?;
+            }
+            FileDecoder::Quarantine(d) => d.feed(&self.chunk[..n]),
+        }
         Ok(true)
     }
 
     /// The trace header (reads just enough of the file to decode it).
     pub fn header(&mut self) -> Result<&TraceHeader, StreamError> {
-        while !self.decoder.try_parse_header()? {
+        loop {
+            let parsed = match &mut self.decoder {
+                FileDecoder::Chunk(d) => d.header().is_some(),
+                FileDecoder::Quarantine(d) => d.try_parse_header()?,
+            };
+            if parsed {
+                break;
+            }
             if !self.fill()? {
                 return Err(crate::format::FormatError::Truncated.into());
             }
         }
-        match self.decoder.header() {
+        let header = match &self.decoder {
+            FileDecoder::Chunk(d) => d.header(),
+            FileDecoder::Quarantine(d) => d.header(),
+        };
+        match header {
             Some(h) => Ok(h),
             None => Err(crate::format::FormatError::Truncated.into()),
         }
     }
 
     /// Bytes currently buffered but not yet decoded (diagnostics; stays
-    /// bounded by chunk size + one record).
+    /// bounded by chunk size + one record on the quarantine path, and by
+    /// one straddling item on the default path).
     pub fn buffered(&self) -> usize {
-        self.decoder.buffered()
+        match &self.decoder {
+            FileDecoder::Chunk(d) => d.buffered(),
+            FileDecoder::Quarantine(d) => d.buffered(),
+        }
     }
 
     /// Switch the underlying decoder into quarantine mode: malformed
     /// record bodies are skipped and counted instead of erroring the
-    /// stream (see [`TraceDecoder::quarantining`]).
+    /// stream (see [`TraceDecoder::quarantining`]). Must be called
+    /// before any reads — it is a builder-style knob, not a mid-stream
+    /// mode switch.
     pub fn quarantining(mut self) -> Self {
-        self.decoder = std::mem::take(&mut self.decoder).quarantining();
+        if let FileDecoder::Chunk(d) = &self.decoder {
+            assert!(
+                d.header().is_none() && d.buffered() == 0 && self.ready.is_empty(),
+                "quarantining() must be applied before reading from the stream"
+            );
+            self.decoder = FileDecoder::Quarantine(TraceDecoder::new().quarantining());
+        }
         self
     }
 
     /// Malformed-record runs quarantined so far (quarantine mode only).
     pub fn quarantined_records(&self) -> u64 {
-        self.decoder.quarantined_records()
+        match &self.decoder {
+            FileDecoder::Chunk(_) => 0,
+            FileDecoder::Quarantine(d) => d.quarantined_records(),
+        }
     }
 
     /// Bytes skipped while resynchronizing (quarantine mode only).
     pub fn quarantined_bytes(&self) -> u64 {
-        self.decoder.quarantined_bytes()
+        match &self.decoder {
+            FileDecoder::Chunk(_) => 0,
+            FileDecoder::Quarantine(d) => d.quarantined_bytes(),
+        }
     }
 }
 
 impl RecordStream for TraceFileStream {
     fn next_record(&mut self) -> Result<Option<TraceRecord>, StreamError> {
         loop {
-            if let Some(rec) = self.decoder.next_record()? {
+            if let Some(rec) = self.ready.pop_front() {
                 return Ok(Some(rec));
             }
-            if self.decoder.is_complete() {
+            if let FileDecoder::Quarantine(d) = &mut self.decoder {
+                if let Some(rec) = d.next_record()? {
+                    return Ok(Some(rec));
+                }
+            }
+            let complete = match &self.decoder {
+                FileDecoder::Chunk(d) => d.is_complete(),
+                FileDecoder::Quarantine(d) => d.is_complete(),
+            };
+            if complete {
                 return Ok(None);
             }
             if !self.fill()? {
                 // No more bytes: any missing record is a real truncation.
-                self.decoder.finish()?;
+                match &mut self.decoder {
+                    FileDecoder::Chunk(d) => d.finish()?,
+                    FileDecoder::Quarantine(d) => d.finish()?,
+                }
                 return Ok(None);
             }
         }

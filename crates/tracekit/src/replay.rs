@@ -159,6 +159,49 @@ impl ReplayTrace {
         self.at(elapsed)
     }
 
+    /// Like [`at`](ReplayTrace::at) (when `looping`) or
+    /// [`at_clamped`](ReplayTrace::at_clamped) (when not), but also
+    /// returns the half-open window `[from_ns, until_ns)` of elapsed
+    /// time over which the returned tuple stays in effect — so hot
+    /// paths can cache one lookup per interval instead of scanning the
+    /// tuple list per packet. `until_ns == u64::MAX` means "forever"
+    /// (the clamped final tuple, or a zero-duration degenerate trace).
+    pub fn window_at(
+        &self,
+        elapsed: SimDuration,
+        looping: bool,
+    ) -> Option<(QualityTuple, u64, u64)> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let total = self.total_duration().as_nanos();
+        if total == 0 {
+            // Degenerate all-zero-duration trace: mirror `at` (first
+            // tuple) and `at_clamped` (last tuple, since elapsed ≥ 0 =
+            // total).
+            let t = if looping {
+                self.tuples[0]
+            } else {
+                *self.tuples.last().expect("non-empty")
+            };
+            return Some((t, 0, u64::MAX));
+        }
+        let e = elapsed.as_nanos();
+        if !looping && e >= total {
+            return Some((*self.tuples.last().expect("non-empty"), total, u64::MAX));
+        }
+        let pos = e % total;
+        let base = e - pos; // start of the current cycle
+        let mut cum = 0u64;
+        for t in &self.tuples {
+            if pos < cum + t.duration_ns {
+                return Some((*t, base + cum, base + cum + t.duration_ns));
+            }
+            cum += t.duration_ns;
+        }
+        unreachable!("pos < total, so some tuple covers it")
+    }
+
     /// All tuples valid?
     pub fn is_valid(&self) -> bool {
         !self.tuples.is_empty() && self.tuples.iter().all(QualityTuple::is_valid)
@@ -307,6 +350,46 @@ mod tests {
             t.at(SimDuration::from_secs(120)).unwrap().latency_ns,
             2_000_000
         );
+    }
+
+    #[test]
+    fn window_at_agrees_with_scans_and_bounds_are_tight() {
+        let t = trace(); // durations 1000 + 3000
+        for looping in [true, false] {
+            for e in [0u64, 999, 1000, 3999, 4000, 8500, 123_456] {
+                let elapsed = SimDuration::from_nanos(e);
+                let (tuple, from, until) = t.window_at(elapsed, looping).unwrap();
+                let expect = if looping {
+                    *t.at(elapsed).unwrap()
+                } else {
+                    *t.at_clamped(elapsed).unwrap()
+                };
+                assert_eq!(tuple, expect, "e={e} looping={looping}");
+                assert!(from <= e && e < until, "e={e} window [{from},{until})");
+                // Every point of the window resolves to the same tuple.
+                let probe = |x: u64| {
+                    let d = SimDuration::from_nanos(x);
+                    if looping {
+                        *t.at(d).unwrap()
+                    } else {
+                        *t.at_clamped(d).unwrap()
+                    }
+                };
+                assert_eq!(probe(from), tuple);
+                if until != u64::MAX {
+                    assert_eq!(probe(until - 1), tuple);
+                    if looping {
+                        // Looping windows are maximal: the tuple
+                        // changes exactly at `until`. (Clamped lookups
+                        // may split the final tuple's infinite span.)
+                        assert_ne!(probe(until).latency_ns, tuple.latency_ns);
+                    }
+                }
+            }
+        }
+        assert!(ReplayTrace::new("e")
+            .window_at(SimDuration::ZERO, true)
+            .is_none());
     }
 
     #[test]

@@ -89,7 +89,10 @@ macro_rules! impl_uniform_range_int {
                 // modulo bias over a u64 source is negligible for the
                 // spans used in simulation (≪ 2^64).
                 let v = (rng.next_u64() as u128) % span;
-                (range.start as u128 + v) as $t
+                // wrapping_add: a negative signed `start` sign-extends to
+                // a huge u128, and adding the offset must wrap back around
+                // (two's complement) rather than trip debug overflow checks.
+                (range.start as u128).wrapping_add(v) as $t
             }
         }
     )*};
