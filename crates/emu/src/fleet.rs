@@ -1,0 +1,744 @@
+//! Fleet orchestration: N mobile clients, one virtual-time engine per
+//! shard, byte-identical output at any shard count.
+//!
+//! A [`FleetPlan`] describes a fleet — N clients all walking one
+//! scenario, each with its *own* synthesized channel (per-client seeds
+//! drive [`Scenario::model`], so the fleet is N distinct realizations
+//! of the scenario's quality envelope, not N copies of one curve).
+//! [`fleet_run`] shards the clients into contiguous ranges, runs one
+//! [`FleetSim`] engine per shard as a [`TrialPlan`] cell (reusing the
+//! plan-order reassembly machinery, so shard outputs merge
+//! deterministically no matter how workers interleave), and
+//! concatenates the per-client [`RunManifest`]s in client order.
+//!
+//! **Shard invariance.** A client's entire simulation depends only on
+//! plan parameters and its own client index: its channel and traffic
+//! RNG streams are seeded per client, its modulator is private, and the
+//! shared infrastructure it traverses — base stations and the wired
+//! core — is a [`StationTable`] of *static* load factors computed from
+//! the full fleet layout rather than runtime queue state. Cross-client
+//! coupling is therefore commutative (station counters sum), and the
+//! merged output is byte-identical at 1, 2, or 8 shards. The
+//! determinism proptest in `tests/fleet_determinism.rs` holds the
+//! runner to exactly that.
+//!
+//! **Traffic model.** Each client probes like the paper's collection
+//! daemon: alternating 106- and 542-byte pings on a fixed cadence
+//! (phase-staggered per client). The probe passes the client's
+//! modulation layer outbound (trace-driven delay/loss), crosses its
+//! base station and the wired core to a server, and the echo returns
+//! through the station and the modulation layer inbound; the completed
+//! round trip lands in a per-client RTT histogram.
+
+use crate::plan::{CellKind, Exec, TrialCell, TrialPlan};
+use crate::runs::RunConfig;
+use faultkit::{FaultCounters, FaultEvent, FaultInjector, FaultPlan};
+use modulate::{Modulator, TickClock};
+use netsim::fleet::{FleetEvent, FleetSim, PacketStore, StationTable};
+use netsim::{SimDuration, SimRng, SimTime};
+use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
+use obs::fleet::FleetReport;
+use obs::{FidelityThresholds, Hist, RunManifest, RunnerSection};
+use tracekit::{QualityTuple, ReplayTrace};
+use wavelan::{ChannelModel, Scenario};
+
+/// Small probe wire size (the paper's short ping).
+const PROBE_SMALL: u32 = 106;
+/// Large probe wire size (the paper's long ping).
+const PROBE_LARGE: u32 = 542;
+/// One-way wired-core latency between a base station and the server.
+const WIRED_ONEWAY_NS: u64 = 250_000;
+/// Base per-byte service cost through a station's wired uplink
+/// (100 Mb/s ⇒ 80 ns/byte), inflated by the station's load factor.
+const CORE_NS_PER_BYTE: f64 = 80.0;
+/// Server per-request turnaround (Pentium 90, cf. the testbed).
+const SERVER_CPU_NS: u64 = 350_000;
+/// Per-byte service inflation per additional client on a station.
+const STATION_ALPHA: f64 = 0.02;
+/// Cadence at which each client's channel model is sampled into replay
+/// tuples (the distiller's interval scale).
+const TUPLE_CADENCE_NS: u64 = 2_000_000_000;
+/// Virtual grace past the scenario end for in-flight drains.
+const DRAIN_GRACE_NS: u64 = 10_000_000_000;
+
+/// Seed-purpose tags (disjoint from `runs::seed_for` purposes 1–9).
+const PURPOSE_CHANNEL: u64 = 0x21;
+const PURPOSE_TRAFFIC: u64 = 0x22;
+const PURPOSE_PHASE: u64 = 0x23;
+
+/// FNV-style per-client seed derivation: one independent stream per
+/// `(fleet seed, client, purpose)`, stable across shard layouts.
+fn client_seed(fleet_seed: u64, client: u32, purpose: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ purpose;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h ^= fleet_seed;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h ^= u64::from(client) << 1 | 1;
+    h.wrapping_mul(0x100_0000_01b3)
+}
+
+/// Description of a fleet run.
+#[derive(Clone)]
+pub struct FleetPlan {
+    /// Scenario every client walks (each with its own realization).
+    pub scenario: Scenario,
+    /// Number of clients.
+    pub clients: u32,
+    /// Fleet seed; per-client streams derive from it.
+    pub seed: u64,
+    /// Shard count (contiguous client ranges, one engine each).
+    pub shards: usize,
+    /// Scheduling clock for every client's modulator.
+    pub clock: TickClock,
+    /// Per-client modulation-wheel width (narrow by default: 64 slots
+    /// × the 10 ms tick still covers 640 ms of holds at ~1.5 KiB per
+    /// client instead of ~96 KiB; see `netsim::wheel::SLOTS`).
+    pub wheel_slots: usize,
+    /// Base-station count (clients attach round-robin).
+    pub stations: u32,
+    /// Probe cadence per client.
+    pub probe_interval: SimDuration,
+    /// Override the scenario duration (tests and benches shorten it).
+    pub duration: Option<SimDuration>,
+}
+
+impl FleetPlan {
+    /// A fleet of `clients` walking `scenario` with the defaults: one
+    /// shard, NetBSD 10 ms clock, 64-slot per-client wheels, one
+    /// station per 32 clients, 1 s probe cadence.
+    pub fn new(scenario: Scenario, clients: u32) -> Self {
+        assert!(clients > 0, "a fleet needs at least one client");
+        FleetPlan {
+            scenario,
+            clients,
+            seed: 7,
+            shards: 1,
+            clock: TickClock::netbsd(),
+            wheel_slots: 64,
+            stations: (clients / 32).max(1),
+            probe_interval: SimDuration::from_secs(1),
+            duration: None,
+        }
+    }
+
+    /// Set the fleet seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Override the scenario duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Set the probe cadence.
+    pub fn with_probe_interval(mut self, interval: SimDuration) -> Self {
+        assert!(interval.as_nanos() > 0, "probe interval must be positive");
+        self.probe_interval = interval;
+        self
+    }
+
+    /// Effective duration (override or the scenario's).
+    pub fn duration(&self) -> SimDuration {
+        self.duration.unwrap_or(self.scenario.duration)
+    }
+
+    /// Contiguous near-equal client ranges, one per shard. Contiguity
+    /// is what lets the merged manifest list be a plain concatenation
+    /// in plan order.
+    pub fn shard_ranges(&self) -> Vec<(u32, u32)> {
+        let shards = self.shards.min(self.clients as usize).max(1) as u32;
+        let base = self.clients / shards;
+        let rem = self.clients % shards;
+        let mut ranges = Vec::with_capacity(shards as usize);
+        let mut lo = 0;
+        for s in 0..shards {
+            let hi = lo + base + u64::from(s < rem) as u32;
+            ranges.push((lo, hi));
+            lo = hi;
+        }
+        ranges
+    }
+}
+
+/// Synthesize one client's replay trace: its own realization of the
+/// scenario's channel model, sampled on the tuple cadence. This is the
+/// per-client diversity that makes a fleet meaningful — each client
+/// draws distinct checkpoint offsets and walk jitter from its seed.
+fn client_replay(plan: &FleetPlan, client: u32) -> ReplayTrace {
+    let mut rng = SimRng::seed_from_u64(client_seed(plan.seed, client, PURPOSE_CHANNEL));
+    let mut model = plan.scenario.model(&mut rng);
+    let duration_ns = plan.duration().as_nanos();
+    let mut replay = ReplayTrace::new(&format!("fleet/{}/{client}", plan.scenario.name));
+    let mut t = 0u64;
+    while t < duration_ns {
+        let c = model.sample(SimTime::from_nanos(t), &mut rng);
+        replay.tuples.push(QualityTuple {
+            duration_ns: TUPLE_CADENCE_NS,
+            latency_ns: c.latency.as_nanos(),
+            vb_ns_per_byte: 8e9 / c.bandwidth_bps.max(1) as f64,
+            vr_ns_per_byte: 0.0,
+            loss: c.loss,
+        });
+        t += TUPLE_CADENCE_NS;
+    }
+    replay
+}
+
+/// Fleet event payload.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The client emits its next probe.
+    Probe,
+    /// Service the client's modulation queue (scheduled at its
+    /// earliest due release).
+    ModWake,
+    /// The server's echo arrives back at the client's inbound shim.
+    Return {
+        /// Packet-store row of the probe being echoed.
+        packet: u32,
+    },
+}
+
+/// Per-client simulation state.
+struct ClientState {
+    m: Modulator,
+    rng: SimRng,
+    /// Earliest scheduled `ModWake`, `u64::MAX` when none; dedups the
+    /// wake events (the modulator's `next_wakeup` moves as packets
+    /// arrive).
+    next_wake_ns: u64,
+    small_next: bool,
+    station: u32,
+    probes_sent: u64,
+    completed: u64,
+    lost: u64,
+    rtt_ms: Hist,
+}
+
+/// One shard of a fleet: the clients in `[lo, hi)` plus the fault
+/// configuration, packaged as a [`TrialPlan`] cell payload.
+pub struct FleetShard {
+    plan: FleetPlan,
+    lo: u32,
+    hi: u32,
+    fault: Option<(u64, FaultPlan)>,
+}
+
+/// Everything one shard produced.
+#[derive(Debug)]
+pub struct FleetShardOutcome {
+    /// First client index of the shard (merge-order check).
+    pub first_client: u32,
+    /// Per-client manifests, in client order.
+    pub manifests: Vec<RunManifest>,
+    /// This shard's station traffic counters (summed into the fleet
+    /// table on merge).
+    pub stations: StationTable,
+    /// Events the shard engine dispatched (layout-invariant in sum).
+    pub events_processed: u64,
+    /// Engine queue high-water mark (diagnostic; depends on how
+    /// clients interleave, so never part of deterministic output).
+    pub peak_queue_depth: usize,
+    /// Packet-arena rows grown (diagnostic, layout-dependent).
+    pub packet_rows: usize,
+    /// Peak concurrent in-flight packets (diagnostic).
+    pub peak_packets_live: usize,
+    /// Virtual seconds the shard covered.
+    pub virtual_secs: f64,
+    /// Faults injected while running this shard.
+    pub faults: Vec<FaultEvent>,
+    /// Fault tallies for this shard.
+    pub counters: FaultCounters,
+}
+
+impl FleetShard {
+    /// Execute the shard. `cell_index` is this shard's position in its
+    /// trial plan: `kill_worker(idx, at_event)` faults target cell
+    /// indices (exactly like [`chaos_live_run`](crate::chaos_live_run)),
+    /// so kills land on the same shard at any worker count. A killed
+    /// shard runs a probe pass aborted at the kill point, notes the
+    /// kill, and restarts; since shards are pure functions of the plan,
+    /// the definitive rerun is bitwise identical to an uninterrupted
+    /// one, preserving merge order.
+    pub fn run(&self, cell_index: usize) -> FleetShardOutcome {
+        let Some((seed, fplan)) = &self.fault else {
+            return run_shard(&self.plan, self.lo, self.hi, None)
+                .unwrap_or_else(|_| unreachable!("unkilled run has no abort point"));
+        };
+        let span_ns = self.plan.duration().as_nanos() + DRAIN_GRACE_NS;
+        let mut injector = FaultInjector::new(*seed, fplan, span_ns);
+        if let Some((idx, at_event)) = injector.kill() {
+            if idx == cell_index {
+                // Probe pass: find the virtual time the kill lands at.
+                // If the shard finishes under `at_event` events the kill
+                // never fires.
+                if let Err(killed_at_ns) = run_shard(&self.plan, self.lo, self.hi, Some(at_event)) {
+                    injector.note_worker_kill(killed_at_ns);
+                }
+            }
+        }
+        let mut out = run_shard(&self.plan, self.lo, self.hi, None)
+            .unwrap_or_else(|_| unreachable!("definitive run has no abort point"));
+        out.counters = *injector.counters();
+        out.faults = injector.into_events();
+        out
+    }
+}
+
+/// Reinterpret a frame's leading bytes as its packet-store row. Frames
+/// cycle through a shard-local pool; only these four bytes are ever
+/// read, so stale tail bytes cannot influence anything.
+fn packet_of(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("probe frames are ≥ 4 B"))
+}
+
+/// Pull a frame from the pool (or allocate), size it, stamp the packet
+/// id into the leading bytes.
+fn frame_for(pool: &mut Vec<Vec<u8>>, packet: u32, size: u32) -> Vec<u8> {
+    let mut f = pool.pop().unwrap_or_default();
+    f.resize(size as usize, 0);
+    f[..4].copy_from_slice(&packet.to_le_bytes());
+    f
+}
+
+/// Schedule the server echo for an uplinked probe: station service
+/// (load-inflated) out and back, the wired core both ways, and the
+/// server turnaround.
+#[allow(clippy::too_many_arguments)] // one parameter per physical hop input; a struct would be pure ceremony
+fn uplink(
+    sim: &mut FleetSim<Ev>,
+    stations: &mut StationTable,
+    station: u32,
+    client: u32,
+    packet: u32,
+    size: u32,
+    bytes: Vec<u8>,
+    pool: &mut Vec<Vec<u8>>,
+    now_ns: u64,
+) {
+    stations.record(station, size);
+    let core = 2 * stations.service_ns(station, size, CORE_NS_PER_BYTE)
+        + 2 * WIRED_ONEWAY_NS
+        + SERVER_CPU_NS;
+    sim.schedule(now_ns + core, client, Ev::Return { packet });
+    pool.push(bytes);
+}
+
+/// Account a completed round trip and free the packet row.
+fn complete(cl: &mut ClientState, store: &mut PacketStore, packet: u32, now_ns: u64) {
+    let rtt_ms = (now_ns - store.sent_ns(packet)) as f64 / 1e6;
+    cl.rtt_ms.observe(rtt_ms);
+    cl.completed += 1;
+    store.release(packet);
+}
+
+/// Re-arm the client's `ModWake` if its modulator's earliest due
+/// release moved earlier than the armed wake.
+fn update_wake(sim: &mut FleetSim<Ev>, cl: &mut ClientState, client: u32) {
+    if let Some(w) = cl.m.next_wakeup() {
+        let w_ns = w.as_nanos();
+        if w_ns < cl.next_wake_ns {
+            cl.next_wake_ns = w_ns;
+            sim.schedule(w_ns, client, Ev::ModWake);
+        }
+    }
+}
+
+/// Run one shard's clients to completion. `kill_after` aborts the run
+/// after that many dispatched events and returns `Err(virtual ns)` —
+/// the chaos probe pass.
+fn run_shard(
+    plan: &FleetPlan,
+    lo: u32,
+    hi: u32,
+    kill_after: Option<u64>,
+) -> Result<FleetShardOutcome, u64> {
+    let duration_ns = plan.duration().as_nanos();
+    let end_ns = duration_ns + DRAIN_GRACE_NS;
+    let interval_ns = plan.probe_interval.as_nanos();
+    let mut stations = StationTable::for_fleet(plan.clients, plan.stations, STATION_ALPHA);
+    let mut store = PacketStore::new();
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut scratch: Vec<ShimRelease> = Vec::new();
+    let mut sim: FleetSim<Ev> = FleetSim::new();
+
+    let mut clients: Vec<ClientState> = Vec::with_capacity((hi - lo) as usize);
+    for c in lo..hi {
+        let mut m = Modulator::from_replay(client_replay(plan, c))
+            .with_clock(plan.clock)
+            .with_wheel_slots(plan.wheel_slots);
+        m.begin(SimTime::ZERO);
+        let phase = client_seed(plan.seed, c, PURPOSE_PHASE) % interval_ns;
+        sim.schedule(phase, c, Ev::Probe);
+        clients.push(ClientState {
+            m,
+            rng: SimRng::seed_from_u64(client_seed(plan.seed, c, PURPOSE_TRAFFIC)),
+            next_wake_ns: u64::MAX,
+            small_next: true,
+            station: stations.station_of(c),
+            probes_sent: 0,
+            completed: 0,
+            lost: 0,
+            rtt_ms: Hist::new(0.0, 2_000.0, 200),
+        });
+    }
+
+    let killed = {
+        let mut handler = |ev: FleetEvent<Ev>, sim: &mut FleetSim<Ev>| {
+            let cl = &mut clients[(ev.client - lo) as usize];
+            let now_ns = ev.due_ns;
+            let now = SimTime::from_nanos(now_ns);
+            match ev.kind {
+                Ev::Probe => {
+                    let size = if cl.small_next {
+                        PROBE_SMALL
+                    } else {
+                        PROBE_LARGE
+                    };
+                    cl.small_next = !cl.small_next;
+                    cl.probes_sent += 1;
+                    let packet = store.alloc(ev.client, size, now_ns);
+                    let frame = frame_for(&mut pool, packet, size);
+                    match cl.m.offer(Direction::Outbound, frame, now, &mut cl.rng) {
+                        ShimVerdict::Pass(bytes) => uplink(
+                            sim,
+                            &mut stations,
+                            cl.station,
+                            ev.client,
+                            packet,
+                            size,
+                            bytes,
+                            &mut pool,
+                            now_ns,
+                        ),
+                        ShimVerdict::Hold => {}
+                        ShimVerdict::Drop => {
+                            cl.lost += 1;
+                            store.release(packet);
+                        }
+                    }
+                    if now_ns + interval_ns <= duration_ns {
+                        sim.schedule(now_ns + interval_ns, ev.client, Ev::Probe);
+                    }
+                    update_wake(sim, cl, ev.client);
+                }
+                Ev::ModWake => {
+                    if cl.next_wake_ns != now_ns {
+                        return; // stale wake; a newer one is armed
+                    }
+                    cl.next_wake_ns = u64::MAX;
+                    cl.m.collect_due_into(now, &mut cl.rng, &mut scratch);
+                    for rel in scratch.drain(..) {
+                        let packet = packet_of(&rel.bytes);
+                        match rel.dir {
+                            Direction::Outbound => {
+                                let size = store.size(packet);
+                                uplink(
+                                    sim,
+                                    &mut stations,
+                                    cl.station,
+                                    ev.client,
+                                    packet,
+                                    size,
+                                    rel.bytes,
+                                    &mut pool,
+                                    now_ns,
+                                );
+                            }
+                            Direction::Inbound => {
+                                complete(cl, &mut store, packet, now_ns);
+                                pool.push(rel.bytes);
+                            }
+                        }
+                    }
+                    update_wake(sim, cl, ev.client);
+                }
+                Ev::Return { packet } => {
+                    let size = store.size(packet);
+                    stations.record(cl.station, size);
+                    let frame = frame_for(&mut pool, packet, size);
+                    match cl.m.offer(Direction::Inbound, frame, now, &mut cl.rng) {
+                        ShimVerdict::Pass(bytes) => {
+                            complete(cl, &mut store, packet, now_ns);
+                            pool.push(bytes);
+                        }
+                        ShimVerdict::Hold => {}
+                        ShimVerdict::Drop => {
+                            cl.lost += 1;
+                            store.release(packet);
+                        }
+                    }
+                    update_wake(sim, cl, ev.client);
+                }
+            }
+        };
+        match kill_after {
+            Some(limit) => sim.run_until_limit(end_ns, limit, &mut handler),
+            None => {
+                sim.run_until(end_ns, &mut handler);
+                false
+            }
+        }
+    };
+    if killed {
+        return Err(sim.now_ns());
+    }
+
+    let manifests = clients
+        .iter()
+        .zip(lo..hi)
+        .map(|(cl, c)| {
+            let mut man = RunManifest::new(plan.scenario.name, "fleet-probe", c);
+            man.fidelity = cl.m.fidelity();
+            let mm = &mut man.metrics;
+            mm.set_counter("fleet.probes_sent", cl.probes_sent);
+            mm.set_counter("fleet.rtts_completed", cl.completed);
+            mm.set_counter("fleet.packets_lost", cl.lost);
+            mm.set_counter("fleet.station", u64::from(cl.station));
+            mm.set_hist("fleet.rtt_ms", cl.rtt_ms.snapshot());
+            let s = cl.m.stats();
+            mm.set_counter("modulate.offered", s.offered);
+            mm.set_counter("modulate.immediate", s.immediate);
+            mm.set_counter("modulate.held", s.held);
+            mm.set_counter("modulate.dropped", s.dropped);
+            mm.set_counter("modulate.unmodulated", s.unmodulated);
+            let w = cl.m.sched_stats();
+            mm.set_counter("modulate.sched.pushes", w.pushes);
+            mm.set_counter("modulate.sched.overflow_pushes", w.overflow_pushes);
+            mm.set_counter("modulate.sched.buckets_opened", w.buckets_opened);
+            mm.set_counter(
+                "modulate.sched.buckets_drained_whole",
+                w.buckets_drained_whole,
+            );
+            man
+        })
+        .collect();
+
+    Ok(FleetShardOutcome {
+        first_client: lo,
+        manifests,
+        stations,
+        events_processed: sim.events_processed(),
+        peak_queue_depth: sim.peak_queue_depth(),
+        packet_rows: store.rows(),
+        peak_packets_live: store.peak_live(),
+        virtual_secs: end_ns as f64 / 1e9,
+        faults: Vec::new(),
+        counters: FaultCounters::default(),
+    })
+}
+
+/// Everything a fleet run produces.
+pub struct FleetOutcome {
+    /// Per-client manifests in client order (the concatenation of the
+    /// shard outputs in plan order).
+    pub manifests: Vec<RunManifest>,
+    /// The aggregate fidelity report (with a wall-clock runner
+    /// section; strip via
+    /// [`deterministic_json`](obs::fleet::FleetReport::deterministic_json)).
+    pub report: FleetReport,
+    /// Merged station traffic (per-shard tables summed).
+    pub stations: StationTable,
+    /// Faults injected, in plan order.
+    pub faults: Vec<FaultEvent>,
+    /// Summed fault tallies across shards.
+    pub counters: FaultCounters,
+    /// Largest shard-engine queue high-water mark (diagnostic).
+    pub peak_queue_depth: usize,
+    /// Summed packet-arena peaks across shards (diagnostic bound on
+    /// in-flight packet memory).
+    pub peak_packets_live: usize,
+}
+
+/// Run a fleet: shard the clients, execute one engine per shard on the
+/// plan's worker pool, merge in plan order.
+pub fn fleet_run(plan: &FleetPlan, exec: &Exec) -> FleetOutcome {
+    fleet_run_inner(plan, exec, None)
+}
+
+/// [`fleet_run`] under deterministic fault injection: `kill_worker`
+/// entries in `fault_plan` target shard cell indices, and a killed
+/// shard restarts without perturbing merge order or output bytes.
+pub fn fleet_run_chaos(
+    plan: &FleetPlan,
+    exec: &Exec,
+    fault_seed: u64,
+    fault_plan: &FaultPlan,
+) -> FleetOutcome {
+    fleet_run_inner(plan, exec, Some((fault_seed, fault_plan.clone())))
+}
+
+fn fleet_run_inner(plan: &FleetPlan, exec: &Exec, fault: Option<(u64, FaultPlan)>) -> FleetOutcome {
+    let mut tp = TrialPlan::new();
+    for (i, (lo, hi)) in plan.shard_ranges().into_iter().enumerate() {
+        tp.push(TrialCell {
+            label: format!("fleet/{}/shard{i}", plan.scenario.name),
+            trial: i as u32,
+            cfg: RunConfig::default(),
+            kind: CellKind::Fleet(FleetShard {
+                plan: plan.clone(),
+                lo,
+                hi,
+                fault: fault.clone(),
+            }),
+        });
+    }
+    let results = tp.run(exec);
+
+    let mut manifests: Vec<RunManifest> = Vec::with_capacity(plan.clients as usize);
+    let mut stations = StationTable::for_fleet(plan.clients, plan.stations, STATION_ALPHA);
+    let mut faults = Vec::new();
+    let mut counters = FaultCounters::default();
+    let mut events = 0u64;
+    let mut peak_queue_depth = 0usize;
+    let mut peak_packets_live = 0usize;
+    for shard in results.fleet_outcomes() {
+        debug_assert_eq!(
+            shard.first_client,
+            manifests.len() as u32,
+            "shards merge in client order"
+        );
+        manifests.extend(shard.manifests.iter().cloned());
+        stations.merge(&shard.stations);
+        faults.extend(shard.faults.iter().cloned());
+        add_counters(&mut counters, &shard.counters);
+        events += shard.events_processed;
+        peak_queue_depth = peak_queue_depth.max(shard.peak_queue_depth);
+        peak_packets_live += shard.peak_packets_live;
+    }
+
+    let mut report = FleetReport::from_manifests(
+        plan.scenario.name,
+        &manifests,
+        &FidelityThresholds::default(),
+    );
+    report.metrics.set_counter("fleet.engine_events", events);
+    report
+        .metrics
+        .set_counter("fleet.stations", u64::from(plan.stations));
+    report
+        .metrics
+        .set_counter("fleet.station_frames", stations.total_frames());
+    report
+        .metrics
+        .set_counter("fleet.station_bytes", stations.total_bytes());
+    let wall = results.metrics.wall_secs;
+    report.runner = Some(RunnerSection {
+        wall_secs: wall,
+        workers: exec.workers,
+        records_per_sec: if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        },
+        worker_utilization: results.metrics.worker_utilization(),
+    });
+
+    FleetOutcome {
+        manifests,
+        report,
+        stations,
+        faults,
+        counters,
+        peak_queue_depth,
+        peak_packets_live,
+    }
+}
+
+fn add_counters(a: &mut FaultCounters, b: &FaultCounters) {
+    a.corrupt_chunks += b.corrupt_chunks;
+    a.truncations += b.truncations;
+    a.dropped_tuples += b.dropped_tuples;
+    a.stalls += b.stalls;
+    a.clock_jumps += b.clock_jumps;
+    a.worker_kills += b.worker_kills;
+    a.oom_rings += b.oom_rings;
+    a.truncated_records += b.truncated_records;
+    a.quarantined_records += b.quarantined_records;
+    a.quarantined_bytes += b.quarantined_bytes;
+    a.rejected_timestamps += b.rejected_timestamps;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan(clients: u32) -> FleetPlan {
+        FleetPlan::new(Scenario::porter(), clients)
+            .with_duration(SimDuration::from_secs(3))
+            .with_probe_interval(SimDuration::from_millis(500))
+    }
+
+    #[test]
+    fn clients_get_distinct_channels() {
+        let plan = tiny_plan(3);
+        let a = client_replay(&plan, 0);
+        let b = client_replay(&plan, 1);
+        assert_eq!(a.tuples.len(), b.tuples.len());
+        assert_ne!(
+            a.tuples[0].latency_ns, b.tuples[0].latency_ns,
+            "per-client channel realizations must differ"
+        );
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_cover() {
+        let plan = tiny_plan(10).with_shards(3);
+        let r = plan.shard_ranges();
+        assert_eq!(r, vec![(0, 4), (4, 7), (7, 10)]);
+        // More shards than clients degrades gracefully.
+        let r = tiny_plan(2).with_shards(8).shard_ranges();
+        assert_eq!(r, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn small_fleet_completes_round_trips() {
+        let plan = tiny_plan(4);
+        let out = fleet_run(&plan, &Exec::serial());
+        assert_eq!(out.manifests.len(), 4);
+        assert_eq!(out.report.clients, 4);
+        let completed: u64 = out
+            .manifests
+            .iter()
+            .map(|m| m.metrics.counter("fleet.rtts_completed").unwrap_or(0))
+            .sum();
+        assert!(completed > 0, "probes must complete round trips");
+        assert!(out.stations.total_frames() > 0);
+        assert!(out.peak_packets_live > 0);
+        // Aggregate gate: a healthy tiny fleet passes default thresholds.
+        let violations = out.report.check(&FidelityThresholds::default());
+        assert!(violations.is_empty(), "fleet gate failed: {violations:?}");
+    }
+
+    #[test]
+    fn manifests_identical_across_shard_counts() {
+        let serial = fleet_run(&tiny_plan(5), &Exec::serial());
+        for shards in [2usize, 4] {
+            let sharded = fleet_run(&tiny_plan(5).with_shards(shards), &Exec::with_workers(2));
+            let a: Vec<String> = serial
+                .manifests
+                .iter()
+                .map(RunManifest::deterministic_json)
+                .collect();
+            let b: Vec<String> = sharded
+                .manifests
+                .iter()
+                .map(RunManifest::deterministic_json)
+                .collect();
+            assert_eq!(a, b, "{shards} shards must match serial bytes");
+            assert_eq!(
+                serial.report.deterministic_json(),
+                sharded.report.deterministic_json()
+            );
+        }
+    }
+}

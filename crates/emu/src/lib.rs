@@ -39,6 +39,7 @@
 pub mod chaos;
 pub mod experiment;
 pub mod figures;
+pub mod fleet;
 pub mod hooks;
 pub mod plan;
 pub mod report;
@@ -49,6 +50,9 @@ pub mod workload;
 pub use chaos::{chaos_live_run, ChaosOutcome};
 pub use experiment::{compare, compare_with, comparison_from_plan, ethernet_baseline, Comparison};
 pub use figures::{scenario_figure, scenario_figure_with, CheckpointSeries, ScenarioFigure};
+pub use fleet::{
+    fleet_run, fleet_run_chaos, FleetOutcome, FleetPlan, FleetShard, FleetShardOutcome,
+};
 pub use hooks::FlightFrameHook;
 pub use plan::{
     CellKind, CellOutput, CellReport, Exec, PlanMetrics, PlanResults, TrialCell, TrialPlan,

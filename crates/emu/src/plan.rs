@@ -137,6 +137,10 @@ pub enum CellKind {
         /// The faults to inject.
         plan: FaultPlan,
     },
+    /// One shard of a fleet run: the clients in the shard's range run
+    /// under a single event engine ([`FleetShard::run`](crate::fleet::FleetShard::run)). Kills target
+    /// the shard's plan index, exactly like [`CellKind::Chaos`].
+    Fleet(crate::fleet::FleetShard),
     /// Arbitrary work for bespoke experiments (ablations): receives
     /// (trial, config), returns any run results produced.
     Custom(CustomCell),
@@ -170,6 +174,9 @@ pub enum CellOutput {
     LiveModulated(Box<LiveModOutcome>),
     /// A chaos run: the pipeline outcome plus its fault ledger.
     Chaos(Box<ChaosOutcome>),
+    /// One fleet shard's manifests and counters (boxed: a shard can
+    /// carry thousands of per-client manifests).
+    Fleet(Box<crate::fleet::FleetShardOutcome>),
     /// Results of a custom cell.
     Runs(Vec<RunResult>),
 }
@@ -180,7 +187,7 @@ impl CellOutput {
             CellOutput::Run(r) | CellOutput::RunWithReport(r, _) => std::slice::from_ref(r),
             CellOutput::LiveModulated(o) => std::slice::from_ref(&o.result),
             CellOutput::Chaos(o) => std::slice::from_ref(&o.outcome.result),
-            CellOutput::Collected(..) => &[],
+            CellOutput::Collected(..) | CellOutput::Fleet(..) => &[],
             CellOutput::Runs(rs) => rs,
         }
     }
@@ -498,6 +505,11 @@ fn execute_cell(cell: &TrialCell, cell_index: usize) -> (CellOutput, CellReport)
                 .max(virtual_secs_of(&o.outcome.result));
             (CellOutput::Chaos(Box::new(o)), v)
         }
+        CellKind::Fleet(shard) => {
+            let o = shard.run(cell_index);
+            let v = o.virtual_secs;
+            (CellOutput::Fleet(Box::new(o)), v)
+        }
         CellKind::Custom(work) => {
             let rs = work(cell.trial, &cell.cfg);
             let v = rs.iter().map(virtual_secs_of).sum();
@@ -530,6 +542,18 @@ impl PlanResults {
     /// Iterate (cell, output) pairs in plan order.
     pub fn iter(&self) -> impl Iterator<Item = (&TrialCell, &CellOutput)> {
         self.cells.iter().zip(&self.outputs)
+    }
+
+    /// Fleet shard outcomes, in plan order (= ascending client range,
+    /// the order [`crate::fleet::fleet_run`] merges them in).
+    pub fn fleet_outcomes(&self) -> Vec<&crate::fleet::FleetShardOutcome> {
+        self.outputs
+            .iter()
+            .filter_map(|o| match o {
+                CellOutput::Fleet(s) => Some(s.as_ref()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Live run results for (scenario, benchmark), in plan order.

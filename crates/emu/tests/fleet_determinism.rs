@@ -1,0 +1,109 @@
+//! Fleet shard-invariance and chaos-restart guarantees.
+//!
+//! The fleet engine's core promise is that sharding is an execution
+//! detail: the merged per-client manifests and the aggregate report
+//! are byte-identical whether the fleet runs under one engine or many,
+//! on one worker or many. The proptest drives that across arbitrary
+//! client counts and fleet seeds; the chaos test kills a shard worker
+//! mid-run and checks the restart protocol leaves no trace in the
+//! output.
+
+use emu::{fleet_run, fleet_run_chaos, Exec, FleetOutcome, FleetPlan};
+use faultkit::FaultPlan;
+use netsim::SimDuration;
+use obs::RunManifest;
+use proptest::prelude::*;
+use wavelan::Scenario;
+
+fn tiny_plan(clients: u32, seed: u64) -> FleetPlan {
+    FleetPlan::new(Scenario::porter(), clients)
+        .with_seed(seed)
+        .with_duration(SimDuration::from_secs(4))
+        .with_probe_interval(SimDuration::from_millis(500))
+}
+
+fn manifest_bytes(out: &FleetOutcome) -> Vec<String> {
+    out.manifests
+        .iter()
+        .map(RunManifest::deterministic_json)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial single-shard output is the reference; 2 and 8 shards on
+    /// a worker pool must reproduce it bitwise, for any fleet size and
+    /// seed.
+    #[test]
+    fn sharding_never_changes_output(
+        clients in 1u32..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let reference = fleet_run(&tiny_plan(clients, seed), &Exec::serial());
+        prop_assert_eq!(reference.manifests.len(), clients as usize);
+        for shards in [2usize, 8] {
+            let sharded = fleet_run(
+                &tiny_plan(clients, seed).with_shards(shards),
+                &Exec::with_workers(4),
+            );
+            prop_assert_eq!(
+                manifest_bytes(&reference),
+                manifest_bytes(&sharded),
+                "{} clients seed {} at {} shards diverged",
+                clients, seed, shards
+            );
+            prop_assert_eq!(
+                reference.report.deterministic_json(),
+                sharded.report.deterministic_json()
+            );
+            prop_assert_eq!(
+                reference.stations.total_frames(),
+                sharded.stations.total_frames()
+            );
+        }
+    }
+}
+
+/// A `kill_worker` fault against a fleet shard: the shard restarts and
+/// reruns clean, so every output byte matches the fault-free run; the
+/// only difference is the fault ledger recording the kill.
+#[test]
+fn killed_shard_restarts_without_breaking_merge() {
+    let plan = tiny_plan(6, 99).with_shards(3);
+    let clean = fleet_run(&plan, &Exec::with_workers(2));
+
+    // Kill shard 1 (cell index 1) after 40 engine events.
+    let faults = FaultPlan::new().kill_worker(1, 40);
+    let chaotic = fleet_run_chaos(&plan, &Exec::with_workers(2), 7, &faults);
+
+    assert_eq!(chaotic.counters.worker_kills, 1, "the kill must fire");
+    assert_eq!(chaotic.faults.len(), 1);
+    assert_eq!(
+        manifest_bytes(&clean),
+        manifest_bytes(&chaotic),
+        "restart must reproduce the uninterrupted shard bitwise"
+    );
+    assert_eq!(
+        clean.report.deterministic_json(),
+        chaotic.report.deterministic_json()
+    );
+}
+
+/// A kill aimed past the shard's event count never fires, and a kill
+/// aimed at an out-of-range cell index is ignored entirely.
+#[test]
+fn out_of_reach_kills_are_inert() {
+    let plan = tiny_plan(4, 5).with_shards(2);
+    let clean = fleet_run(&plan, &Exec::serial());
+
+    let never = FaultPlan::new().kill_worker(0, u64::MAX / 2);
+    let out = fleet_run_chaos(&plan, &Exec::serial(), 3, &never);
+    assert_eq!(out.counters.worker_kills, 0);
+    assert_eq!(manifest_bytes(&clean), manifest_bytes(&out));
+
+    let wrong_cell = FaultPlan::new().kill_worker(17, 10);
+    let out = fleet_run_chaos(&plan, &Exec::serial(), 3, &wrong_cell);
+    assert_eq!(out.counters.worker_kills, 0);
+    assert_eq!(manifest_bytes(&clean), manifest_bytes(&out));
+}

@@ -320,14 +320,37 @@ impl Modulator {
     /// Use a specific scheduling clock (default: the 10 ms NetBSD tick).
     pub fn with_clock(mut self, clock: TickClock) -> Self {
         self.clock = clock;
-        // Re-bucket the calendar queue to the new tick (construction
-        // time only: the queue is still empty).
+        // Re-bucket the calendar queue to the new tick, preserving any
+        // custom wheel width (construction time only: the queue is
+        // still empty).
         if let HoldQueue::Wheel(q) = &self.held {
             if q.is_empty() {
-                self.held =
-                    HoldQueue::Wheel(Box::new(CalendarQueue::new(hold_tick_ns(&self.clock))));
+                self.held = HoldQueue::Wheel(Box::new(CalendarQueue::with_slots(
+                    hold_tick_ns(&self.clock),
+                    q.slot_count(),
+                )));
             }
         }
+        self
+    }
+
+    /// Use a narrow delay-queue wheel of `slot_count` slots (default:
+    /// [`netsim::wheel::SLOTS`] = 4096). Fleet runs give each of their
+    /// thousands of per-client modulators a 64–256 slot wheel — the
+    /// live window still covers hundreds of milliseconds at the 10 ms
+    /// tick, far past any realistic hold, while the footprint drops
+    /// from ~96 KiB to ~1.5–6 KiB per client; anything beyond the
+    /// horizon rides the overflow stage with identical release order.
+    /// Construction-time only: panics if packets are already held.
+    pub fn with_wheel_slots(mut self, slot_count: usize) -> Self {
+        assert!(
+            self.held.is_empty(),
+            "resize the wheel before offering packets"
+        );
+        self.held = HoldQueue::Wheel(Box::new(CalendarQueue::with_slots(
+            hold_tick_ns(&self.clock),
+            slot_count,
+        )));
         self
     }
 

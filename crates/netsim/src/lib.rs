@@ -47,6 +47,7 @@
 
 mod engine;
 mod event;
+pub mod fleet;
 pub mod link;
 mod node;
 mod rng;

@@ -12,9 +12,11 @@
 //!
 //! * a **front heap** holds only the items of the currently open bucket
 //!   (a handful of entries, so its sifts are near-free);
-//! * a **wheel** of [`SLOTS`] buckets covers the next `SLOTS` ticks with
-//!   O(1) insertion — a bucket is an unsorted `Vec`, found by
-//!   `tick % SLOTS`, with a bitmap for fast next-occupied scans;
+//! * a **wheel** of `slot_count` buckets ([`SLOTS`] by default,
+//!   configurable via [`CalendarQueue::with_slots`]) covers the next
+//!   `slot_count` ticks with O(1) insertion — a bucket is an unsorted
+//!   `Vec`, found by `tick % slot_count`, with a bitmap for fast
+//!   next-occupied scans;
 //! * an **overflow stage** absorbs far-future items beyond the wheel
 //!   horizon with an O(1) append; when the wheel needs them it sorts the
 //!   stage once and moves a whole window's worth into the slots, so each
@@ -37,17 +39,37 @@
 //! that is *entirely* due is sorted once and appended wholesale,
 //! skipping the heap entirely.
 
-use std::cell::Cell;
-use std::collections::BinaryHeap;
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::{BinaryHeap, HashMap};
 
-/// Number of wheel slots; live ticks cover `(front_tick, front_tick + SLOTS]`.
+/// Default number of wheel slots; live ticks cover
+/// `(front_tick, front_tick + slots]`.
+///
+/// **Horizon math.** The wheel covers a horizon of
+/// `slot_count × tick_ns` nanoseconds past the open bucket; anything
+/// scheduled further out takes the overflow stage (an O(1) append plus
+/// one sort participation per refill, instead of a direct slot file).
+/// At the default 4096 slots this is ≈4.3 s for the simulator's ~1 ms
+/// quantum (`1 << 20` ns) and ≈41 s for the 10 ms modulation tick —
+/// comfortably past any single-client schedule. Memory is what scales
+/// with slots: each slot is a `Vec` header (24 B) plus a bitmap bit, so
+/// 4096 slots cost ~96 KiB per queue before any items. A fleet of 10k
+/// per-client queues cannot afford that; fleet clients therefore
+/// construct narrow wheels (e.g. 64–256 slots via
+/// [`CalendarQueue::with_slots`]), trading horizon for footprint: a
+/// 10 ms tick × 64 slots still covers 640 ms, and the rare
+/// beyond-horizon hold simply rides the overflow stage with identical
+/// pop order.
 pub const SLOTS: usize = 4096;
-const WORDS: usize = SLOTS / 64;
 
 /// Sort keys for calendar-queue items. `(due_ns, seq)` must be unique
 /// per queue (the schedulers guarantee this with a monotone sequence
 /// counter), which makes pop order total and deterministic.
-pub trait WheelItem {
+///
+/// `'static` is required so retired queue allocations can be pooled in
+/// a type-keyed thread-local free list (see [`CalendarQueue::with_slots`]).
+pub trait WheelItem: 'static {
     /// Absolute due time in nanoseconds.
     fn due_ns(&self) -> u64;
     /// Tie-break sequence number (scheduling order).
@@ -100,7 +122,7 @@ pub struct CalendarQueue<T: WheelItem> {
     /// have `tick > front_tick`.
     front_tick: u64,
     slots: Vec<Vec<T>>,
-    occupied: [u64; WORDS],
+    occupied: Vec<u64>,
     /// Far-future items, unsorted — O(1) push, merged into `sorted` on
     /// the next refill.
     staging: Vec<T>,
@@ -120,23 +142,104 @@ pub struct CalendarQueue<T: WheelItem> {
     stats: WheelStats,
 }
 
+/// Retired allocations of one queue: item-free, capacity preserved.
+/// Boxed behind `dyn Any` in the thread-local pool, keyed by
+/// `(TypeId, slot count)` so a hit always hands back vectors of the
+/// right shape.
+struct PooledParts<T> {
+    slots: Vec<Vec<T>>,
+    occupied: Vec<u64>,
+    staging: Vec<T>,
+    sorted: Vec<T>,
+    spare: Vec<Vec<T>>,
+    front: BinaryHeap<Front<T>>,
+}
+
+/// Retired queues kept per key; enough to cover a handful of live
+/// queues per thread (the bench constructs two per iteration) without
+/// letting a burst of drops pin memory forever.
+const POOL_MAX_PER_KEY: usize = 8;
+
+/// Pool storage: retired queue parts boxed as `dyn Any`, keyed by
+/// `(item type, slot count)`.
+type PoolMap = HashMap<(TypeId, usize), Vec<Box<dyn Any>>>;
+
+thread_local! {
+    /// Thread-local free list of retired queue allocations. Purely an
+    /// allocator-level cache: hits and misses never touch [`WheelStats`]
+    /// or any other virtual-time-deterministic surface, because pool
+    /// state depends on wall-clock construction order across runs.
+    static WHEEL_POOL: RefCell<PoolMap> = RefCell::new(HashMap::new());
+}
+
+fn pool_acquire<T: WheelItem>(slot_count: usize) -> Option<PooledParts<T>> {
+    WHEEL_POOL.with(|p| {
+        let mut map = p.try_borrow_mut().ok()?;
+        let boxed = map.get_mut(&(TypeId::of::<T>(), slot_count))?.pop()?;
+        boxed.downcast::<PooledParts<T>>().ok().map(|b| *b)
+    })
+}
+
+fn pool_retire<T: WheelItem>(parts: PooledParts<T>) {
+    let key = (TypeId::of::<T>(), parts.slots.len());
+    let boxed: Box<dyn Any> = Box::new(parts);
+    WHEEL_POOL.with(|p| {
+        // `try_borrow_mut` keeps a re-entrant retire (a pooled box being
+        // evicted while the map is borrowed cannot happen — parts hold
+        // no items — but a hostile `T::drop` could construct queues) a
+        // silent miss instead of a panic.
+        if let Ok(mut map) = p.try_borrow_mut() {
+            let v = map.entry(key).or_default();
+            if v.len() < POOL_MAX_PER_KEY {
+                v.push(boxed);
+            }
+        }
+    });
+}
+
 impl<T: WheelItem> CalendarQueue<T> {
     /// A queue with the given tick quantum (bucket width) in
-    /// nanoseconds. Panics if `tick_ns` is zero.
+    /// nanoseconds and the default [`SLOTS`]-slot wheel. Panics if
+    /// `tick_ns` is zero.
     pub fn new(tick_ns: u64) -> Self {
+        Self::with_slots(tick_ns, SLOTS)
+    }
+
+    /// A queue with an explicit wheel width. `slot_count` trades
+    /// footprint for horizon (see the [`SLOTS`] doc for the math) and
+    /// must be a positive multiple of 64 (the occupancy-bitmap word
+    /// size). Reuses a retired queue's allocations from a thread-local
+    /// pool when one of the same item type and width is available, so
+    /// construct-per-run call sites stop paying the slot-vector
+    /// allocation after their first run on a thread.
+    pub fn with_slots(tick_ns: u64, slot_count: usize) -> Self {
         assert!(tick_ns > 0, "calendar queue tick must be positive");
+        assert!(
+            slot_count > 0 && slot_count.is_multiple_of(64),
+            "slot count must be a positive multiple of 64"
+        );
+        let parts = pool_acquire::<T>(slot_count).unwrap_or_else(|| PooledParts {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; slot_count / 64],
+            staging: Vec::new(),
+            sorted: Vec::new(),
+            spare: Vec::new(),
+            front: BinaryHeap::new(),
+        });
+        debug_assert!(parts.slots.iter().all(Vec::is_empty));
+        debug_assert!(parts.occupied.iter().all(|w| *w == 0));
         CalendarQueue {
             tick_ns,
-            front: BinaryHeap::new(),
+            front: parts.front,
             front_tick: 0,
-            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
-            occupied: [0; WORDS],
-            staging: Vec::new(),
+            slots: parts.slots,
+            occupied: parts.occupied,
+            staging: parts.staging,
             staging_min: None,
-            sorted: Vec::new(),
+            sorted: parts.sorted,
             len: 0,
             min_cache: Cell::new(None),
-            spare: Vec::new(),
+            spare: parts.spare,
             stats: WheelStats::default(),
         }
     }
@@ -144,6 +247,11 @@ impl<T: WheelItem> CalendarQueue<T> {
     /// The bucket width in nanoseconds.
     pub fn tick_ns(&self) -> u64 {
         self.tick_ns
+    }
+
+    /// Number of wheel slots (the live-window width in ticks).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Items currently queued.
@@ -178,7 +286,7 @@ impl<T: WheelItem> CalendarQueue<T> {
         let tick = key.0 / self.tick_ns;
         if tick <= self.front_tick {
             self.front.push(Front(item));
-        } else if tick - self.front_tick <= SLOTS as u64 {
+        } else if tick - self.front_tick <= self.slots.len() as u64 {
             self.slot_push(tick, item);
         } else {
             if self.staging_min.is_none_or(|m| key < m) {
@@ -191,8 +299,8 @@ impl<T: WheelItem> CalendarQueue<T> {
 
     // File an item under a live tick's slot.
     fn slot_push(&mut self, tick: u64, item: T) {
-        debug_assert!(tick > self.front_tick && tick - self.front_tick <= SLOTS as u64);
-        let slot = (tick % SLOTS as u64) as usize;
+        debug_assert!(tick > self.front_tick && tick - self.front_tick <= self.slots.len() as u64);
+        let slot = (tick % self.slots.len() as u64) as usize;
         if self.slots[slot].is_empty() {
             if let Some(mut spare) = self.spare.pop() {
                 spare.clear();
@@ -401,11 +509,11 @@ impl<T: WheelItem> CalendarQueue<T> {
             None => return,
         };
         if self.first_occupied_slot().is_none()
-            && min_tick > self.front_tick.saturating_add(SLOTS as u64)
+            && min_tick > self.front_tick.saturating_add(self.slots.len() as u64)
         {
             self.front_tick = min_tick - 1;
         }
-        let horizon = self.front_tick.saturating_add(SLOTS as u64);
+        let horizon = self.front_tick.saturating_add(self.slots.len() as u64);
         while let Some(it) = self.sorted.last() {
             let tick = it.due_ns() / self.tick_ns;
             if tick > horizon {
@@ -420,7 +528,7 @@ impl<T: WheelItem> CalendarQueue<T> {
     /// from a wheel scan after [`next_bucket_tick`](Self::next_bucket_tick),
     /// so its slot is occupied and holds exactly that tick's items.
     fn take_bucket(&mut self, tick: u64) -> Vec<T> {
-        let slot = (tick % SLOTS as u64) as usize;
+        let slot = (tick % self.slots.len() as u64) as usize;
         debug_assert!(
             !self.slots[slot].is_empty() && self.slots[slot][0].due_ns() / self.tick_ns == tick
         );
@@ -432,15 +540,16 @@ impl<T: WheelItem> CalendarQueue<T> {
     /// open bucket's slot — which is ascending-tick order, since live
     /// ticks map injectively onto slots.
     fn first_occupied_slot(&self) -> Option<usize> {
-        let start = ((self.front_tick + 1) % SLOTS as u64) as usize;
+        let words = self.occupied.len();
+        let start = ((self.front_tick + 1) % self.slots.len() as u64) as usize;
         let w0 = start / 64;
         let b0 = start % 64;
         let head = self.occupied[w0] & (!0u64 << b0);
         if head != 0 {
             return Some(w0 * 64 + head.trailing_zeros() as usize);
         }
-        for i in 1..=WORDS {
-            let w = (w0 + i) % WORDS;
+        for i in 1..=words {
+            let w = (w0 + i) % words;
             let mut word = self.occupied[w];
             if w == w0 {
                 word &= !(!0u64 << b0); // wrapped tail of the start word
@@ -480,6 +589,30 @@ impl<T: WheelItem> CalendarQueue<T> {
             consider(key);
         }
         best.expect("len > 0 with empty front means occupied buckets")
+    }
+}
+
+impl<T: WheelItem> Drop for CalendarQueue<T> {
+    /// Return the queue's allocations to the thread-local pool. Items
+    /// are dropped *first* — before the pool cell is borrowed — so an
+    /// item `Drop` that itself retires a queue cannot re-enter the
+    /// borrow.
+    fn drop(&mut self) {
+        self.front.clear();
+        self.staging.clear();
+        self.sorted.clear();
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        pool_retire(PooledParts {
+            slots: std::mem::take(&mut self.slots),
+            occupied: std::mem::take(&mut self.occupied),
+            staging: std::mem::take(&mut self.staging),
+            sorted: std::mem::take(&mut self.sorted),
+            spare: std::mem::take(&mut self.spare),
+            front: std::mem::take(&mut self.front),
+        });
     }
 }
 
@@ -678,5 +811,92 @@ mod tests {
     #[should_panic(expected = "tick must be positive")]
     fn zero_tick_rejected() {
         let _ = CalendarQueue::<Item>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn ragged_slot_count_rejected() {
+        let _ = CalendarQueue::<Item>::with_slots(1_000, 100);
+    }
+
+    #[test]
+    fn narrow_wheel_matches_oracle() {
+        // A 64-slot wheel pushes most of this spread through the
+        // overflow stage; pop order must still be exactly (due, seq).
+        let mut rng = SimRng::seed_from_u64(23);
+        let items = random_items(&mut rng, 5_000, 2_000 * 10_000_000);
+        let mut q = CalendarQueue::with_slots(10_000_000, 64);
+        assert_eq!(q.slot_count(), 64);
+        for it in &items {
+            q.push(*it);
+        }
+        assert!(q.stats().overflow_pushes > 0, "spread must exceed horizon");
+        let mut popped = Vec::new();
+        while let Some(it) = q.pop_next() {
+            popped.push(it);
+        }
+        assert_eq!(popped, sorted(items));
+    }
+
+    #[test]
+    fn narrow_wheel_drain_matches_oracle() {
+        let mut rng = SimRng::seed_from_u64(29);
+        let items = random_items(&mut rng, 3_000, 1_000 * 1_000_000);
+        let mut q = CalendarQueue::with_slots(1_000_000, 64);
+        for it in &items {
+            q.push(*it);
+        }
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !q.is_empty() {
+            now += 7_777_777;
+            q.drain_due_into(now, &mut out);
+        }
+        assert_eq!(out, sorted(items));
+    }
+
+    /// A distinctive width no other test uses, so pool hits observed
+    /// here can only come from this test's own retired queues.
+    const POOLED_WIDTH: usize = 192;
+
+    #[test]
+    fn retired_allocations_are_reused() {
+        let mut q = CalendarQueue::with_slots(1_000, POOLED_WIDTH);
+        for i in 0..POOLED_WIDTH as u64 {
+            q.push(Item {
+                due: 1_000 + i * 1_000, // one per slot
+                seq: i,
+            });
+        }
+        drop(q);
+        let q2 = CalendarQueue::<Item>::with_slots(1_000, POOLED_WIDTH);
+        // Pool hit: the slot vectors keep the capacity the first queue
+        // grew, while a fresh construction would start at zero.
+        assert!(
+            q2.slots.iter().any(|s| s.capacity() > 0),
+            "expected recycled slot capacity"
+        );
+        assert!(q2.is_empty());
+        assert_eq!(q2.stats(), WheelStats::default());
+        assert!(q2.occupied.iter().all(|w| *w == 0));
+    }
+
+    #[test]
+    fn pool_reuse_keeps_behavior_identical() {
+        let mut rng = SimRng::seed_from_u64(31);
+        let items = random_items(&mut rng, 2_000, 500 * 1_000_000);
+        let run = |items: &[Item]| {
+            let mut q = CalendarQueue::with_slots(1_000_000, POOLED_WIDTH);
+            for it in items {
+                q.push(*it);
+            }
+            let mut out = Vec::new();
+            q.drain_due_into(u64::MAX, &mut out);
+            (out, q.stats())
+        };
+        let first = run(&items);
+        let second = run(&items); // second run constructs from the pool
+        assert_eq!(first, second);
+        assert_eq!(first.0, sorted(items));
     }
 }

@@ -101,9 +101,13 @@ proptest! {
     fn wheel_matches_heap_for_arbitrary_schedules(
         ops in proptest::collection::vec(arb_op(), 1..60),
         seed_due in 0u64..u64::MAX / 2,
+        // Narrow fleet-client wheels through the 4096-slot default: the
+        // slot count trades horizon for footprint but must never change
+        // delivery order.
+        slots in prop_oneof![Just(64usize), Just(256), Just(4096)],
     ) {
         let tick = 1u64 << 20;
-        let mut wheel: CalendarQueue<Item> = CalendarQueue::new(tick);
+        let mut wheel: CalendarQueue<Item> = CalendarQueue::with_slots(tick, slots);
         let mut heap = HeapRef::default();
         let mut now = seed_due;
         let mut seq = 0u64;

@@ -1,0 +1,249 @@
+//! The aggregate fleet fidelity report (`tracemod fleet --obs-out`).
+//!
+//! A fleet run produces one [`RunManifest`] per client (trial = client
+//! index); this module folds them into a single machine-readable
+//! summary: fleet-wide packet totals, the distribution of per-client
+//! fidelity (worst and released-weighted mean p95 delay error), and
+//! counts of clients whose own fidelity gate failed. Like the per-run
+//! manifest, everything except the [`RunnerSection`] derives purely
+//! from simulation state, so [`FleetReport::deterministic_json`] is
+//! byte-identical across worker counts and shard layouts.
+
+use crate::fidelity::FidelityThresholds;
+use crate::manifest::{RunManifest, RunnerSection};
+use crate::registry::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Fleet-report schema version, bumped on incompatible layout changes.
+pub const FLEET_SCHEMA: u32 = 1;
+
+/// Aggregate fidelity and accounting across a whole fleet of clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Schema version ([`FLEET_SCHEMA`]).
+    pub schema: u32,
+    /// Scenario every client walked.
+    pub scenario: String,
+    /// Number of clients aggregated.
+    pub clients: u32,
+    /// Sum of modulated packets across clients.
+    pub modulated_packets: u64,
+    /// Sum of released (delayed then dispatched) packets.
+    pub released_packets: u64,
+    /// Sum of packets dropped by the loss processes.
+    pub dropped_packets: u64,
+    /// Sum of deadline misses.
+    pub deadline_misses: u64,
+    /// Fleet-wide deadline-miss rate (misses / released).
+    pub deadline_miss_rate: f64,
+    /// Released-weighted mean of per-client |delay error| p95 (ms).
+    pub mean_abs_delay_error_p95_ms: f64,
+    /// Worst per-client |delay error| p95 (ms).
+    pub worst_abs_delay_error_p95_ms: f64,
+    /// Clients whose own fidelity gate
+    /// ([`FidelityReport::check`](crate::fidelity::FidelityReport::check))
+    /// failed.
+    pub failed_clients: u32,
+    /// Clients whose run degraded (sustained starvation).
+    pub degraded_clients: u32,
+    /// Fleet-level deterministic metrics (station traffic, engine
+    /// event totals, arena peaks that are layout-invariant).
+    pub metrics: MetricsRegistry,
+    /// Wall-clock runner measurements, excluded from
+    /// [`deterministic_json`](FleetReport::deterministic_json).
+    #[serde(default)]
+    pub runner: Option<RunnerSection>,
+}
+
+impl FleetReport {
+    /// Fold per-client manifests (trial = client index, in client
+    /// order) into the aggregate report. `thresholds` drives the
+    /// per-client pass/fail tally.
+    pub fn from_manifests(
+        scenario: &str,
+        manifests: &[RunManifest],
+        thresholds: &FidelityThresholds,
+    ) -> Self {
+        let mut r = FleetReport {
+            schema: FLEET_SCHEMA,
+            scenario: scenario.to_string(),
+            clients: manifests.len() as u32,
+            modulated_packets: 0,
+            released_packets: 0,
+            dropped_packets: 0,
+            deadline_misses: 0,
+            deadline_miss_rate: 0.0,
+            mean_abs_delay_error_p95_ms: 0.0,
+            worst_abs_delay_error_p95_ms: 0.0,
+            failed_clients: 0,
+            degraded_clients: 0,
+            metrics: MetricsRegistry::new(),
+            runner: None,
+        };
+        let mut weighted_p95 = 0.0f64;
+        for m in manifests {
+            let f = &m.fidelity;
+            r.modulated_packets += f.modulated_packets;
+            r.released_packets += f.released_packets;
+            r.dropped_packets += f.dropped_packets;
+            r.deadline_misses += f.deadline_misses;
+            weighted_p95 += f.abs_delay_error_p95_ms * f.released_packets as f64;
+            if f.abs_delay_error_p95_ms > r.worst_abs_delay_error_p95_ms {
+                r.worst_abs_delay_error_p95_ms = f.abs_delay_error_p95_ms;
+            }
+            if !f.check(thresholds).is_empty() {
+                r.failed_clients += 1;
+            }
+            if f.degraded {
+                r.degraded_clients += 1;
+            }
+        }
+        if r.released_packets > 0 {
+            r.deadline_miss_rate = r.deadline_misses as f64 / r.released_packets as f64;
+            r.mean_abs_delay_error_p95_ms = weighted_p95 / r.released_packets as f64;
+        }
+        r
+    }
+
+    /// The fleet fidelity gate: every client must pass its own gate,
+    /// and the fleet-wide miss rate and worst p95 must clear the same
+    /// thresholds a single run is held to. Returns the violations
+    /// (empty = pass).
+    pub fn check(&self, th: &FidelityThresholds) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.failed_clients > 0 {
+            out.push(format!(
+                "{} of {} clients failed the per-client fidelity gate",
+                self.failed_clients, self.clients
+            ));
+        }
+        if self.worst_abs_delay_error_p95_ms > th.max_abs_delay_error_p95_ms {
+            out.push(format!(
+                "worst per-client delay-error p95 {:.2} ms exceeds {:.2} ms",
+                self.worst_abs_delay_error_p95_ms, th.max_abs_delay_error_p95_ms
+            ));
+        }
+        if self.deadline_miss_rate > th.max_deadline_miss_rate {
+            out.push(format!(
+                "fleet deadline-miss rate {:.4} exceeds {:.4}",
+                self.deadline_miss_rate, th.max_deadline_miss_rate
+            ));
+        }
+        out
+    }
+
+    /// Pretty-printed JSON form (what `--obs-out` writes).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report serializes")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Compact JSON with the wall-clock runner section stripped: equal
+    /// runs produce equal bytes regardless of machine, worker count,
+    /// or shard layout.
+    pub fn deterministic_json(&self) -> String {
+        let mut clone = self.clone();
+        clone.runner = None;
+        serde_json::to_string(&clone).expect("fleet report serializes")
+    }
+
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "fleet report: {} × {}", self.scenario, self.clients);
+        let _ = writeln!(
+            s,
+            "  packets: {} modulated, {} released, {} dropped",
+            self.modulated_packets, self.released_packets, self.dropped_packets
+        );
+        let _ = writeln!(
+            s,
+            "  delay-error p95: mean {:.2} ms, worst {:.2} ms",
+            self.mean_abs_delay_error_p95_ms, self.worst_abs_delay_error_p95_ms
+        );
+        let _ = writeln!(
+            s,
+            "  deadline misses: {} ({:.4} rate)",
+            self.deadline_misses, self.deadline_miss_rate
+        );
+        let _ = writeln!(
+            s,
+            "  clients: {} failed gate, {} degraded",
+            self.failed_clients, self.degraded_clients
+        );
+        for (k, v) in self.metrics.counters() {
+            let _ = writeln!(s, "  {k} = {v}");
+        }
+        if let Some(r) = &self.runner {
+            let _ = writeln!(
+                s,
+                "  runner: {:.2}s wall × {} workers",
+                r.wall_secs, r.workers
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FidelityCollector;
+
+    fn manifest(trial: u32, err_ms: f64, releases: u64) -> RunManifest {
+        let mut fc = FidelityCollector::new();
+        for _ in 0..releases {
+            fc.on_modulated(0.0);
+            fc.on_release(err_ms, false);
+        }
+        let mut m = RunManifest::new("porter_walk", "fleet-probe", trial);
+        m.fidelity = fc.report();
+        m
+    }
+
+    #[test]
+    fn aggregates_weighted_and_worst_p95() {
+        let manifests = vec![manifest(0, 1.0, 300), manifest(1, 3.0, 100)];
+        let r =
+            FleetReport::from_manifests("porter_walk", &manifests, &FidelityThresholds::default());
+        assert_eq!(r.clients, 2);
+        assert_eq!(r.released_packets, 400);
+        assert!(r.worst_abs_delay_error_p95_ms >= 2.5);
+        assert!(r.mean_abs_delay_error_p95_ms < r.worst_abs_delay_error_p95_ms);
+        assert_eq!(r.failed_clients, 0);
+        assert!(r.check(&FidelityThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn failing_client_fails_the_fleet_gate() {
+        let manifests = vec![manifest(0, 1.0, 300), manifest(1, 50.0, 300)];
+        let th = FidelityThresholds::default();
+        let r = FleetReport::from_manifests("porter_walk", &manifests, &th);
+        assert_eq!(r.failed_clients, 1);
+        let violations = r.check(&th);
+        assert!(!violations.is_empty());
+        assert!(violations[0].contains("1 of 2 clients"));
+    }
+
+    #[test]
+    fn deterministic_json_strips_runner() {
+        let manifests = vec![manifest(0, 1.0, 10)];
+        let mut r =
+            FleetReport::from_manifests("porter_walk", &manifests, &FidelityThresholds::default());
+        let det = r.deterministic_json();
+        r.runner = Some(RunnerSection {
+            wall_secs: 1.23,
+            workers: 8,
+            records_per_sec: 0.0,
+            worker_utilization: 0.5,
+        });
+        assert_eq!(r.deterministic_json(), det);
+        let parsed = FleetReport::from_json(&r.to_json_pretty()).unwrap();
+        assert_eq!(parsed, r);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod bench;
 pub mod fidelity;
+pub mod fleet;
 pub mod flight;
 pub mod manifest;
 pub mod metrics;
@@ -49,6 +50,7 @@ pub mod span;
 
 pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict};
 pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
+pub use fleet::{FleetReport, FLEET_SCHEMA};
 pub use flight::{FlightHandle, FlightRecord, FlightRecorder, PacketId, PacketJourney, Stage};
 pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
 pub use metrics::{Counter, Gauge, Hist, HistSnapshot};

@@ -12,6 +12,7 @@
 //! tracemod trace-export --scenario porter --benchmark web --out flight.json
 //! tracemod journey [--packet-id N | --window T0..T1]
 //! tracemod bench-diff current.jsonl [--baseline BENCH_baseline.json] [--check] [--json]
+//! tracemod fleet --clients 10000 [--shards 8] [--jobs 8] [--obs-out fleet.json] [--check]
 //! ```
 //!
 //! Files use the binary formats by default; any path ending in `.json`
@@ -24,6 +25,7 @@
 //! exit code (2 for usage errors, 1 for runtime failures) — no panics.
 
 use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
+use emu::{fleet_run, fleet_run_chaos, FleetPlan};
 use emu::{
     live_modulated_run, live_run, modulated_run, Benchmark, CellKind, Exec, LiveModOutcome,
     RunConfig, TrialCell, TrialPlan,
@@ -33,7 +35,7 @@ use modulate::TickClock;
 use netsim::SimDuration;
 use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig};
 use obs::flight::PacketId;
-use obs::{FidelityThresholds, RunManifest};
+use obs::{FidelityThresholds, FleetReport, RunManifest};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
@@ -566,8 +568,18 @@ fn cmd_obs_report(args: &Args) -> CliResult {
     })?;
     let text = std::fs::read_to_string(input)
         .map_err(|e| CliError::runtime(format!("read {input}: {e}")))?;
-    let manifest =
-        RunManifest::from_json(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    // A fleet aggregate report is the other artifact this command
+    // understands: try the per-run manifest first (the common case),
+    // fall back to the fleet schema.
+    let manifest = match RunManifest::from_json(&text) {
+        Ok(m) => m,
+        Err(manifest_err) => {
+            if let Ok(fleet) = FleetReport::from_json(&text) {
+                return obs_report_fleet(args, &fleet);
+            }
+            return Err(CliError::runtime(format!("{input}: {manifest_err}")));
+        }
+    };
     match args.get("format").unwrap_or("text") {
         "text" => print!("{}", manifest.render_text()),
         "json" => println!("{}", manifest.to_json_pretty()),
@@ -589,6 +601,33 @@ fn cmd_obs_report(args: &Args) -> CliResult {
             return Err(CliError::runtime(msg));
         }
         eprintln!("fidelity self-check: PASS");
+    }
+    Ok(())
+}
+
+/// `obs-report` on a fleet aggregate: render, then gate on the fleet
+/// thresholds when `--check` is set.
+fn obs_report_fleet(args: &Args, report: &FleetReport) -> CliResult {
+    match args.get("format").unwrap_or("text") {
+        "text" | "md" => print!("{}", report.render_text()),
+        "json" => println!("{}", report.to_json_pretty()),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format '{other}' (try: text, json, md)"
+            )))
+        }
+    }
+    if args.get("check").is_some() {
+        let violations = report.check(&FidelityThresholds::default());
+        if !violations.is_empty() {
+            let mut msg = String::from("fleet fidelity gate failed:");
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(CliError::runtime(msg));
+        }
+        eprintln!("fleet fidelity gate: PASS");
     }
     Ok(())
 }
@@ -885,6 +924,128 @@ fn cmd_chaos(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_fleet(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "clients",
+            "scenario",
+            "scenario-file",
+            "duration-secs",
+            "seed",
+            "shards",
+            "jobs",
+            "stations",
+            "probe-interval-ms",
+            "wheel-slots",
+            "fault-seed",
+            "fault-plan",
+            "obs-out",
+            "manifests-out",
+            "check",
+        ],
+        1,
+    )?;
+    let sc = scenario_arg_default(args, Some("porter"))?;
+    let clients: u32 = args.parse_num("clients", 1000u32)?;
+    if clients == 0 {
+        return Err(CliError::usage("--clients must be positive"));
+    }
+    let shards = args.parse_num("shards", 1usize)?.max(1);
+    let jobs = args.parse_num("jobs", 1usize)?.max(1);
+    let mut plan = FleetPlan::new(sc, clients)
+        .with_seed(args.parse_num("seed", 7u64)?)
+        .with_shards(shards);
+    if let Some(stations) = args.get("stations") {
+        let n: u32 = stations
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid value for --stations: {stations}")))?;
+        if n == 0 {
+            return Err(CliError::usage("--stations must be positive"));
+        }
+        plan.stations = n;
+    }
+    let probe_ms = args.parse_num("probe-interval-ms", 1000u64)?;
+    if probe_ms == 0 {
+        return Err(CliError::usage("--probe-interval-ms must be positive"));
+    }
+    plan = plan.with_probe_interval(SimDuration::from_millis(probe_ms));
+    let wheel_slots = args.parse_num("wheel-slots", 64usize)?;
+    if wheel_slots == 0 || wheel_slots % 64 != 0 {
+        return Err(CliError::usage(
+            "--wheel-slots must be a positive multiple of 64",
+        ));
+    }
+    plan.wheel_slots = wheel_slots;
+
+    eprintln!(
+        "fleet: {} clients × '{}' ({} stations, {} shard(s), {} worker(s))...",
+        plan.clients, plan.scenario.name, plan.stations, plan.shards, jobs
+    );
+    let exec = Exec::with_workers(jobs);
+    let out = match args.get("fault-plan") {
+        Some(plan_path) => {
+            let fault_seed: u64 = args
+                .parse_num("fault-seed", 42u64)
+                .map_err(|_| CliError::usage("invalid value for --fault-seed (expected u64)"))?;
+            let plan_text = std::fs::read_to_string(plan_path)
+                .map_err(|e| CliError::usage(format!("read fault plan {plan_path}: {e}")))?;
+            let fault_plan = FaultPlan::from_json(&plan_text)
+                .map_err(|e| CliError::usage(format!("{plan_path}: {e}")))?;
+            fleet_run_chaos(&plan, &exec, fault_seed, &fault_plan)
+        }
+        None => fleet_run(&plan, &exec),
+    };
+
+    print!("{}", out.report.render_text());
+    for ev in &out.faults {
+        eprintln!(
+            "[fault] t={:9.3}s {:<13} {}",
+            ev.t_virtual_ns as f64 / 1e9,
+            ev.fault,
+            ev.info
+        );
+    }
+    if let Some(r) = &out.report.runner {
+        eprintln!(
+            "engine: {:.0} events/s over {:.2}s wall, peak queue depth {}, peak packets live {}",
+            r.records_per_sec, r.wall_secs, out.peak_queue_depth, out.peak_packets_live
+        );
+    }
+    if let Some(manifests_out) = args.get("manifests-out") {
+        // Runner-stripped JSONL, one manifest per client in client
+        // order: byte-comparable across --shards and --jobs.
+        let mut s = String::new();
+        for m in &out.manifests {
+            s.push_str(&m.deterministic_json());
+            s.push('\n');
+        }
+        std::fs::write(manifests_out, &s)
+            .map_err(|e| CliError::runtime(format!("write {manifests_out}: {e}")))?;
+        eprintln!(
+            "wrote {} client manifest(s) → {manifests_out}",
+            out.manifests.len()
+        );
+    }
+    if let Some(obs_out) = args.get("obs-out") {
+        std::fs::write(obs_out, out.report.to_json_pretty())
+            .map_err(|e| CliError::runtime(format!("write {obs_out}: {e}")))?;
+        eprintln!("wrote fleet report → {obs_out}");
+    }
+    if args.get("check").is_some() {
+        let violations = out.report.check(&FidelityThresholds::default());
+        if !violations.is_empty() {
+            let mut msg = String::from("fleet fidelity gate failed:");
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(CliError::runtime(msg));
+        }
+        eprintln!("fleet fidelity gate: PASS");
+    }
+    Ok(())
+}
+
 fn report_result(r: &emu::RunResult) {
     match r.elapsed {
         Some(secs) => println!("{}: {:.2} s", r.benchmark.name(), secs),
@@ -924,6 +1085,15 @@ commands:
                                            runner-stripped manifests and the fault-event JSONL;
                                            --fault-budget N gates on injected faults; --check gates
                                            on the fidelity thresholds)
+  fleet --clients N                        run N mobile clients under one fleet engine
+                                           (defaults: --scenario porter, 1000 clients; --shards S
+                                           shards clients across engines with byte-identical
+                                           output, --jobs J workers; --stations K, --seed N,
+                                           --probe-interval-ms M, --wheel-slots W tune the fleet;
+                                           --fault-plan F [--fault-seed N] injects faults;
+                                           --manifests-out F writes per-client manifest JSONL,
+                                           --obs-out F the aggregate report; --check gates on the
+                                           fleet fidelity thresholds)
 benchmarks: web, ftp-send, ftp-recv, andrew
 scenario commands also accept --duration-secs N to shorten the traversal";
 
@@ -944,6 +1114,7 @@ fn main() {
         Some("journey") => cmd_journey(&args),
         Some("bench-diff") => cmd_bench_diff(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("fleet") => cmd_fleet(&args),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("no command given")),
     };
