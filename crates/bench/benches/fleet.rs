@@ -13,7 +13,14 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use emu::{fleet_run, Exec, FleetPlan};
 use netsim::SimDuration;
+use obs::TelemetryConfig;
 use wavelan::Scenario;
+
+fn base_plan(clients: u32) -> FleetPlan {
+    FleetPlan::new(Scenario::porter(), clients)
+        .with_duration(SimDuration::from_secs(10))
+        .with_probe_interval(SimDuration::from_millis(500))
+}
 
 fn bench_fleet(c: &mut Criterion) {
     let mut g = c.benchmark_group("fleet");
@@ -21,13 +28,24 @@ fn bench_fleet(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(u64::from(clients)));
     g.bench_function("fleet_10k", |b| {
-        let plan = FleetPlan::new(Scenario::porter(), clients)
-            .with_duration(SimDuration::from_secs(10))
-            .with_probe_interval(SimDuration::from_millis(500));
+        let plan = base_plan(clients);
         b.iter(|| {
             let out = fleet_run(&plan, &Exec::serial());
             assert_eq!(out.manifests.len(), clients as usize);
             assert!(out.report.released_packets > 0);
+            out.report.released_packets
+        });
+    });
+    // The telemetry-plane twin of `fleet_10k`: identical plan plus
+    // virtual-time sampling at the default 1 s interval. The overhead
+    // gate in perf CI holds this entry within 5% of the plain run
+    // (same-run comparison, so machine noise cancels out).
+    g.bench_function("fleet_10k_telemetry", |b| {
+        let plan = base_plan(clients).with_telemetry(TelemetryConfig::default());
+        b.iter(|| {
+            let out = fleet_run(&plan, &Exec::serial());
+            let tel = out.report.telemetry.as_ref().expect("telemetry on");
+            assert!(!tel.series.is_empty());
             out.report.released_packets
         });
     });

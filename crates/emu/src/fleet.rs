@@ -34,11 +34,12 @@ use crate::plan::{CellKind, Exec, TrialCell, TrialPlan};
 use crate::runs::RunConfig;
 use faultkit::{FaultCounters, FaultEvent, FaultInjector, FaultPlan};
 use modulate::{Modulator, TickClock};
-use netsim::fleet::{FleetEvent, FleetSim, PacketStore, StationTable};
+use netsim::fleet::{FleetSim, FleetStep, PacketStore, StationTable};
 use netsim::{SimDuration, SimRng, SimTime};
 use netstack::{Direction, LinkShim, ShimRelease, ShimVerdict};
 use obs::fleet::FleetReport;
-use obs::{FidelityThresholds, Hist, RunManifest, RunnerSection};
+use obs::telemetry::{FleetTelemetry, SampleInputs, ShardTelemetry, TelemetryConfig};
+use obs::{FidelityThresholds, Hist, Profiler, RunManifest, RunnerSection};
 use tracekit::{QualityTuple, ReplayTrace};
 use wavelan::{ChannelModel, Scenario};
 
@@ -100,6 +101,12 @@ pub struct FleetPlan {
     pub probe_interval: SimDuration,
     /// Override the scenario duration (tests and benches shorten it).
     pub duration: Option<SimDuration>,
+    /// Telemetry-plane configuration; `None` (default) runs with the
+    /// plane off and zero sampling work in the engine loop.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Run the scoped self-profiler (wall-clock spans over the shard
+    /// hot paths; opt-in because it reads `Instant` per event).
+    pub profile: bool,
 }
 
 impl FleetPlan {
@@ -118,6 +125,8 @@ impl FleetPlan {
             stations: (clients / 32).max(1),
             probe_interval: SimDuration::from_secs(1),
             duration: None,
+            telemetry: None,
+            profile: false,
         }
     }
 
@@ -143,6 +152,18 @@ impl FleetPlan {
     pub fn with_probe_interval(mut self, interval: SimDuration) -> Self {
         assert!(interval.as_nanos() > 0, "probe interval must be positive");
         self.probe_interval = interval;
+        self
+    }
+
+    /// Enable the telemetry plane under `cfg`.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Enable the scoped self-profiler.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -258,6 +279,12 @@ pub struct FleetShardOutcome {
     pub faults: Vec<FaultEvent>,
     /// Fault tallies for this shard.
     pub counters: FaultCounters,
+    /// This shard's telemetry ring and worst-client tracker, when the
+    /// plan enables the plane (merged fleet-wide in plan order).
+    pub telemetry: Option<ShardTelemetry>,
+    /// This shard's self-profile, when the plan enables it
+    /// (wall-clock; merged by summation, never deterministic).
+    pub profile: Option<Profiler>,
 }
 
 impl FleetShard {
@@ -356,6 +383,14 @@ fn update_wake(sim: &mut FleetSim<Ev>, cl: &mut ClientState, client: u32) {
 /// Run one shard's clients to completion. `kill_after` aborts the run
 /// after that many dispatched events and returns `Err(virtual ns)` —
 /// the chaos probe pass.
+///
+/// When the plan enables telemetry, the engine delivers sample
+/// boundaries on the configured virtual interval and this function
+/// reads the shard's cumulative state at each one (an O(clients) scan
+/// of cheap integer accessors — nothing on the per-event path).
+/// Telemetry is skipped during chaos probe passes: their output is
+/// discarded, and samples never count against the kill budget, so the
+/// definitive rerun's bytes are unchanged.
 fn run_shard(
     plan: &FleetPlan,
     lo: u32,
@@ -370,6 +405,20 @@ fn run_shard(
     let mut pool: Vec<Vec<u8>> = Vec::new();
     let mut scratch: Vec<ShimRelease> = Vec::new();
     let mut sim: FleetSim<Ev> = FleetSim::new();
+    let mut prof = if plan.profile {
+        let mut p = Profiler::new();
+        p.enter("shard");
+        p.enter("setup");
+        Some(p)
+    } else {
+        None
+    };
+    let mut telemetry = if kill_after.is_none() {
+        plan.telemetry.map(ShardTelemetry::new)
+    } else {
+        None
+    };
+    let sample_interval = telemetry.as_ref().map_or(0, |t| t.interval_ns());
 
     let mut clients: Vec<ClientState> = Vec::with_capacity((hi - lo) as usize);
     for c in lo..hi {
@@ -392,8 +441,47 @@ fn run_shard(
         });
     }
 
+    if let Some(p) = prof.as_mut() {
+        p.exit("setup");
+        p.enter("run");
+    }
     let killed = {
-        let mut handler = |ev: FleetEvent<Ev>, sim: &mut FleetSim<Ev>| {
+        let mut handler = |step: FleetStep<Ev>, sim: &mut FleetSim<Ev>| {
+            let ev = match step {
+                FleetStep::Sample(t_ns) => {
+                    let tel = telemetry
+                        .as_mut()
+                        .expect("samples only fire with telemetry enabled");
+                    let mut inp = SampleInputs {
+                        events: sim.events_processed(),
+                        queue_depth: sim.queue_depth() as u64,
+                        packets_live: store.live() as u64,
+                        station_frames: stations.total_frames(),
+                        ..SampleInputs::default()
+                    };
+                    for cl in clients.iter() {
+                        inp.mod_held += cl.m.held_count() as u64;
+                        inp.probes_sent += cl.probes_sent;
+                        inp.rtts_completed += cl.completed;
+                        inp.packets_lost += cl.lost;
+                        let (released, err_ns) = cl.m.error_accum();
+                        inp.released += released;
+                        inp.abs_delay_error_ns += err_ns;
+                        inp.degraded_clients += u64::from(cl.m.is_degraded());
+                    }
+                    tel.sample(t_ns, inp);
+                    return;
+                }
+                FleetStep::Event(ev) => ev,
+            };
+            let span = match ev.kind {
+                Ev::Probe => "probe",
+                Ev::ModWake => "mod_wake",
+                Ev::Return { .. } => "return",
+            };
+            if let Some(p) = prof.as_mut() {
+                p.enter(span);
+            }
             let cl = &mut clients[(ev.client - lo) as usize];
             let now_ns = ev.due_ns;
             let now = SimTime::from_nanos(now_ns);
@@ -432,35 +520,36 @@ fn run_shard(
                     update_wake(sim, cl, ev.client);
                 }
                 Ev::ModWake => {
-                    if cl.next_wake_ns != now_ns {
-                        return; // stale wake; a newer one is armed
-                    }
-                    cl.next_wake_ns = u64::MAX;
-                    cl.m.collect_due_into(now, &mut cl.rng, &mut scratch);
-                    for rel in scratch.drain(..) {
-                        let packet = packet_of(&rel.bytes);
-                        match rel.dir {
-                            Direction::Outbound => {
-                                let size = store.size(packet);
-                                uplink(
-                                    sim,
-                                    &mut stations,
-                                    cl.station,
-                                    ev.client,
-                                    packet,
-                                    size,
-                                    rel.bytes,
-                                    &mut pool,
-                                    now_ns,
-                                );
-                            }
-                            Direction::Inbound => {
-                                complete(cl, &mut store, packet, now_ns);
-                                pool.push(rel.bytes);
+                    // A stale wake (a newer one is armed) falls through
+                    // without touching the modulator.
+                    if cl.next_wake_ns == now_ns {
+                        cl.next_wake_ns = u64::MAX;
+                        cl.m.collect_due_into(now, &mut cl.rng, &mut scratch);
+                        for rel in scratch.drain(..) {
+                            let packet = packet_of(&rel.bytes);
+                            match rel.dir {
+                                Direction::Outbound => {
+                                    let size = store.size(packet);
+                                    uplink(
+                                        sim,
+                                        &mut stations,
+                                        cl.station,
+                                        ev.client,
+                                        packet,
+                                        size,
+                                        rel.bytes,
+                                        &mut pool,
+                                        now_ns,
+                                    );
+                                }
+                                Direction::Inbound => {
+                                    complete(cl, &mut store, packet, now_ns);
+                                    pool.push(rel.bytes);
+                                }
                             }
                         }
+                        update_wake(sim, cl, ev.client);
                     }
-                    update_wake(sim, cl, ev.client);
                 }
                 Ev::Return { packet } => {
                     let size = store.size(packet);
@@ -480,17 +569,27 @@ fn run_shard(
                     update_wake(sim, cl, ev.client);
                 }
             }
+            if let Some(p) = prof.as_mut() {
+                p.exit(span);
+            }
         };
         match kill_after {
-            Some(limit) => sim.run_until_limit(end_ns, limit, &mut handler),
+            Some(limit) => {
+                sim.run_until_sampled_limit(end_ns, sample_interval, limit, &mut handler)
+            }
             None => {
-                sim.run_until(end_ns, &mut handler);
+                sim.run_until_sampled(end_ns, sample_interval, &mut handler);
                 false
             }
         }
     };
     if killed {
         return Err(sim.now_ns());
+    }
+    if let Some(p) = prof.as_mut() {
+        p.add_virtual(sim.now_ns());
+        p.exit("run");
+        p.enter("finalize");
     }
 
     let manifests = clients
@@ -523,6 +622,23 @@ fn run_shard(
         })
         .collect();
 
+    if let Some(tel) = telemetry.as_mut() {
+        // Per-client p95 RTT is a pure function of the client's own
+        // history, so the shard-local trackers merge into an exact,
+        // layout-invariant fleet-wide top K (each client lives in
+        // exactly one shard).
+        for (cl, c) in clients.iter().zip(lo..hi) {
+            if cl.completed > 0 {
+                let p95_us = (cl.rtt_ms.summary().p95() * 1_000.0).round() as u64;
+                tel.note_client_p95(c, p95_us);
+            }
+        }
+    }
+    if let Some(p) = prof.as_mut() {
+        p.exit("finalize");
+        p.exit("shard");
+    }
+
     Ok(FleetShardOutcome {
         first_client: lo,
         manifests,
@@ -534,6 +650,8 @@ fn run_shard(
         virtual_secs: end_ns as f64 / 1e9,
         faults: Vec::new(),
         counters: FaultCounters::default(),
+        telemetry,
+        profile: prof,
     })
 }
 
@@ -557,6 +675,9 @@ pub struct FleetOutcome {
     /// Summed packet-arena peaks across shards (diagnostic bound on
     /// in-flight packet memory).
     pub peak_packets_live: usize,
+    /// Merged shard self-profiles, when the plan enabled profiling
+    /// (wall-clock — diagnostic only, like the runner section).
+    pub profile: Option<Profiler>,
 }
 
 /// Run a fleet: shard the clients, execute one engine per shard on the
@@ -601,6 +722,8 @@ fn fleet_run_inner(plan: &FleetPlan, exec: &Exec, fault: Option<(u64, FaultPlan)
     let mut events = 0u64;
     let mut peak_queue_depth = 0usize;
     let mut peak_packets_live = 0usize;
+    let mut shard_telemetry: Vec<&ShardTelemetry> = Vec::new();
+    let mut profile: Option<Profiler> = None;
     for shard in results.fleet_outcomes() {
         debug_assert_eq!(
             shard.first_client,
@@ -614,6 +737,12 @@ fn fleet_run_inner(plan: &FleetPlan, exec: &Exec, fault: Option<(u64, FaultPlan)
         events += shard.events_processed;
         peak_queue_depth = peak_queue_depth.max(shard.peak_queue_depth);
         peak_packets_live += shard.peak_packets_live;
+        if let Some(tel) = &shard.telemetry {
+            shard_telemetry.push(tel);
+        }
+        if let Some(p) = &shard.profile {
+            profile.get_or_insert_with(Profiler::new).merge(p);
+        }
     }
 
     let mut report = FleetReport::from_manifests(
@@ -621,6 +750,17 @@ fn fleet_run_inner(plan: &FleetPlan, exec: &Exec, fault: Option<(u64, FaultPlan)
         &manifests,
         &FidelityThresholds::default(),
     );
+    if let Some(cfg) = &plan.telemetry {
+        // Shard rings merge in plan order; station hot spots come from
+        // the *merged* station table (stations span shards, so exact
+        // fleet-wide counts are the only layout-invariant source).
+        let mut tel = FleetTelemetry::merge(shard_telemetry.iter().copied());
+        tel.set_hot_stations(
+            cfg.top_k,
+            (0..stations.stations() as u32).map(|s| (s, stations.frames(s))),
+        );
+        report.telemetry = Some(tel);
+    }
     report.metrics.set_counter("fleet.engine_events", events);
     report
         .metrics
@@ -651,6 +791,7 @@ fn fleet_run_inner(plan: &FleetPlan, exec: &Exec, fault: Option<(u64, FaultPlan)
         counters,
         peak_queue_depth,
         peak_packets_live,
+        profile,
     }
 }
 
@@ -717,6 +858,65 @@ mod tests {
         // Aggregate gate: a healthy tiny fleet passes default thresholds.
         let violations = out.report.check(&FidelityThresholds::default());
         assert!(violations.is_empty(), "fleet gate failed: {violations:?}");
+    }
+
+    #[test]
+    fn telemetry_samples_and_outliers_populate() {
+        let plan = tiny_plan(4).with_telemetry(TelemetryConfig::default());
+        let out = fleet_run(&plan, &Exec::serial());
+        let tel = out.report.telemetry.as_ref().expect("telemetry enabled");
+        // 3 s scenario + 10 s drain grace ⇒ 13 one-second boundaries.
+        assert_eq!(tel.series.len(), 13);
+        assert_eq!(tel.interval_ns, 1_000_000_000);
+        let probes: u64 = tel.series.iter().map(|r| r.probes_sent).sum();
+        let manifest_probes: u64 = out
+            .manifests
+            .iter()
+            .map(|m| m.metrics.counter("fleet.probes_sent").unwrap_or(0))
+            .sum();
+        assert_eq!(probes, manifest_probes, "series deltas sum to run totals");
+        assert!(tel.series.iter().any(|r| r.released > 0));
+        assert!(!tel.worst_clients.is_empty());
+        assert!(!tel.hot_stations.is_empty());
+        assert_eq!(
+            tel.hot_stations.iter().map(|e| e.weight).sum::<u64>(),
+            out.stations.total_frames(),
+            "one station ⇒ top-K holds all frames"
+        );
+        assert!(out.profile.is_none(), "profiler stays off unless asked");
+    }
+
+    #[test]
+    fn telemetry_leaves_manifests_unchanged() {
+        let plain = fleet_run(&tiny_plan(3), &Exec::serial());
+        let with_tel = fleet_run(
+            &tiny_plan(3).with_telemetry(TelemetryConfig::default()),
+            &Exec::serial(),
+        );
+        let a: Vec<String> = plain
+            .manifests
+            .iter()
+            .map(RunManifest::deterministic_json)
+            .collect();
+        let b: Vec<String> = with_tel
+            .manifests
+            .iter()
+            .map(RunManifest::deterministic_json)
+            .collect();
+        assert_eq!(a, b, "telemetry must not perturb the simulation");
+    }
+
+    #[test]
+    fn profiler_covers_the_hot_paths() {
+        let plan = tiny_plan(2).with_profile(true);
+        let out = fleet_run(&plan, &Exec::serial());
+        let prof = out.profile.expect("profiling enabled");
+        let stacks: Vec<&str> = prof.entries().map(|(k, _)| k).collect();
+        assert!(stacks.contains(&"shard;run;probe"), "{stacks:?}");
+        assert!(stacks.contains(&"shard;run;return"), "{stacks:?}");
+        assert!(stacks.contains(&"shard;setup"), "{stacks:?}");
+        let collapsed = prof.render_collapsed();
+        assert!(collapsed.contains("shard;run;probe "));
     }
 
     #[test]

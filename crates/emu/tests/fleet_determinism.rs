@@ -11,7 +11,7 @@
 use emu::{fleet_run, fleet_run_chaos, Exec, FleetOutcome, FleetPlan};
 use faultkit::FaultPlan;
 use netsim::SimDuration;
-use obs::RunManifest;
+use obs::{RunManifest, TelemetryConfig};
 use proptest::prelude::*;
 use wavelan::Scenario;
 
@@ -20,6 +20,10 @@ fn tiny_plan(clients: u32, seed: u64) -> FleetPlan {
         .with_seed(seed)
         .with_duration(SimDuration::from_secs(4))
         .with_probe_interval(SimDuration::from_millis(500))
+}
+
+fn telemetry_plan(clients: u32, seed: u64) -> FleetPlan {
+    tiny_plan(clients, seed).with_telemetry(TelemetryConfig::default())
 }
 
 fn manifest_bytes(out: &FleetOutcome) -> Vec<String> {
@@ -63,6 +67,51 @@ proptest! {
             );
         }
     }
+
+    /// The telemetry plane carries the same shard-invariance contract
+    /// as the manifests: the merged series, outlier trackers, and the
+    /// full deterministic report are byte-identical at 1, 2, and 8
+    /// shards — and JSONL / Prometheus exports match byte for byte.
+    #[test]
+    fn telemetry_series_identical_across_shards(
+        clients in 1u32..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let reference = fleet_run(&telemetry_plan(clients, seed), &Exec::serial());
+        let ref_tel = reference.report.telemetry.as_ref().expect("telemetry on");
+        prop_assert!(!ref_tel.series.is_empty());
+        for shards in [2usize, 8] {
+            let sharded = fleet_run(
+                &telemetry_plan(clients, seed).with_shards(shards),
+                &Exec::with_workers(4),
+            );
+            let tel = sharded.report.telemetry.as_ref().expect("telemetry on");
+            prop_assert_eq!(
+                ref_tel.to_jsonl(),
+                tel.to_jsonl(),
+                "{} clients seed {} at {} shards: series diverged",
+                clients, seed, shards
+            );
+            prop_assert_eq!(ref_tel.to_prometheus(), tel.to_prometheus());
+            prop_assert_eq!(
+                reference.report.deterministic_json(),
+                sharded.report.deterministic_json(),
+                "deterministic report (incl. telemetry) diverged"
+            );
+        }
+    }
+
+    /// Turning telemetry on observes the fleet without perturbing it:
+    /// per-client manifests are byte-identical either way.
+    #[test]
+    fn telemetry_never_perturbs_manifests(
+        clients in 1u32..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let plain = fleet_run(&tiny_plan(clients, seed), &Exec::serial());
+        let sampled = fleet_run(&telemetry_plan(clients, seed), &Exec::serial());
+        prop_assert_eq!(manifest_bytes(&plain), manifest_bytes(&sampled));
+    }
 }
 
 /// A `kill_worker` fault against a fleet shard: the shard restarts and
@@ -83,6 +132,29 @@ fn killed_shard_restarts_without_breaking_merge() {
         manifest_bytes(&clean),
         manifest_bytes(&chaotic),
         "restart must reproduce the uninterrupted shard bitwise"
+    );
+    assert_eq!(
+        clean.report.deterministic_json(),
+        chaotic.report.deterministic_json()
+    );
+}
+
+/// Telemetry and the chaos kill/restart protocol compose: samples do
+/// not count against the probe pass's event budget, so the kill lands
+/// at the same point and the definitive rerun (telemetry and all)
+/// matches the fault-free run bitwise.
+#[test]
+fn chaos_restart_preserves_telemetry_bytes() {
+    let plan = telemetry_plan(6, 99).with_shards(3);
+    let clean = fleet_run(&plan, &Exec::with_workers(2));
+
+    let faults = FaultPlan::new().kill_worker(1, 40);
+    let chaotic = fleet_run_chaos(&plan, &Exec::with_workers(2), 7, &faults);
+
+    assert_eq!(chaotic.counters.worker_kills, 1, "the kill must fire");
+    assert_eq!(
+        clean.report.telemetry.as_ref().unwrap().to_jsonl(),
+        chaotic.report.telemetry.as_ref().unwrap().to_jsonl()
     );
     assert_eq!(
         clean.report.deterministic_json(),

@@ -419,6 +419,20 @@ impl Modulator {
         self.held.len()
     }
 
+    /// Telemetry readout: `(released_packets, Σ|delay error| ns)` as
+    /// exact integers. Unlike [`fidelity`](Self::fidelity) this does no
+    /// percentile math, so the fleet sampler can poll it at every
+    /// boundary.
+    pub fn error_accum(&self) -> (u64, u64) {
+        self.fidelity.error_accum()
+    }
+
+    /// `true` once sustained tuple-feed starvation has marked this
+    /// client degraded. Cheap flag read for the telemetry sampler.
+    pub fn is_degraded(&self) -> bool {
+        self.fidelity.is_degraded()
+    }
+
     /// Calendar-queue usage counters (all zero under the reference heap
     /// scheduler). Virtual-time deterministic.
     pub fn sched_stats(&self) -> WheelStats {

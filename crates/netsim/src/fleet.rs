@@ -167,10 +167,68 @@ impl<K: 'static> FleetSim<K> {
     where
         F: FnMut(FleetEvent<K>, &mut Self),
     {
+        self.run_until_sampled_limit(deadline_ns, 0, limit, &mut |step, sim| {
+            if let FleetStep::Event(ev) = step {
+                handler(ev, sim);
+            }
+        })
+    }
+
+    /// [`run_until`](Self::run_until) with telemetry sampling:
+    /// interleave [`FleetStep::Sample`] callbacks at every multiple of
+    /// `interval_ns` up to `deadline_ns` (0 disables sampling).
+    pub fn run_until_sampled<F>(&mut self, deadline_ns: u64, interval_ns: u64, handler: &mut F)
+    where
+        F: FnMut(FleetStep<K>, &mut Self),
+    {
+        self.run_until_sampled_limit(deadline_ns, interval_ns, u64::MAX, handler);
+    }
+
+    /// The full run loop: dispatch events in `(due, seq)` order up to
+    /// `deadline_ns` under an event budget of `limit`, delivering a
+    /// [`FleetStep::Sample`] at every virtual boundary `t` that is a
+    /// positive multiple of `interval_ns` (0 disables sampling).
+    ///
+    /// **Boundary rule** — the sample at boundary `t` is delivered
+    /// after every event with `due < t` and before any event with
+    /// `due >= t`, with the clock advanced to `t`. A client therefore
+    /// contributes identically to a sample no matter which shard's
+    /// engine hosts it: this is what makes merged telemetry series
+    /// byte-identical across shard layouts. Trailing boundaries `<=
+    /// deadline_ns` past the last event are still delivered.
+    ///
+    /// Samples do **not** count against `limit` and do not increment
+    /// [`events_processed`](Self::events_processed), so enabling
+    /// telemetry cannot shift the chaos protocol's event-budget kill
+    /// points. Returns `true` if the event budget ran out first (no
+    /// trailing samples are delivered in that case — the aborted probe
+    /// run's telemetry is discarded anyway).
+    pub fn run_until_sampled_limit<F>(
+        &mut self,
+        deadline_ns: u64,
+        interval_ns: u64,
+        limit: u64,
+        handler: &mut F,
+    ) -> bool
+    where
+        F: FnMut(FleetStep<K>, &mut Self),
+    {
         let start = self.processed;
+        // Next boundary strictly after `now`; u64::MAX = disabled.
+        let mut next_sample = self
+            .now_ns
+            .checked_div(interval_ns)
+            .map_or(u64::MAX, |q| (q + 1).saturating_mul(interval_ns));
         while let Some(due) = self.queue.next_due_ns() {
             if due > deadline_ns {
                 break;
+            }
+            while next_sample != u64::MAX && next_sample <= due && next_sample <= deadline_ns {
+                if self.now_ns < next_sample {
+                    self.now_ns = next_sample;
+                }
+                handler(FleetStep::Sample(next_sample), self);
+                next_sample = next_sample.saturating_add(interval_ns);
             }
             if self.processed - start >= limit {
                 return true;
@@ -179,14 +237,34 @@ impl<K: 'static> FleetSim<K> {
             debug_assert!(ev.due_ns >= self.now_ns, "event queue went backwards");
             self.now_ns = ev.due_ns;
             self.processed += 1;
-            handler(ev, self);
+            handler(FleetStep::Event(ev), self);
             self.queue_peak = self.queue_peak.max(self.queue.len());
+        }
+        while next_sample != u64::MAX && next_sample <= deadline_ns {
+            if self.now_ns < next_sample {
+                self.now_ns = next_sample;
+            }
+            handler(FleetStep::Sample(next_sample), self);
+            next_sample = next_sample.saturating_add(interval_ns);
         }
         if self.now_ns < deadline_ns {
             self.now_ns = deadline_ns;
         }
         false
     }
+}
+
+/// One step of a sampled run loop
+/// ([`FleetSim::run_until_sampled_limit`]): either a dispatched engine
+/// event or a telemetry sample boundary.
+#[derive(Debug)]
+pub enum FleetStep<K> {
+    /// An engine event, dispatched in `(due, seq)` order.
+    Event(FleetEvent<K>),
+    /// A telemetry boundary at this virtual time: every event with an
+    /// earlier due time has been dispatched, none with a later-or-equal
+    /// one has.
+    Sample(u64),
 }
 
 /// Struct-of-arrays storage for a fleet's in-flight packets.
@@ -428,6 +506,70 @@ mod tests {
         let killed = sim.run_until_limit(u64::MAX, u64::MAX, &mut |_, _| {});
         assert!(!killed);
         assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn samples_land_between_events_on_the_boundary_rule() {
+        let mut sim: FleetSim<u8> = FleetSim::new();
+        sim.schedule(50, 0, 0);
+        sim.schedule(100, 0, 0); // due exactly at a boundary
+        sim.schedule(150, 0, 0);
+        sim.schedule(320, 0, 0);
+        let mut steps = Vec::new();
+        sim.run_until_sampled(400, 100, &mut |step, sim| match step {
+            FleetStep::Event(ev) => steps.push(('e', ev.due_ns, sim.events_processed())),
+            FleetStep::Sample(t) => steps.push(('s', t, sim.events_processed())),
+        });
+        // Boundary t sits after events due < t, before events due >= t
+        // (the event at exactly 100 lands after sample 100); trailing
+        // boundaries up to the deadline are flushed.
+        assert_eq!(
+            steps,
+            vec![
+                ('e', 50, 1),
+                ('s', 100, 1),
+                ('e', 100, 2),
+                ('e', 150, 3),
+                ('s', 200, 3),
+                ('s', 300, 3),
+                ('e', 320, 4),
+                ('s', 400, 4),
+            ]
+        );
+        assert_eq!(sim.now_ns(), 400);
+    }
+
+    #[test]
+    fn samples_do_not_consume_the_event_budget() {
+        let mut sim: FleetSim<u8> = FleetSim::new();
+        for i in 1..=6u64 {
+            sim.schedule(i * 100, 0, 0);
+        }
+        let mut samples = 0;
+        let mut events = 0;
+        let killed = sim.run_until_sampled_limit(u64::MAX, 50, 4, &mut |step, _| match step {
+            FleetStep::Sample(_) => samples += 1,
+            FleetStep::Event(_) => events += 1,
+        });
+        assert!(killed);
+        assert_eq!(events, 4, "kill point identical to the unsampled run");
+        assert_eq!(sim.events_processed(), 4);
+        assert!(samples >= 7, "boundaries up to the 4th event sampled");
+    }
+
+    #[test]
+    fn zero_interval_disables_sampling() {
+        let mut sim: FleetSim<u8> = FleetSim::new();
+        sim.schedule(10, 0, 0);
+        let mut samples = 0;
+        sim.run_until_sampled(1_000, 0, &mut |step, _| {
+            if matches!(step, FleetStep::Sample(_)) {
+                samples += 1;
+            }
+        });
+        assert_eq!(samples, 0);
+        assert_eq!(sim.now_ns(), 1_000);
+        assert_eq!(sim.events_processed(), 1);
     }
 
     #[test]

@@ -270,6 +270,74 @@ impl BenchDiff {
     }
 }
 
+/// An overhead gate between two benchmarks **within the same run**:
+/// the `variant` benchmark (e.g. `fleet/fleet_10k_telemetry`) must
+/// stay within `max_ratio` of the `base` benchmark (e.g.
+/// `fleet/fleet_10k`). Because both medians come from the same
+/// machine and the same run, the comparison is immune to the
+/// cross-run noise that forces [`BenchDiffConfig`]'s wide default
+/// band — a 1.05 ratio is meaningful here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadGate {
+    /// Reference benchmark name.
+    pub base: String,
+    /// Benchmark whose overhead over `base` is gated.
+    pub variant: String,
+    /// Maximum allowed `variant / base` median ratio.
+    pub max_ratio: f64,
+}
+
+impl OverheadGate {
+    /// Parse the CLI form `BASE=VARIANT:RATIO`
+    /// (`fleet/fleet_10k=fleet/fleet_10k_telemetry:1.05`).
+    pub fn parse(spec: &str) -> Result<OverheadGate, String> {
+        let err = || format!("overhead spec {spec:?}: expected BASE=VARIANT:RATIO");
+        let (base, rest) = spec.split_once('=').ok_or_else(err)?;
+        let (variant, ratio) = rest.rsplit_once(':').ok_or_else(err)?;
+        let max_ratio: f64 = ratio
+            .parse()
+            .map_err(|_| format!("overhead spec {spec:?}: bad ratio {ratio:?}"))?;
+        if base.is_empty() || variant.is_empty() || max_ratio.is_nan() || max_ratio < 1.0 {
+            return Err(err());
+        }
+        Ok(OverheadGate {
+            base: base.to_string(),
+            variant: variant.to_string(),
+            max_ratio,
+        })
+    }
+
+    /// Check the gate against one run's records. Ok returns the
+    /// measured `variant / base` ratio; Err explains the violation
+    /// (including either benchmark being absent — the gate never
+    /// passes vacuously).
+    pub fn check(&self, current: &[BenchRecord]) -> Result<f64, String> {
+        let find = |name: &str| {
+            current
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.median_ns_per_iter)
+                .ok_or_else(|| format!("overhead gate: benchmark {name:?} not in current run"))
+        };
+        let base = find(&self.base)?;
+        let variant = find(&self.variant)?;
+        if base <= 0.0 {
+            return Err(format!(
+                "overhead gate: base {:?} has non-positive median {base}",
+                self.base
+            ));
+        }
+        let ratio = variant / base;
+        if ratio > self.max_ratio {
+            return Err(format!(
+                "overhead gate: {} is {:.3}× {} (max {:.3}×)",
+                self.variant, ratio, self.base, self.max_ratio
+            ));
+        }
+        Ok(ratio)
+    }
+}
+
 fn ratio_of(baseline_ns: f64, current_ns: f64) -> Option<f64> {
     if baseline_ns > 0.0 {
         Some(current_ns / baseline_ns)
@@ -362,6 +430,34 @@ mod tests {
         let diff = BenchDiff::compare(&baseline, &current, &BenchDiffConfig::default());
         assert_eq!(diff.verdicts[0].status, BenchStatus::Regressed);
         assert_eq!(diff.verdicts[0].tolerance_ratio, 1.2);
+    }
+
+    #[test]
+    fn overhead_gate_parses_and_checks() {
+        let g = OverheadGate::parse("fleet/fleet_10k=fleet/fleet_10k_telemetry:1.05").unwrap();
+        assert_eq!(g.base, "fleet/fleet_10k");
+        assert_eq!(g.variant, "fleet/fleet_10k_telemetry");
+        assert!(OverheadGate::parse("nope").is_err());
+        assert!(OverheadGate::parse("a=b:0.5").is_err());
+        assert!(OverheadGate::parse("a=b:x").is_err());
+
+        let run = vec![
+            rec("fleet/fleet_10k", 1_000_000.0),
+            rec("fleet/fleet_10k_telemetry", 1_030_000.0),
+        ];
+        let ratio = g.check(&run).unwrap();
+        assert!((ratio - 1.03).abs() < 1e-9);
+
+        let slow = vec![
+            rec("fleet/fleet_10k", 1_000_000.0),
+            rec("fleet/fleet_10k_telemetry", 1_200_000.0),
+        ];
+        let err = g.check(&slow).unwrap_err();
+        assert!(err.contains("1.200×"), "{err}");
+
+        // Absent benchmarks fail rather than pass vacuously.
+        assert!(g.check(&[rec("fleet/fleet_10k", 1.0)]).is_err());
+        assert!(g.check(&[]).is_err());
     }
 
     #[test]

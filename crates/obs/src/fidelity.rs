@@ -33,6 +33,7 @@ const DELAY_ERR_BINS: usize = 50;
 pub struct FidelityCollector {
     delay_error_ms: Hist,
     abs_error_ms: Summary,
+    abs_error_total_ns: u64,
     deadline_misses: u64,
     drift_clamps: u64,
     compensated: u64,
@@ -57,6 +58,7 @@ impl FidelityCollector {
         FidelityCollector {
             delay_error_ms: Hist::new(-DELAY_ERR_RANGE_MS, DELAY_ERR_RANGE_MS, DELAY_ERR_BINS),
             abs_error_ms: Summary::keeping_samples(),
+            abs_error_total_ns: 0,
             deadline_misses: 0,
             drift_clamps: 0,
             compensated: 0,
@@ -122,6 +124,11 @@ impl FidelityCollector {
         self.released += 1;
         self.delay_error_ms.observe(error_ms);
         self.abs_error_ms.add(error_ms.abs());
+        // `as` saturates on overflow/NaN; saturating_add keeps the
+        // accumulator well-defined under pathological error magnitudes.
+        self.abs_error_total_ns = self
+            .abs_error_total_ns
+            .saturating_add((error_ms.abs() * 1e6) as u64);
         if missed_deadline {
             self.deadline_misses += 1;
         }
@@ -130,6 +137,21 @@ impl FidelityCollector {
     /// Packets that entered the modulation process so far.
     pub fn modulated(&self) -> u64 {
         self.modulated
+    }
+
+    /// Telemetry readout: `(released_packets, Σ|delay error| in
+    /// integer ns)`. Integer so shard telemetry sums merge exactly;
+    /// cheap (two loads) so the fleet sampler can poll it every
+    /// boundary without touching percentile math.
+    pub fn error_accum(&self) -> (u64, u64) {
+        (self.released, self.abs_error_total_ns)
+    }
+
+    /// `true` once sustained feed starvation has marked the run
+    /// degraded (cheap flag read; the full report recomputation is
+    /// not needed on the telemetry sampling path).
+    pub fn is_degraded(&self) -> bool {
+        self.starvation_saturated
     }
 
     /// Snapshot the evidence into a report.
@@ -368,6 +390,20 @@ mod tests {
         // Degradation is surfaced, not gated: default thresholds still
         // judge the run on its release precision.
         assert!(r.check(&FidelityThresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn error_accum_tracks_integer_ns_sum() {
+        let mut c = FidelityCollector::new();
+        assert_eq!(c.error_accum(), (0, 0));
+        c.on_modulated(0.0);
+        c.on_release(-2.0, false);
+        c.on_modulated(0.0);
+        c.on_release(1.5, false);
+        assert_eq!(c.error_accum(), (2, 3_500_000));
+        assert!(!c.is_degraded());
+        c.on_starvation_saturated();
+        assert!(c.is_degraded());
     }
 
     #[test]

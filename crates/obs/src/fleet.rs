@@ -12,6 +12,7 @@
 use crate::fidelity::FidelityThresholds;
 use crate::manifest::{RunManifest, RunnerSection};
 use crate::registry::MetricsRegistry;
+use crate::telemetry::FleetTelemetry;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -47,9 +48,18 @@ pub struct FleetReport {
     pub failed_clients: u32,
     /// Clients whose run degraded (sustained starvation).
     pub degraded_clients: u32,
+    /// Client index owning the worst |delay error| p95 (`None` for an
+    /// empty fleet).
+    #[serde(default)]
+    pub worst_p95_client: Option<u32>,
     /// Fleet-level deterministic metrics (station traffic, engine
     /// event totals, arena peaks that are layout-invariant).
     pub metrics: MetricsRegistry,
+    /// Live telemetry series and outlier trackers, present when the
+    /// run sampled telemetry. Deterministic (virtual-time sampled),
+    /// so it stays in [`deterministic_json`](FleetReport::deterministic_json).
+    #[serde(default)]
+    pub telemetry: Option<FleetTelemetry>,
     /// Wall-clock runner measurements, excluded from
     /// [`deterministic_json`](FleetReport::deterministic_json).
     #[serde(default)]
@@ -78,7 +88,9 @@ impl FleetReport {
             worst_abs_delay_error_p95_ms: 0.0,
             failed_clients: 0,
             degraded_clients: 0,
+            worst_p95_client: None,
             metrics: MetricsRegistry::new(),
+            telemetry: None,
             runner: None,
         };
         let mut weighted_p95 = 0.0f64;
@@ -89,8 +101,11 @@ impl FleetReport {
             r.dropped_packets += f.dropped_packets;
             r.deadline_misses += f.deadline_misses;
             weighted_p95 += f.abs_delay_error_p95_ms * f.released_packets as f64;
-            if f.abs_delay_error_p95_ms > r.worst_abs_delay_error_p95_ms {
+            if r.worst_p95_client.is_none()
+                || f.abs_delay_error_p95_ms > r.worst_abs_delay_error_p95_ms
+            {
                 r.worst_abs_delay_error_p95_ms = f.abs_delay_error_p95_ms;
+                r.worst_p95_client = Some(m.trial);
             }
             if !f.check(thresholds).is_empty() {
                 r.failed_clients += 1;
@@ -110,8 +125,23 @@ impl FleetReport {
     /// and the fleet-wide miss rate and worst p95 must clear the same
     /// thresholds a single run is held to. Returns the violations
     /// (empty = pass).
+    ///
+    /// A report with no evidence cannot pass: an empty fleet, or a
+    /// fleet that released nothing, is a "no data" violation rather
+    /// than a vacuous green.
     pub fn check(&self, th: &FidelityThresholds) -> Vec<String> {
         let mut out = Vec::new();
+        if self.clients == 0 {
+            out.push("no data: fleet has zero clients".to_string());
+            return out;
+        }
+        if self.released_packets == 0 {
+            out.push(format!(
+                "no data: {} clients released zero packets",
+                self.clients
+            ));
+            return out;
+        }
         if self.failed_clients > 0 {
             out.push(format!(
                 "{} of {} clients failed the per-client fidelity gate",
@@ -188,6 +218,66 @@ impl FleetReport {
         }
         s
     }
+
+    /// Markdown report: the dedicated fleet section (client count,
+    /// worst-p95 client, failed/degraded tallies) plus — when the run
+    /// sampled telemetry — the shared sparkline/table section from
+    /// [`FleetTelemetry::render_markdown_section`].
+    pub fn render_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "## Fleet report — `{}`\n", self.scenario);
+        let _ = writeln!(s, "| metric | value |");
+        let _ = writeln!(s, "|---|---|");
+        let _ = writeln!(s, "| clients | {} |", self.clients);
+        let _ = writeln!(s, "| modulated packets | {} |", self.modulated_packets);
+        let _ = writeln!(s, "| released packets | {} |", self.released_packets);
+        let _ = writeln!(s, "| dropped packets | {} |", self.dropped_packets);
+        let _ = writeln!(
+            s,
+            "| deadline misses | {} ({:.4} rate) |",
+            self.deadline_misses, self.deadline_miss_rate
+        );
+        let _ = writeln!(
+            s,
+            "| mean \\|delay err\\| p95 | {:.2} ms |",
+            self.mean_abs_delay_error_p95_ms
+        );
+        match self.worst_p95_client {
+            Some(c) => {
+                let _ = writeln!(
+                    s,
+                    "| worst \\|delay err\\| p95 | {:.2} ms (client {c}) |",
+                    self.worst_abs_delay_error_p95_ms
+                );
+            }
+            None => {
+                let _ = writeln!(s, "| worst \\|delay err\\| p95 | n/a (no clients) |");
+            }
+        }
+        let _ = writeln!(s, "| failed clients | {} |", self.failed_clients);
+        let _ = writeln!(s, "| degraded clients | {} |", self.degraded_clients);
+        let counters: Vec<_> = self.metrics.counters().collect();
+        if !counters.is_empty() {
+            let _ = writeln!(s, "\n### Fleet counters\n");
+            let _ = writeln!(s, "| counter | value |");
+            let _ = writeln!(s, "|---|---|");
+            for (k, v) in counters {
+                let _ = writeln!(s, "| `{k}` | {v} |");
+            }
+        }
+        if let Some(tel) = &self.telemetry {
+            let _ = writeln!(s);
+            s.push_str(&tel.render_markdown_section());
+        }
+        if let Some(r) = &self.runner {
+            let _ = writeln!(
+                s,
+                "\n*Runner: {:.2} s wall × {} workers.*",
+                r.wall_secs, r.workers
+            );
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +318,51 @@ mod tests {
         let violations = r.check(&th);
         assert!(!violations.is_empty());
         assert!(violations[0].contains("1 of 2 clients"));
+    }
+
+    #[test]
+    fn empty_fleet_is_no_data_not_a_pass() {
+        let th = FidelityThresholds::default();
+        let r = FleetReport::from_manifests("porter_walk", &[], &th);
+        assert_eq!(r.clients, 0);
+        assert_eq!(r.deadline_miss_rate, 0.0);
+        assert!(r.mean_abs_delay_error_p95_ms.is_finite());
+        assert!(r.worst_p95_client.is_none());
+        let v = r.check(&th);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no data"));
+        assert!(v[0].contains("zero clients"));
+    }
+
+    #[test]
+    fn zero_released_is_no_data_not_a_pass() {
+        let th = FidelityThresholds::default();
+        let manifests = vec![manifest(0, 0.0, 0), manifest(1, 0.0, 0)];
+        let r = FleetReport::from_manifests("porter_walk", &manifests, &th);
+        assert_eq!(r.clients, 2);
+        assert_eq!(r.released_packets, 0);
+        assert!(!r.deadline_miss_rate.is_nan());
+        assert!(!r.mean_abs_delay_error_p95_ms.is_nan());
+        let v = r.check(&th);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no data"));
+        assert!(v[0].contains("released zero packets"));
+    }
+
+    #[test]
+    fn worst_client_is_identified() {
+        let manifests = vec![
+            manifest(0, 1.0, 300),
+            manifest(1, 3.0, 100),
+            manifest(2, 2.0, 50),
+        ];
+        let r =
+            FleetReport::from_manifests("porter_walk", &manifests, &FidelityThresholds::default());
+        assert_eq!(r.worst_p95_client, Some(1));
+        let md = r.render_markdown();
+        assert!(md.contains("## Fleet report"));
+        assert!(md.contains("(client 1)"));
+        assert!(md.contains("| clients | 3 |"));
     }
 
     #[test]

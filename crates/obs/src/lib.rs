@@ -29,7 +29,14 @@
 //!   stage, exportable as Chrome trace-event / Perfetto JSON and
 //!   queryable as a [`PacketJourney`];
 //! * [`mod@bench`] — cross-run benchmark regression tracking
-//!   (`tracemod bench-diff` against a committed `BENCH_baseline.json`).
+//!   (`tracemod bench-diff` against a committed `BENCH_baseline.json`)
+//!   plus the same-run [`OverheadGate`];
+//! * [`telemetry`] — the fleet telemetry plane: per-shard virtual-time
+//!   sample rings merged into a layout-invariant [`FleetTelemetry`]
+//!   (JSONL / Prometheus / markdown sparklines) with space-saving
+//!   [`TopK`] outlier tracking;
+//! * [`profile`] — an opt-in scoped wall-clock [`Profiler`] with
+//!   flamegraph collapsed-stack output for the fleet hot paths.
 //!
 //! **Determinism rule**: everything under [`RunManifest::metrics`] and
 //! [`RunManifest::fidelity`] must derive only from simulation state
@@ -44,16 +51,23 @@ pub mod fleet;
 pub mod flight;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod telemetry;
 
-pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict};
+pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict, OverheadGate};
 pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
 pub use fleet::{FleetReport, FLEET_SCHEMA};
 pub use flight::{FlightHandle, FlightRecord, FlightRecorder, PacketId, PacketJourney, Stage};
 pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
 pub use metrics::{Counter, Gauge, Hist, HistSnapshot};
+pub use profile::{ProfEntry, Profiler};
 pub use registry::MetricsRegistry;
 pub use sink::{Event, JsonlSink};
 pub use span::SpanTimer;
+pub use telemetry::{
+    FleetTelemetry, SampleInputs, SamplePoint, ShardTelemetry, TelemetryConfig, TopEntry, TopK,
+    TELEMETRY_SCHEMA,
+};

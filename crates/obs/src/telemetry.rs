@@ -1,0 +1,850 @@
+//! The fleet telemetry plane: live virtual-time series and top-K
+//! outliers for long-running fleet runs.
+//!
+//! `obs::fleet::FleetReport` is post-hoc — at 10k clients and ~1M
+//! events/s a run that degrades 30 s in is invisible until it ends.
+//! This module adds the in-flight signal: each fleet shard owns a
+//! [`ShardTelemetry`] that is sampled on a configurable **virtual-time**
+//! interval into a bounded time-series ring of [`SamplePoint`] rows
+//! (events/s, queue depth, packet-store occupancy, modulation hold
+//! depth, per-interval release/error tallies), plus a space-saving
+//! [`TopK`] tracker surfacing the worst per-client p95 RTTs as the run
+//! progresses.
+//!
+//! **Determinism.** Sampling is keyed to virtual time with a strict
+//! boundary rule — the sample at boundary `t` reflects exactly the
+//! events with due time `< t` — so a client contributes identically to
+//! a sample no matter which shard simulates it. Every series field is
+//! an integer (counts, or nanosecond sums); integer addition is
+//! associative, so per-shard rows merged by summation in plan order
+//! ([`FleetTelemetry::merge`]) are **byte-identical** at 1, 2, or 8
+//! shards — the same invariance contract the fleet manifests carry.
+//! Floating-point derived values (means, rates) are computed only at
+//! render time from the merged integers.
+//!
+//! Exports: JSONL time-series ([`FleetTelemetry::to_jsonl`]), a
+//! Prometheus-style text exposition ([`FleetTelemetry::to_prometheus`]),
+//! and a markdown sparkline/table section
+//! ([`FleetTelemetry::render_markdown_section`]) shared with
+//! `tracemod obs-report --format md`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Telemetry schema version, bumped on incompatible layout changes.
+pub const TELEMETRY_SCHEMA: u32 = 1;
+
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Maximum sparkline width in the markdown renderer; longer series are
+/// decimated by bucket-mean.
+const SPARK_WIDTH: usize = 48;
+
+/// Configuration for the fleet telemetry plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Virtual-time sampling interval in nanoseconds.
+    pub interval_ns: u64,
+    /// Bounded series-ring capacity (oldest rows evict first).
+    pub ring_capacity: usize,
+    /// Outlier entries kept per top-K tracker.
+    pub top_k: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval_ns: 1_000_000_000,
+            ring_capacity: 512,
+            top_k: 8,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Set the sampling interval in whole virtual seconds.
+    pub fn with_interval_secs(mut self, secs: u64) -> Self {
+        assert!(secs > 0, "telemetry interval must be positive");
+        self.interval_ns = secs * 1_000_000_000;
+        self
+    }
+
+    /// Set the series-ring capacity.
+    pub fn with_ring_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "telemetry ring needs at least one slot");
+        self.ring_capacity = cap;
+        self
+    }
+}
+
+/// One merged telemetry row: the fleet's state at virtual boundary
+/// `t_ns`. Every field is an integer so shard rows merge exactly;
+/// `events`, the tallies, and the error sum are **interval deltas**,
+/// the depth fields are instantaneous at the boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Virtual boundary time (ns); the row covers `(t_ns - interval, t_ns]`
+    /// for deltas, exclusive of events due exactly at `t_ns`.
+    pub t_ns: u64,
+    /// Engine events dispatched in the interval.
+    pub events: u64,
+    /// Engine events pending at the boundary.
+    pub queue_depth: u64,
+    /// Packet-store rows in flight at the boundary.
+    pub packets_live: u64,
+    /// Packets held across all modulation wheels at the boundary.
+    pub mod_held: u64,
+    /// Probes emitted in the interval.
+    pub probes_sent: u64,
+    /// Round trips completed in the interval.
+    pub rtts_completed: u64,
+    /// Packets lost to the loss processes in the interval.
+    pub packets_lost: u64,
+    /// Modulated releases in the interval.
+    pub released: u64,
+    /// Integer-ns sum of |intended − actual| release delay error over
+    /// the interval's releases (divide by `released` for the mean).
+    pub abs_delay_error_ns: u64,
+    /// Frames forwarded through base stations in the interval.
+    pub station_frames: u64,
+    /// Clients whose modulator has marked itself degraded, cumulative
+    /// at the boundary.
+    pub degraded_clients: u64,
+}
+
+impl SamplePoint {
+    /// Mean |release delay error| over the interval, in milliseconds
+    /// (0 when nothing was released).
+    pub fn mean_abs_delay_error_ms(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            self.abs_delay_error_ns as f64 / self.released as f64 / 1e6
+        }
+    }
+
+    /// Sum every count into `self` (all fields except `t_ns`, which
+    /// must already agree).
+    fn absorb(&mut self, other: &SamplePoint) {
+        debug_assert_eq!(
+            self.t_ns, other.t_ns,
+            "merging rows from different boundaries"
+        );
+        self.events += other.events;
+        self.queue_depth += other.queue_depth;
+        self.packets_live += other.packets_live;
+        self.mod_held += other.mod_held;
+        self.probes_sent += other.probes_sent;
+        self.rtts_completed += other.rtts_completed;
+        self.packets_lost += other.packets_lost;
+        self.released += other.released;
+        self.abs_delay_error_ns += other.abs_delay_error_ns;
+        self.station_frames += other.station_frames;
+        self.degraded_clients += other.degraded_clients;
+    }
+}
+
+/// Cumulative totals a shard reads out at a sample boundary; the ring
+/// differences consecutive readings into interval rows. Counter-like
+/// fields are running totals; `queue_depth`, `packets_live`, and
+/// `mod_held` are instantaneous.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleInputs {
+    /// Engine events dispatched so far.
+    pub events: u64,
+    /// Engine events pending right now.
+    pub queue_depth: u64,
+    /// Packet-store rows in flight right now.
+    pub packets_live: u64,
+    /// Packets held in modulation wheels right now.
+    pub mod_held: u64,
+    /// Probes emitted so far.
+    pub probes_sent: u64,
+    /// Round trips completed so far.
+    pub rtts_completed: u64,
+    /// Packets lost so far.
+    pub packets_lost: u64,
+    /// Modulated releases so far.
+    pub released: u64,
+    /// Integer-ns |delay error| sum so far.
+    pub abs_delay_error_ns: u64,
+    /// Station frames forwarded so far.
+    pub station_frames: u64,
+    /// Clients currently marked degraded.
+    pub degraded_clients: u64,
+}
+
+/// One shard's telemetry: a bounded virtual-time series ring plus a
+/// top-K tracker of the shard's worst clients. Owned single-threaded
+/// by the shard's engine loop — recording is a handful of integer
+/// subtractions per boundary, nothing on the per-event hot path.
+#[derive(Debug, Clone)]
+pub struct ShardTelemetry {
+    cfg: TelemetryConfig,
+    prev: SampleInputs,
+    ring: VecDeque<SamplePoint>,
+    evicted: u64,
+    worst_clients: TopK,
+}
+
+impl ShardTelemetry {
+    /// An empty ring under `cfg`.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        ShardTelemetry {
+            cfg,
+            prev: SampleInputs::default(),
+            ring: VecDeque::with_capacity(cfg.ring_capacity.min(1024)),
+            evicted: 0,
+            worst_clients: TopK::new(cfg.top_k),
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn interval_ns(&self) -> u64 {
+        self.cfg.interval_ns
+    }
+
+    /// Record the boundary at virtual time `t_ns` from cumulative
+    /// readings, differencing counters against the previous boundary.
+    pub fn sample(&mut self, t_ns: u64, cur: SampleInputs) {
+        let p = &self.prev;
+        let row = SamplePoint {
+            t_ns,
+            events: cur.events - p.events,
+            queue_depth: cur.queue_depth,
+            packets_live: cur.packets_live,
+            mod_held: cur.mod_held,
+            probes_sent: cur.probes_sent - p.probes_sent,
+            rtts_completed: cur.rtts_completed - p.rtts_completed,
+            packets_lost: cur.packets_lost - p.packets_lost,
+            released: cur.released - p.released,
+            abs_delay_error_ns: cur.abs_delay_error_ns - p.abs_delay_error_ns,
+            station_frames: cur.station_frames - p.station_frames,
+            degraded_clients: cur.degraded_clients,
+        };
+        if self.ring.len() == self.cfg.ring_capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(row);
+        self.prev = cur;
+    }
+
+    /// Record a finished client's p95 RTT (microseconds) into the
+    /// shard's worst-client tracker.
+    pub fn note_client_p95(&mut self, client: u32, p95_rtt_us: u64) {
+        self.worst_clients.offer_max(u64::from(client), p95_rtt_us);
+    }
+
+    /// Rows currently retained, oldest first.
+    pub fn series(&self) -> impl Iterator<Item = &SamplePoint> {
+        self.ring.iter()
+    }
+
+    /// Rows evicted by the bounded ring.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The shard's worst-client tracker.
+    pub fn worst_clients(&self) -> &TopK {
+        &self.worst_clients
+    }
+}
+
+/// One tracked outlier: a key (client or station index) and its
+/// weight, plus the space-saving overestimation bound (`error` is 0
+/// for exact entries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopEntry {
+    /// Tracked key (client index, station index, ...).
+    pub key: u64,
+    /// The entry's weight: a score for `offer_max` streams, an
+    /// estimated count for `add` streams.
+    pub weight: u64,
+    /// Space-saving overestimation bound (`add` streams only; an entry
+    /// counted from its first occurrence has error 0).
+    pub error: u64,
+}
+
+/// A bounded top-K tracker in the space-saving family (Metwally,
+/// Agrawal, El Abbadi, 2005): at most `capacity` monitored entries;
+/// when full, the minimum entry is evicted and — for the counting
+/// [`add`](TopK::add) stream — its weight carries into the newcomer as
+/// an error bound.
+///
+/// Two feeding modes:
+/// * [`add`](TopK::add) — classic space-saving frequency counting with
+///   error carry, for unbounded key streams;
+/// * [`offer_max`](TopK::offer_max) — keep the K largest scores with
+///   no carry. For offer-once streams (each key offered exactly once,
+///   e.g. a client's final p95) the result is the **exact** top K and
+///   is independent of offer order — which is what lets per-shard
+///   trackers merge into a layout-invariant fleet view.
+///
+/// All ordering is deterministic: entries compare by `(weight, key)`
+/// with ties broken toward the **smaller key** (the smaller key ranks
+/// higher and survives eviction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopK {
+    capacity: u64,
+    entries: Vec<TopEntry>,
+}
+
+impl TopK {
+    /// An empty tracker keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-K tracker needs capacity >= 1");
+        TopK {
+            capacity: capacity as u64,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// `true` when `a` outranks `b` (strictly greater weight, or equal
+    /// weight and smaller key).
+    fn beats(a: (u64, u64), b: (u64, u64)) -> bool {
+        a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
+    /// Index of the lowest-ranked entry (smallest weight; among equal
+    /// weights, the largest key — the one eviction removes first).
+    fn min_index(&self) -> usize {
+        let mut min = 0;
+        for (i, e) in self.entries.iter().enumerate().skip(1) {
+            let m = &self.entries[min];
+            if Self::beats((m.weight, m.key), (e.weight, e.key)) {
+                min = i;
+            }
+        }
+        min
+    }
+
+    /// Space-saving frequency update: add `weight` to `key`'s entry,
+    /// inserting it (evicting the minimum, carrying its weight as the
+    /// newcomer's error bound) when unmonitored.
+    pub fn add(&mut self, key: u64, weight: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.weight += weight;
+            return;
+        }
+        if (self.entries.len() as u64) < self.capacity {
+            self.entries.push(TopEntry {
+                key,
+                weight,
+                error: 0,
+            });
+            return;
+        }
+        let i = self.min_index();
+        let floor = self.entries[i].weight;
+        self.entries[i] = TopEntry {
+            key,
+            weight: floor + weight,
+            error: floor,
+        };
+    }
+
+    /// Score update: keep `key` at the maximum `score` seen, admitting
+    /// it only if it outranks the current minimum when full. No error
+    /// carry — exact for offer-once streams.
+    pub fn offer_max(&mut self, key: u64, score: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.weight = e.weight.max(score);
+            return;
+        }
+        if (self.entries.len() as u64) < self.capacity {
+            self.entries.push(TopEntry {
+                key,
+                weight: score,
+                error: 0,
+            });
+            return;
+        }
+        let i = self.min_index();
+        let m = &self.entries[i];
+        if Self::beats((score, key), (m.weight, m.key)) {
+            self.entries[i] = TopEntry {
+                key,
+                weight: score,
+                error: 0,
+            };
+        }
+    }
+
+    /// Fold another tracker's entries into this one (score semantics:
+    /// a key present in both keeps its maximum weight).
+    pub fn merge_max(&mut self, other: &TopK) {
+        for e in other.ranked() {
+            self.offer_max(e.key, e.weight);
+        }
+    }
+
+    /// Entries ranked highest first — weight descending, key ascending
+    /// on ties. Deterministic for identical content however it was fed.
+    pub fn ranked(&self) -> Vec<TopEntry> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key.cmp(&b.key)));
+        v
+    }
+
+    /// Number of monitored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The merged, serializable fleet telemetry: shard rings summed in
+/// plan order plus the fleet-wide outlier trackers. Rides in the
+/// fleet report (and its deterministic JSON) — every field derives
+/// from simulation state, so it is byte-identical across shard
+/// layouts and worker counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTelemetry {
+    /// Schema version ([`TELEMETRY_SCHEMA`]).
+    pub schema: u32,
+    /// Virtual-time sampling interval (ns).
+    pub interval_ns: u64,
+    /// Rows evicted across all shard rings.
+    pub evicted: u64,
+    /// Merged series, oldest first.
+    pub series: Vec<SamplePoint>,
+    /// Worst per-client p95 RTT (weight = µs), ranked worst first.
+    pub worst_clients: Vec<TopEntry>,
+    /// Hottest stations (weight = frames forwarded), ranked first.
+    pub hot_stations: Vec<TopEntry>,
+}
+
+impl FleetTelemetry {
+    /// Merge per-shard telemetry **in plan order**: rows at the same
+    /// boundary sum field-wise (all shards sample the same boundary
+    /// set, so the rings align index for index), worst-client trackers
+    /// fold under max semantics. Panics if shard rings disagree on
+    /// interval or boundaries — that would mean the shards ran
+    /// different plans.
+    pub fn merge<'a>(shards: impl IntoIterator<Item = &'a ShardTelemetry>) -> FleetTelemetry {
+        let mut out: Option<(FleetTelemetry, TopK)> = None;
+        for shard in shards {
+            match &mut out {
+                None => {
+                    let tel = FleetTelemetry {
+                        schema: TELEMETRY_SCHEMA,
+                        interval_ns: shard.cfg.interval_ns,
+                        evicted: shard.evicted,
+                        series: shard.series().copied().collect(),
+                        worst_clients: Vec::new(),
+                        hot_stations: Vec::new(),
+                    };
+                    out = Some((tel, shard.worst_clients.clone()));
+                }
+                Some((tel, worst)) => {
+                    assert_eq!(
+                        tel.interval_ns, shard.cfg.interval_ns,
+                        "shards sampled on different intervals"
+                    );
+                    assert_eq!(
+                        tel.series.len(),
+                        shard.ring.len(),
+                        "shard rings cover different boundary sets"
+                    );
+                    for (row, other) in tel.series.iter_mut().zip(shard.series()) {
+                        assert_eq!(row.t_ns, other.t_ns, "shard boundary mismatch");
+                        row.absorb(other);
+                    }
+                    tel.evicted += shard.evicted;
+                    worst.merge_max(&shard.worst_clients);
+                }
+            }
+        }
+        let (mut tel, worst) = out.unwrap_or_else(|| {
+            (
+                FleetTelemetry {
+                    schema: TELEMETRY_SCHEMA,
+                    interval_ns: 0,
+                    evicted: 0,
+                    series: Vec::new(),
+                    worst_clients: Vec::new(),
+                    hot_stations: Vec::new(),
+                },
+                TopK::new(1),
+            )
+        });
+        tel.worst_clients = worst.ranked();
+        tel
+    }
+
+    /// Fill the hot-station tracker from exact per-station frame
+    /// counts (the merged station table), keeping the top `k`.
+    pub fn set_hot_stations(&mut self, k: usize, frames: impl IntoIterator<Item = (u32, u64)>) {
+        let mut top = TopK::new(k.max(1));
+        for (station, count) in frames {
+            if count > 0 {
+                top.add(u64::from(station), count);
+            }
+        }
+        self.hot_stations = top.ranked();
+    }
+
+    /// One JSON object per sample row, in series order — the
+    /// `--telemetry-out` artifact. Byte-identical across shard layouts.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for row in &self.series {
+            s.push_str(&serde_json::to_string(row).expect("sample row serializes"));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prometheus-style text exposition of the final state: cumulative
+    /// counters over the retained window, boundary gauges from the last
+    /// row, and the outlier trackers as labeled series.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let total = |f: fn(&SamplePoint) -> u64| self.series.iter().map(f).sum::<u64>();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} counter");
+            let _ = writeln!(s, "{name} {v}");
+        };
+        counter(
+            "fleet_engine_events_total",
+            "Engine events dispatched over the retained window.",
+            total(|r| r.events),
+        );
+        counter(
+            "fleet_probes_sent_total",
+            "Probes emitted over the retained window.",
+            total(|r| r.probes_sent),
+        );
+        counter(
+            "fleet_rtts_completed_total",
+            "Round trips completed over the retained window.",
+            total(|r| r.rtts_completed),
+        );
+        counter(
+            "fleet_packets_lost_total",
+            "Packets lost over the retained window.",
+            total(|r| r.packets_lost),
+        );
+        counter(
+            "fleet_released_total",
+            "Modulated releases over the retained window.",
+            total(|r| r.released),
+        );
+        counter(
+            "fleet_station_frames_total",
+            "Frames forwarded through base stations over the retained window.",
+            total(|r| r.station_frames),
+        );
+        counter(
+            "fleet_telemetry_evicted_rows_total",
+            "Series rows evicted by the bounded ring.",
+            self.evicted,
+        );
+        let last = self.series.last().copied().unwrap_or_default();
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} gauge");
+            let _ = writeln!(s, "{name} {v}");
+        };
+        gauge(
+            "fleet_queue_depth",
+            "Engine events pending at the last boundary.",
+            last.queue_depth,
+        );
+        gauge(
+            "fleet_packets_live",
+            "Packets in flight at the last boundary.",
+            last.packets_live,
+        );
+        gauge(
+            "fleet_mod_held",
+            "Packets held in modulation wheels at the last boundary.",
+            last.mod_held,
+        );
+        gauge(
+            "fleet_degraded_clients",
+            "Clients marked degraded at the last boundary.",
+            last.degraded_clients,
+        );
+        if !self.worst_clients.is_empty() {
+            let _ = writeln!(
+                s,
+                "# HELP fleet_client_rtt_p95_us Worst per-client p95 RTT (microseconds)."
+            );
+            let _ = writeln!(s, "# TYPE fleet_client_rtt_p95_us gauge");
+            for e in &self.worst_clients {
+                let _ = writeln!(
+                    s,
+                    "fleet_client_rtt_p95_us{{client=\"{}\"}} {}",
+                    e.key, e.weight
+                );
+            }
+        }
+        if !self.hot_stations.is_empty() {
+            let _ = writeln!(
+                s,
+                "# HELP fleet_station_hot_frames Frames through the hottest stations."
+            );
+            let _ = writeln!(s, "# TYPE fleet_station_hot_frames gauge");
+            for e in &self.hot_stations {
+                let _ = writeln!(
+                    s,
+                    "fleet_station_hot_frames{{station=\"{}\"}} {}",
+                    e.key, e.weight
+                );
+            }
+        }
+        s
+    }
+
+    /// Markdown sparkline/table section, shared between the fleet
+    /// report renderer and `obs-report --format md`.
+    pub fn render_markdown_section(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "### Telemetry ({} samples @ {:.1} s virtual{})\n",
+            self.series.len(),
+            self.interval_ns as f64 / 1e9,
+            if self.evicted > 0 {
+                format!(", {} evicted", self.evicted)
+            } else {
+                String::new()
+            }
+        );
+        if self.series.is_empty() {
+            let _ = writeln!(s, "*No samples recorded (run shorter than one interval).*");
+            return s;
+        }
+        let _ = writeln!(s, "| series | spark | min | mean | max | last |");
+        let _ = writeln!(s, "|---|---|---|---|---|---|");
+        let mut row = |name: &str, values: Vec<f64>, unit: &str| {
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let last = *values.last().expect("non-empty series");
+            let _ = writeln!(
+                s,
+                "| {name} | `{}` | {} | {} | {} | {} |",
+                sparkline(&values),
+                fmt_val(min, unit),
+                fmt_val(mean, unit),
+                fmt_val(max, unit),
+                fmt_val(last, unit)
+            );
+        };
+        let col = |f: fn(&SamplePoint) -> f64| self.series.iter().map(f).collect::<Vec<_>>();
+        row("events / interval", col(|r| r.events as f64), "");
+        row("queue depth", col(|r| r.queue_depth as f64), "");
+        row("packets live", col(|r| r.packets_live as f64), "");
+        row("mod held", col(|r| r.mod_held as f64), "");
+        row("rtts completed", col(|r| r.rtts_completed as f64), "");
+        row("released", col(|r| r.released as f64), "");
+        row(
+            "mean \\|delay err\\|",
+            col(SamplePoint::mean_abs_delay_error_ms),
+            " ms",
+        );
+        row("station frames", col(|r| r.station_frames as f64), "");
+        row("degraded clients", col(|r| r.degraded_clients as f64), "");
+        if !self.worst_clients.is_empty() {
+            let _ = writeln!(s, "\n#### Worst clients (p95 RTT)\n");
+            let _ = writeln!(s, "| client | p95 RTT |");
+            let _ = writeln!(s, "|---|---|");
+            for e in &self.worst_clients {
+                let _ = writeln!(s, "| {} | {:.2} ms |", e.key, e.weight as f64 / 1e3);
+            }
+        }
+        if !self.hot_stations.is_empty() {
+            let _ = writeln!(s, "\n#### Hottest stations\n");
+            let _ = writeln!(s, "| station | frames |");
+            let _ = writeln!(s, "|---|---|");
+            for e in &self.hot_stations {
+                let _ = writeln!(s, "| {} | {} |", e.key, e.weight);
+            }
+        }
+        s
+    }
+}
+
+/// Format a rendered value: integers bare, fractional values to two
+/// places, with an optional unit suffix.
+fn fmt_val(v: f64, unit: &str) -> String {
+    if unit.is_empty() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}{unit}")
+    }
+}
+
+/// Render values as a fixed-height Unicode sparkline, decimating by
+/// bucket-mean when wider than the fixed 48-cell budget. A flat series
+/// renders at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let decimated: Vec<f64> = if values.len() > SPARK_WIDTH {
+        (0..SPARK_WIDTH)
+            .map(|b| {
+                let lo = b * values.len() / SPARK_WIDTH;
+                let hi = ((b + 1) * values.len() / SPARK_WIDTH).max(lo + 1);
+                values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    } else {
+        values.to_vec()
+    };
+    let min = decimated.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = decimated.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    decimated
+        .iter()
+        .map(|&v| {
+            let level = if span <= 0.0 {
+                0
+            } else {
+                (((v - min) / span) * (SPARKS.len() - 1) as f64).round() as usize
+            };
+            SPARKS[level.min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(events: u64, released: u64, err_ns: u64) -> SampleInputs {
+        SampleInputs {
+            events,
+            released,
+            abs_delay_error_ns: err_ns,
+            queue_depth: 3,
+            ..SampleInputs::default()
+        }
+    }
+
+    #[test]
+    fn ring_differences_counters_and_bounds_rows() {
+        let cfg = TelemetryConfig::default()
+            .with_interval_secs(1)
+            .with_ring_capacity(2);
+        let mut t = ShardTelemetry::new(cfg);
+        t.sample(1_000_000_000, inputs(10, 4, 8_000_000));
+        t.sample(2_000_000_000, inputs(25, 6, 12_000_000));
+        t.sample(3_000_000_000, inputs(30, 6, 12_000_000));
+        assert_eq!(t.evicted(), 1);
+        let rows: Vec<_> = t.series().copied().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].t_ns, 2_000_000_000);
+        assert_eq!(rows[0].events, 15);
+        assert_eq!(rows[0].released, 2);
+        assert_eq!(rows[0].abs_delay_error_ns, 4_000_000);
+        assert!((rows[0].mean_abs_delay_error_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(rows[1].events, 5);
+        assert_eq!(rows[1].released, 0);
+        assert_eq!(rows[1].mean_abs_delay_error_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_rows_and_folds_outliers() {
+        let cfg = TelemetryConfig::default();
+        let mut a = ShardTelemetry::new(cfg);
+        let mut b = ShardTelemetry::new(cfg);
+        a.sample(1_000_000_000, inputs(10, 1, 1_000_000));
+        b.sample(1_000_000_000, inputs(20, 3, 5_000_000));
+        a.note_client_p95(0, 900);
+        b.note_client_p95(5, 1_500);
+        let merged = FleetTelemetry::merge([&a, &b]);
+        assert_eq!(merged.series.len(), 1);
+        assert_eq!(merged.series[0].events, 30);
+        assert_eq!(merged.series[0].released, 4);
+        assert_eq!(merged.series[0].queue_depth, 6);
+        assert_eq!(merged.worst_clients[0].key, 5);
+        assert_eq!(merged.worst_clients[0].weight, 1_500);
+        // JSONL is one parseable object per row.
+        let jsonl = merged.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let back: SamplePoint = serde_json::from_str(jsonl.trim()).unwrap();
+        assert_eq!(back, merged.series[0]);
+    }
+
+    #[test]
+    fn topk_offer_max_is_exact_and_order_independent() {
+        let mut fwd = TopK::new(2);
+        let mut rev = TopK::new(2);
+        let items = [(1u64, 10u64), (2, 30), (3, 20), (4, 30)];
+        for &(k, w) in &items {
+            fwd.offer_max(k, w);
+        }
+        for &(k, w) in items.iter().rev() {
+            rev.offer_max(k, w);
+        }
+        // Ties at weight 30: the smaller key (2) outranks key 4.
+        let r = fwd.ranked();
+        assert_eq!(r, rev.ranked());
+        assert_eq!((r[0].key, r[0].weight), (2, 30));
+        assert_eq!((r[1].key, r[1].weight), (4, 30));
+    }
+
+    #[test]
+    fn topk_add_carries_spacesaving_error() {
+        let mut t = TopK::new(2);
+        t.add(1, 5);
+        t.add(2, 3);
+        t.add(3, 1); // evicts key 2 (min); inherits its weight as error
+        let r = t.ranked();
+        assert_eq!((r[0].key, r[0].weight, r[0].error), (1, 5, 0));
+        assert_eq!((r[1].key, r[1].weight, r[1].error), (3, 4, 3));
+        t.add(1, 1);
+        assert_eq!(t.ranked()[0].weight, 6);
+    }
+
+    #[test]
+    fn prometheus_and_markdown_render() {
+        let cfg = TelemetryConfig::default();
+        let mut a = ShardTelemetry::new(cfg);
+        a.sample(1_000_000_000, inputs(100, 10, 20_000_000));
+        a.sample(2_000_000_000, inputs(250, 30, 60_000_000));
+        a.note_client_p95(7, 12_345);
+        let mut tel = FleetTelemetry::merge([&a]);
+        tel.set_hot_stations(4, [(0u32, 50u64), (1, 80), (2, 0)]);
+        let prom = tel.to_prometheus();
+        assert!(prom.contains("fleet_engine_events_total 250"));
+        assert!(prom.contains("fleet_client_rtt_p95_us{client=\"7\"} 12345"));
+        assert!(prom.contains("fleet_station_hot_frames{station=\"1\"} 80"));
+        let md = tel.render_markdown_section();
+        assert!(md.contains("### Telemetry (2 samples"));
+        assert!(md.contains("| events / interval |"));
+        assert!(md.contains("12.35 ms") || md.contains("12.34 ms"));
+        // Round-trips as part of a serialized report payload.
+        let json = serde_json::to_string(&tel).unwrap();
+        let back: FleetTelemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tel);
+    }
+
+    #[test]
+    fn sparkline_scales_and_decimates() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▁▁");
+        let s = sparkline(&[0.0, 7.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&long).chars().count(), SPARK_WIDTH);
+    }
+}

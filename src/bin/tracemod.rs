@@ -33,9 +33,9 @@ use emu::{
 use faultkit::FaultPlan;
 use modulate::TickClock;
 use netsim::SimDuration;
-use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig};
+use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig, OverheadGate};
 use obs::flight::PacketId;
-use obs::{FidelityThresholds, FleetReport, RunManifest};
+use obs::{FidelityThresholds, FleetReport, RunManifest, TelemetryConfig};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
@@ -609,7 +609,8 @@ fn cmd_obs_report(args: &Args) -> CliResult {
 /// thresholds when `--check` is set.
 fn obs_report_fleet(args: &Args, report: &FleetReport) -> CliResult {
     match args.get("format").unwrap_or("text") {
-        "text" | "md" => print!("{}", report.render_text()),
+        "text" => print!("{}", report.render_text()),
+        "md" => print!("{}", report.render_markdown()),
         "json" => println!("{}", report.to_json_pretty()),
         other => {
             return Err(CliError::usage(format!(
@@ -741,7 +742,7 @@ fn cmd_journey(args: &Args) -> CliResult {
 }
 
 fn cmd_bench_diff(args: &Args) -> CliResult {
-    args.check(&["baseline", "check", "json", "tolerance"], 2)?;
+    args.check(&["baseline", "check", "json", "tolerance", "overhead"], 2)?;
     let current_path = args.positional.get(1).ok_or_else(|| {
         CliError::usage("usage: tracemod bench-diff <current.jsonl> [--baseline F] [--check]")
     })?;
@@ -775,6 +776,16 @@ fn cmd_bench_diff(args: &Args) -> CliResult {
             "benchmark regression gate failed: {}",
             names.join(", ")
         )));
+    }
+    // Same-run overhead gates: both benchmarks come from *current*, so
+    // the ratio is immune to cross-run machine noise and can be tight.
+    if let Some(spec) = args.get("overhead") {
+        let gate = OverheadGate::parse(spec).map_err(CliError::usage)?;
+        let ratio = gate.check(&current).map_err(CliError::runtime)?;
+        eprintln!(
+            "overhead gate: {} is {ratio:.3}x {} (max {:.3}x) — PASS",
+            gate.variant, gate.base, gate.max_ratio
+        );
     }
     Ok(())
 }
@@ -941,6 +952,10 @@ fn cmd_fleet(args: &Args) -> CliResult {
             "fault-plan",
             "obs-out",
             "manifests-out",
+            "telemetry-out",
+            "telemetry-prom",
+            "telemetry-interval-secs",
+            "profile-out",
             "check",
         ],
         1,
@@ -976,6 +991,25 @@ fn cmd_fleet(args: &Args) -> CliResult {
         ));
     }
     plan.wheel_slots = wheel_slots;
+
+    // Any telemetry flag switches the sampling plane on; the interval
+    // flag alone is enough for `--obs-out` consumers who only want the
+    // series embedded in the aggregate report.
+    let telemetry_requested = args.get("telemetry-out").is_some()
+        || args.get("telemetry-prom").is_some()
+        || args.get("telemetry-interval-secs").is_some();
+    if telemetry_requested {
+        let secs = args.parse_num("telemetry-interval-secs", 1u64)?;
+        if secs == 0 {
+            return Err(CliError::usage(
+                "--telemetry-interval-secs must be positive",
+            ));
+        }
+        plan = plan.with_telemetry(TelemetryConfig::default().with_interval_secs(secs));
+    }
+    if args.get("profile-out").is_some() {
+        plan = plan.with_profile(true);
+    }
 
     eprintln!(
         "fleet: {} clients × '{}' ({} stations, {} shard(s), {} worker(s))...",
@@ -1031,6 +1065,31 @@ fn cmd_fleet(args: &Args) -> CliResult {
             .map_err(|e| CliError::runtime(format!("write {obs_out}: {e}")))?;
         eprintln!("wrote fleet report → {obs_out}");
     }
+    if let Some(tel_out) = args.get("telemetry-out") {
+        let tel = out.report.telemetry.as_ref().expect("telemetry enabled");
+        std::fs::write(tel_out, tel.to_jsonl())
+            .map_err(|e| CliError::runtime(format!("write {tel_out}: {e}")))?;
+        eprintln!(
+            "wrote telemetry series ({} samples) → {tel_out}",
+            tel.series.len()
+        );
+    }
+    if let Some(prom_out) = args.get("telemetry-prom") {
+        let tel = out.report.telemetry.as_ref().expect("telemetry enabled");
+        std::fs::write(prom_out, tel.to_prometheus())
+            .map_err(|e| CliError::runtime(format!("write {prom_out}: {e}")))?;
+        eprintln!("wrote Prometheus exposition → {prom_out}");
+    }
+    if let Some(prof_out) = args.get("profile-out") {
+        let prof = out
+            .profile
+            .as_ref()
+            .ok_or_else(|| CliError::runtime("profiler produced no data"))?;
+        std::fs::write(prof_out, prof.render_collapsed())
+            .map_err(|e| CliError::runtime(format!("write {prof_out}: {e}")))?;
+        eprintln!("wrote collapsed-stack profile → {prof_out}");
+        eprint!("{}", prof.render_text());
+    }
     if args.get("check").is_some() {
         let violations = out.report.check(&FidelityThresholds::default());
         if !violations.is_empty() {
@@ -1078,7 +1137,9 @@ commands:
                                            timeline (default: the packet covering most stages)
   bench-diff <current.jsonl> [--check]     compare criterion JSONL against a baseline
                                            (--baseline F, default BENCH_baseline.json;
-                                           --json for machine-readable verdicts; --tolerance R)
+                                           --json for machine-readable verdicts; --tolerance R;
+                                           --overhead BASE=VARIANT:R gates VARIANT's same-run
+                                           median at R× BASE)
   chaos --seed N --plan F                  run the live pipeline under a deterministic fault plan
                                            (defaults: --scenario porter --benchmark web; --trials T
                                            --jobs J for a matrix; --obs-out F / --fault-out F write
@@ -1092,8 +1153,11 @@ commands:
                                            --probe-interval-ms M, --wheel-slots W tune the fleet;
                                            --fault-plan F [--fault-seed N] injects faults;
                                            --manifests-out F writes per-client manifest JSONL,
-                                           --obs-out F the aggregate report; --check gates on the
-                                           fleet fidelity thresholds)
+                                           --obs-out F the aggregate report; --telemetry-out F /
+                                           --telemetry-prom F write the sampled series as JSONL /
+                                           Prometheus text [--telemetry-interval-secs N, default 1];
+                                           --profile-out F writes a collapsed-stack self-profile;
+                                           --check gates on the fleet fidelity thresholds)
 benchmarks: web, ftp-send, ftp-recv, andrew
 scenario commands also accept --duration-secs N to shorten the traversal";
 
