@@ -686,6 +686,48 @@ pub fn fleet_run(plan: &FleetPlan, exec: &Exec) -> FleetOutcome {
     fleet_run_inner(plan, exec, None)
 }
 
+/// Convert injected-fault events into the alert engine's stamps (the
+/// `obs` crate sits below `faultkit`, so the types cannot be shared).
+pub fn fault_stamps(faults: &[FaultEvent]) -> Vec<obs::FaultStamp> {
+    faults
+        .iter()
+        .map(|f| obs::FaultStamp {
+            t_virtual_ns: f.t_virtual_ns,
+            fault: f.fault.clone(),
+            info: f.info.clone(),
+        })
+        .collect()
+}
+
+/// Evaluate an alert rule set over a finished fleet run: the run's
+/// telemetry series, its aggregate report, and its injected-fault
+/// timestamps (for suppression windows) feed [`obs::alerts`], with an
+/// optional `baseline` report serving delta-vs-baseline predicates.
+/// Evaluation is post-hoc and pure — nothing touches the engine hot
+/// path, and the resulting report is byte-identical at any shard or
+/// worker count (proptested in `tests/fleet_determinism.rs`).
+pub fn fleet_alerts(
+    out: &FleetOutcome,
+    rules: &obs::RuleSet,
+    baseline: Option<&FleetReport>,
+) -> Result<obs::AlertReport, String> {
+    let stamps = fault_stamps(&out.faults);
+    let series = out
+        .report
+        .telemetry
+        .as_ref()
+        .map_or(&[][..], |t| t.series.as_slice());
+    obs::evaluate_alerts(
+        rules,
+        &obs::AlertInputs {
+            series,
+            report: Some(&out.report),
+            baseline,
+            faults: &stamps,
+        },
+    )
+}
+
 /// [`fleet_run`] under deterministic fault injection: `kill_worker`
 /// entries in `fault_plan` target shard cell indices, and a killed
 /// shard restarts without perturbing merge order or output bytes.

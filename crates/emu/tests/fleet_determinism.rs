@@ -8,10 +8,10 @@
 //! mid-run and checks the restart protocol leaves no trace in the
 //! output.
 
-use emu::{fleet_run, fleet_run_chaos, Exec, FleetOutcome, FleetPlan};
+use emu::{fleet_alerts, fleet_run, fleet_run_chaos, Exec, FleetOutcome, FleetPlan};
 use faultkit::FaultPlan;
 use netsim::SimDuration;
-use obs::{RunManifest, TelemetryConfig};
+use obs::{RuleSet, RunManifest, Severity, TelemetryConfig};
 use proptest::prelude::*;
 use wavelan::Scenario;
 
@@ -112,6 +112,33 @@ proptest! {
         let sampled = fleet_run(&telemetry_plan(clients, seed), &Exec::serial());
         prop_assert_eq!(manifest_bytes(&plain), manifest_bytes(&sampled));
     }
+
+    /// The alert plane inherits shard invariance end to end: the
+    /// builtin rules evaluated over serial and 2/8-shard runs of the
+    /// same plan export byte-identical JSONL and markdown reports.
+    #[test]
+    fn alert_reports_identical_across_shards(
+        clients in 1u32..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let rules = RuleSet::builtin();
+        let reference = fleet_run(&telemetry_plan(clients, seed), &Exec::serial());
+        let ref_alerts = fleet_alerts(&reference, &rules, None).expect("rules evaluate");
+        for shards in [2usize, 8] {
+            let sharded = fleet_run(
+                &telemetry_plan(clients, seed).with_shards(shards),
+                &Exec::with_workers(4),
+            );
+            let alerts = fleet_alerts(&sharded, &rules, None).expect("rules evaluate");
+            prop_assert_eq!(
+                ref_alerts.to_jsonl(),
+                alerts.to_jsonl(),
+                "{} clients seed {} at {} shards: alert JSONL diverged",
+                clients, seed, shards
+            );
+            prop_assert_eq!(ref_alerts.render_markdown(), alerts.render_markdown());
+        }
+    }
 }
 
 /// A `kill_worker` fault against a fleet shard: the shard restarts and
@@ -160,6 +187,56 @@ fn chaos_restart_preserves_telemetry_bytes() {
         clean.report.deterministic_json(),
         chaotic.report.deterministic_json()
     );
+}
+
+/// Chaos-aware suppression end to end: the same rule that raises an
+/// active alert on a clean run is suppressed — and attributed to the
+/// injected fault — on a seeded `kill_worker` run, so the alert gate
+/// passes instead of flagging a false positive.
+#[test]
+fn chaos_alerts_are_suppressed_and_attributed() {
+    let rules = RuleSet::from_toml(
+        "[[rule]]\n\
+         name = \"engine-activity\"\n\
+         metric = \"sample.events\"\n\
+         severity = \"warn\"\n\
+         above = 0\n\
+         suppress = [\"kill_worker\"]\n\
+         suppress_window_secs = 60.0\n",
+    )
+    .expect("rule parses");
+    let plan = telemetry_plan(6, 99).with_shards(3);
+
+    // Clean run: the rule fires on every boundary and stays active —
+    // the gate must fail.
+    let clean = fleet_run(&plan, &Exec::with_workers(2));
+    let clean_alerts = fleet_alerts(&clean, &rules, None).expect("rules evaluate");
+    assert!(
+        clean_alerts.active().count() > 0,
+        "rule must fire when clean"
+    );
+    assert!(!clean_alerts.check(Severity::Warn).is_empty());
+
+    // Seeded kill at the shard's first record: same telemetry bytes
+    // (the restart protocol guarantees that), but now a kill_worker
+    // fault stamp precedes every sample boundary, so every alert is
+    // suppressed and attributed — no false positives, and the gate
+    // passes. (A later kill would split the run: boundaries before the
+    // fault stay active, which is the designed prefix semantics.)
+    let faults = FaultPlan::new().kill_worker(1, 1);
+    let chaotic = fleet_run_chaos(&plan, &Exec::with_workers(2), 7, &faults);
+    assert_eq!(chaotic.counters.worker_kills, 1, "the kill must fire");
+    let chaos_alerts = fleet_alerts(&chaotic, &rules, None).expect("rules evaluate");
+    assert_eq!(chaos_alerts.active().count(), 0, "all alerts suppressed");
+    assert!(chaos_alerts.suppressed().count() > 0);
+    for a in chaos_alerts.suppressed() {
+        assert!(
+            a.attributed_to.starts_with("kill_worker@"),
+            "attribution names the fault: {:?}",
+            a.attributed_to
+        );
+    }
+    assert!(chaos_alerts.check(Severity::Warn).is_empty(), "gate passes");
 }
 
 /// A kill aimed past the shard's event count never fires, and a kill

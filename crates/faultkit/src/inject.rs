@@ -59,6 +59,27 @@ pub struct FaultEvent {
     pub info: String,
 }
 
+/// Serialize fault events as JSONL, one event per line in emission
+/// order — the `--fault-out` artifact, and the suppression-window feed
+/// for the alert engine (`tracemod alerts --faults`). Deterministic:
+/// events carry only virtual time and plan-derived detail.
+pub fn events_to_jsonl(events: &[FaultEvent]) -> String {
+    let mut s = String::new();
+    for ev in events {
+        s.push_str(&serde_json::to_string(ev).expect("fault event serializes"));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a fault-event JSONL log back into events (skips blank lines).
+pub fn events_from_jsonl(text: &str) -> Result<Vec<FaultEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad fault-event line: {e}")))
+        .collect()
+}
+
 /// Counter block summarizing a chaos run; lands in the `RunManifest`
 /// under `fault.*`.
 ///
@@ -582,6 +603,28 @@ mod tests {
         );
         assert_eq!(inj.counters().dropped_tuples, 2);
         assert_eq!(inj.events().len(), 2);
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_jsonl() {
+        let events = vec![
+            FaultEvent {
+                t_virtual_ns: 12_000_000_000,
+                fault: "kill_worker".into(),
+                info: "shard 1 at record 40".into(),
+            },
+            FaultEvent {
+                t_virtual_ns: 13_500_000_000,
+                fault: "stall_feed".into(),
+                info: "1000 ms".into(),
+            },
+        ];
+        let jsonl = events_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(events_from_jsonl(&jsonl).unwrap(), events);
+        assert_eq!(events_to_jsonl(&events), jsonl, "export is deterministic");
+        assert!(events_from_jsonl("garbage\n").is_err());
+        assert!(events_from_jsonl("\n\n").unwrap().is_empty());
     }
 
     #[test]

@@ -35,5 +35,7 @@
 mod inject;
 mod plan;
 
-pub use inject::{ChaosSink, FaultCounters, FaultEvent, FaultInjector};
+pub use inject::{
+    events_from_jsonl, events_to_jsonl, ChaosSink, FaultCounters, FaultEvent, FaultInjector,
+};
 pub use plan::{Fault, FaultPlan};

@@ -1,0 +1,1350 @@
+//! The fidelity SLO engine: declarative alert rules evaluated in
+//! virtual time over the telemetry plane.
+//!
+//! A rule names a metric — a [`SamplePoint`] field (`sample.*`), a
+//! [`FleetReport`] aggregate (`fleet.*`), or a fleet counter
+//! (`fleet.metrics.*`) — and one predicate: a plain threshold
+//! (`above` / `below`), a windowed burn rate (`window` + `frac`: the
+//! fraction of the trailing window's boundaries violating the
+//! threshold), or a delta-vs-baseline bound (`baseline_max_abs` /
+//! `baseline_max_rel` against a second run's report). Rules carry a
+//! severity and an optional chaos-aware suppression clause: fault
+//! kinds plus a window length, keyed off `faultkit` event timestamps,
+//! so alerts raised in the shadow of an injected fault are *attributed*
+//! to it instead of firing as false positives.
+//!
+//! **Determinism.** Evaluation reads only deterministic inputs — the
+//! merged integer telemetry series, the deterministic fields of the
+//! fleet report, and virtual-time-stamped fault events — and never
+//! wall clock, so the same run yields a byte-identical
+//! [`AlertReport`] (JSONL and markdown) at any shard or worker count.
+//!
+//! Rules load from JSON ([`RuleSet::from_json`]) or a small TOML
+//! subset ([`RuleSet::from_toml`]: `[[rule]]` tables with string /
+//! number / string-array values), and [`RuleSet::builtin`] ships a
+//! starter set used by CI and the README walkthrough.
+
+use crate::fleet::FleetReport;
+use crate::telemetry::SamplePoint;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Alert-report schema version, bumped on incompatible layout changes.
+pub const ALERTS_SCHEMA: u32 = 1;
+
+/// Alert severity, ordered least to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: recorded, never gated on by default.
+    Info,
+    /// Degradation worth surfacing; the default gate floor.
+    Warn,
+    /// Fidelity contract broken.
+    Critical,
+}
+
+impl Severity {
+    /// Parse a severity name (`info`, `warn`, `critical`).
+    pub fn parse(s: &str) -> Result<Severity, String> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warn" | "" => Ok(Severity::Warn),
+            "critical" => Ok(Severity::Critical),
+            other => Err(format!(
+                "unknown severity '{other}' (try: info, warn, critical)"
+            )),
+        }
+    }
+
+    /// Stable lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One declared rule, as parsed from TOML or JSON — a flat bag of
+/// optional clauses validated into a predicate by [`RuleSet::compile`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSpec {
+    /// Rule name (unique within a set; appears in every alert).
+    pub name: String,
+    /// Metric selector: `sample.<field>`, `fleet.<field>`, or
+    /// `fleet.metrics.<counter>`.
+    pub metric: String,
+    /// Severity name (`info` / `warn` / `critical`; default `warn`).
+    #[serde(default)]
+    pub severity: String,
+    /// Threshold: violate when the metric is strictly above this.
+    #[serde(default)]
+    pub above: Option<f64>,
+    /// Threshold: violate when the metric is strictly below this.
+    #[serde(default)]
+    pub below: Option<f64>,
+    /// Burn-rate window length in sample boundaries (with `frac`).
+    #[serde(default)]
+    pub window: Option<u64>,
+    /// Burn-rate fraction in `[0, 1]`: the boundary violates when at
+    /// least this fraction of the trailing `window` boundaries breach
+    /// the threshold.
+    #[serde(default)]
+    pub frac: Option<f64>,
+    /// Delta-vs-baseline: absolute tolerance around the baseline value.
+    #[serde(default)]
+    pub baseline_max_abs: Option<f64>,
+    /// Delta-vs-baseline: relative tolerance (fraction of |baseline|).
+    #[serde(default)]
+    pub baseline_max_rel: Option<f64>,
+    /// Fault kinds whose injection opens a suppression window.
+    #[serde(default)]
+    pub suppress: Vec<String>,
+    /// Suppression window length in virtual seconds after each
+    /// matching fault event (default 5 s when `suppress` is set).
+    #[serde(default)]
+    pub suppress_window_secs: Option<f64>,
+}
+
+/// A parsed set of alert rules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The declared rules, in declaration order.
+    pub rules: Vec<RuleSpec>,
+}
+
+/// Default suppression window when a rule names fault kinds without a
+/// `suppress_window_secs` clause.
+const DEFAULT_SUPPRESS_WINDOW_NS: u64 = 5_000_000_000;
+
+impl RuleSet {
+    /// Parse a rule set from JSON (`{"rules": [{...}, ...]}`).
+    pub fn from_json(s: &str) -> Result<RuleSet, String> {
+        serde_json::from_str(s).map_err(|e| format!("rule set: {e}"))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("rule set serializes")
+    }
+
+    /// Parse the TOML subset: `[[rule]]` tables whose entries are
+    /// `key = value` lines with string, number, or string-array
+    /// values; `#` comments and blank lines are ignored.
+    pub fn from_toml(s: &str) -> Result<RuleSet, String> {
+        let mut rules: Vec<RuleSpec> = Vec::new();
+        for (idx, raw) in s.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            let at = |msg: String| format!("rules line {}: {msg}", idx + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[rule]]" {
+                rules.push(RuleSpec::default());
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(at(format!(
+                    "unsupported table '{line}' (only [[rule]] tables)"
+                )));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at(format!("expected key = value, got '{line}'")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rule = rules
+                .last_mut()
+                .ok_or_else(|| at(format!("'{key}' appears before any [[rule]] table")))?;
+            apply_toml_entry(rule, key, value).map_err(at)?;
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// Compile and validate into evaluable rules.
+    pub fn compile(&self) -> Result<Vec<CompiledRule>, String> {
+        self.rules.iter().map(CompiledRule::from_spec).collect()
+    }
+
+    /// The built-in starter rules (`--rules builtin`): fidelity-contract
+    /// thresholds over the fleet aggregates plus windowed series checks,
+    /// each suppressed under the faults that legitimately cause it.
+    pub fn builtin() -> RuleSet {
+        let toml = r#"
+# Fleet aggregate contract: the same bars the fidelity gate holds.
+[[rule]]
+name = "fleet-deadline-miss-rate"
+metric = "fleet.deadline_miss_rate"
+severity = "critical"
+above = 0.05
+suppress = ["stall_feed", "clock_jump", "oom_ring"]
+
+[[rule]]
+name = "fleet-worst-p95"
+metric = "fleet.worst_abs_delay_error_p95_ms"
+severity = "critical"
+above = 20.0
+suppress = ["stall_feed", "clock_jump"]
+
+[[rule]]
+name = "fleet-failed-clients"
+metric = "fleet.failed_clients"
+severity = "critical"
+above = 0
+suppress = ["kill_worker", "stall_feed", "clock_jump", "oom_ring"]
+
+# Series health: sustained degradation, not single-boundary blips.
+[[rule]]
+name = "degraded-clients"
+metric = "sample.degraded_clients"
+severity = "warn"
+above = 0
+window = 2
+frac = 1.0
+suppress = ["kill_worker", "stall_feed", "oom_ring"]
+suppress_window_secs = 10.0
+
+[[rule]]
+name = "delay-error-burn"
+metric = "sample.mean_abs_delay_error_ms"
+severity = "warn"
+above = 10.0
+window = 3
+frac = 0.6
+suppress = ["stall_feed", "clock_jump"]
+"#;
+        RuleSet::from_toml(toml).expect("builtin rules parse")
+    }
+}
+
+/// Drop a `#` comment unless the `#` sits inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Apply one `key = value` TOML entry to a rule under construction.
+fn apply_toml_entry(rule: &mut RuleSpec, key: &str, value: &str) -> Result<(), String> {
+    let as_str = |v: &str| -> Result<String, String> {
+        let v = v.trim();
+        if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+            Ok(v[1..v.len() - 1].to_string())
+        } else {
+            Err(format!("expected a quoted string for '{key}', got '{v}'"))
+        }
+    };
+    let as_num = |v: &str| -> Result<f64, String> {
+        v.parse::<f64>()
+            .map_err(|_| format!("expected a number for '{key}', got '{v}'"))
+    };
+    match key {
+        "name" => rule.name = as_str(value)?,
+        "metric" => rule.metric = as_str(value)?,
+        "severity" => rule.severity = as_str(value)?,
+        "above" => rule.above = Some(as_num(value)?),
+        "below" => rule.below = Some(as_num(value)?),
+        "window" => {
+            let n = as_num(value)?;
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(format!(
+                    "'window' must be a positive integer, got '{value}'"
+                ));
+            }
+            rule.window = Some(n as u64);
+        }
+        "frac" => rule.frac = Some(as_num(value)?),
+        "baseline_max_abs" => rule.baseline_max_abs = Some(as_num(value)?),
+        "baseline_max_rel" => rule.baseline_max_rel = Some(as_num(value)?),
+        "suppress_window_secs" => rule.suppress_window_secs = Some(as_num(value)?),
+        "suppress" => {
+            let v = value.trim();
+            if !(v.starts_with('[') && v.ends_with(']')) {
+                return Err(format!("expected an array for 'suppress', got '{v}'"));
+            }
+            let inner = &v[1..v.len() - 1];
+            let mut kinds = Vec::new();
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                kinds.push(as_str(part)?);
+            }
+            rule.suppress = kinds;
+        }
+        other => return Err(format!("unknown rule key '{other}'")),
+    }
+    Ok(())
+}
+
+/// The metric a compiled rule reads.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricSel {
+    /// A per-boundary [`SamplePoint`] field, by stable field name.
+    Sample(&'static str),
+    /// A [`FleetReport`] aggregate field, by stable field name.
+    Fleet(&'static str),
+    /// A fleet counter from the report's metrics registry.
+    FleetCounter(String),
+}
+
+/// A compiled predicate over the selected metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Predicate {
+    /// Violate when the value is strictly above (`true`) / below
+    /// (`false`) the threshold.
+    Threshold {
+        /// Strictly-above when true, strictly-below when false.
+        above: bool,
+        /// The threshold value.
+        limit: f64,
+    },
+    /// Violate at a boundary when at least `frac` of the trailing
+    /// `window` boundaries breach the threshold.
+    BurnRate {
+        /// Strictly-above when true, strictly-below when false.
+        above: bool,
+        /// The threshold value.
+        limit: f64,
+        /// Trailing window length in boundaries.
+        window: u64,
+        /// Violating fraction that trips the rule.
+        frac: f64,
+    },
+    /// Violate when the value drifts outside
+    /// `baseline ± (max_abs + max_rel × |baseline|)`.
+    DeltaVsBaseline {
+        /// Absolute tolerance.
+        max_abs: f64,
+        /// Relative tolerance as a fraction of |baseline|.
+        max_rel: f64,
+    },
+}
+
+impl Predicate {
+    /// Human/markdown rendering of the violated condition.
+    fn describe(&self) -> String {
+        match self {
+            Predicate::Threshold { above, limit } => {
+                format!("{} {limit}", if *above { ">" } else { "<" })
+            }
+            Predicate::BurnRate {
+                above,
+                limit,
+                window,
+                frac,
+            } => format!(
+                ">= {frac} of last {window} samples {} {limit}",
+                if *above { ">" } else { "<" }
+            ),
+            Predicate::DeltaVsBaseline { max_abs, max_rel } => {
+                format!("within baseline ± ({max_abs} + {max_rel}·|baseline|)")
+            }
+        }
+    }
+}
+
+/// One rule compiled and validated, ready to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledRule {
+    name: String,
+    metric_name: String,
+    metric: MetricSel,
+    severity: Severity,
+    predicate: Predicate,
+    suppress: Vec<String>,
+    suppress_window_ns: u64,
+}
+
+/// A named accessor over one [`SamplePoint`] field.
+type SampleAccessor = (&'static str, fn(&SamplePoint) -> f64);
+
+/// Look up a `sample.*` selector by field name.
+fn sample_selector(field: &str) -> Option<SampleAccessor> {
+    let sel: SampleAccessor = match field {
+        "events" => ("events", |r| r.events as f64),
+        "queue_depth" => ("queue_depth", |r| r.queue_depth as f64),
+        "packets_live" => ("packets_live", |r| r.packets_live as f64),
+        "mod_held" => ("mod_held", |r| r.mod_held as f64),
+        "probes_sent" => ("probes_sent", |r| r.probes_sent as f64),
+        "rtts_completed" => ("rtts_completed", |r| r.rtts_completed as f64),
+        "packets_lost" => ("packets_lost", |r| r.packets_lost as f64),
+        "released" => ("released", |r| r.released as f64),
+        "abs_delay_error_ns" => ("abs_delay_error_ns", |r| r.abs_delay_error_ns as f64),
+        "station_frames" => ("station_frames", |r| r.station_frames as f64),
+        "degraded_clients" => ("degraded_clients", |r| r.degraded_clients as f64),
+        "mean_abs_delay_error_ms" => (
+            "mean_abs_delay_error_ms",
+            SamplePoint::mean_abs_delay_error_ms,
+        ),
+        _ => return None,
+    };
+    Some(sel)
+}
+
+/// Read a `fleet.*` aggregate off a report by field name.
+fn fleet_value(report: &FleetReport, field: &str) -> Option<f64> {
+    Some(match field {
+        "clients" => f64::from(report.clients),
+        "modulated_packets" => report.modulated_packets as f64,
+        "released_packets" => report.released_packets as f64,
+        "dropped_packets" => report.dropped_packets as f64,
+        "deadline_misses" => report.deadline_misses as f64,
+        "deadline_miss_rate" => report.deadline_miss_rate,
+        "mean_abs_delay_error_p95_ms" => report.mean_abs_delay_error_p95_ms,
+        "worst_abs_delay_error_p95_ms" => report.worst_abs_delay_error_p95_ms,
+        "failed_clients" => f64::from(report.failed_clients),
+        "degraded_clients" => f64::from(report.degraded_clients),
+        _ => return None,
+    })
+}
+
+/// Stable names accepted after `fleet.` (error-message helper).
+const FLEET_FIELDS: &str = "clients, modulated_packets, released_packets, dropped_packets, \
+     deadline_misses, deadline_miss_rate, mean_abs_delay_error_p95_ms, \
+     worst_abs_delay_error_p95_ms, failed_clients, degraded_clients";
+
+impl CompiledRule {
+    fn from_spec(spec: &RuleSpec) -> Result<CompiledRule, String> {
+        let ctx = |msg: String| {
+            if spec.name.is_empty() {
+                format!("rule (unnamed): {msg}")
+            } else {
+                format!("rule '{}': {msg}", spec.name)
+            }
+        };
+        if spec.name.is_empty() {
+            return Err(ctx("missing 'name'".into()));
+        }
+        let metric = if let Some(field) = spec.metric.strip_prefix("sample.") {
+            let (name, _) = sample_selector(field)
+                .ok_or_else(|| ctx(format!("unknown sample field '{field}'")))?;
+            MetricSel::Sample(name)
+        } else if let Some(counter) = spec.metric.strip_prefix("fleet.metrics.") {
+            if counter.is_empty() {
+                return Err(ctx("empty fleet counter name".into()));
+            }
+            MetricSel::FleetCounter(counter.to_string())
+        } else if let Some(field) = spec.metric.strip_prefix("fleet.") {
+            let probe = FleetReport::from_manifests(
+                "",
+                &[],
+                &crate::fidelity::FidelityThresholds::default(),
+            );
+            if fleet_value(&probe, field).is_none() {
+                return Err(ctx(format!(
+                    "unknown fleet field '{field}' (try: {FLEET_FIELDS})"
+                )));
+            }
+            MetricSel::Fleet(match fleet_field_name(field) {
+                Some(n) => n,
+                None => return Err(ctx(format!("unknown fleet field '{field}'"))),
+            })
+        } else {
+            return Err(ctx(format!(
+                "metric '{}' must start with sample., fleet., or fleet.metrics.",
+                spec.metric
+            )));
+        };
+        let severity = Severity::parse(&spec.severity).map_err(&ctx)?;
+
+        let threshold = match (spec.above, spec.below) {
+            (Some(_), Some(_)) => return Err(ctx("'above' and 'below' are exclusive".into())),
+            (Some(limit), None) => Some((true, limit)),
+            (None, Some(limit)) => Some((false, limit)),
+            (None, None) => None,
+        };
+        let baseline = spec.baseline_max_abs.is_some() || spec.baseline_max_rel.is_some();
+        let predicate = match (threshold, baseline) {
+            (Some(_), true) => {
+                return Err(ctx(
+                    "threshold and baseline clauses are exclusive in one rule".into(),
+                ))
+            }
+            (None, false) => {
+                return Err(ctx(
+                    "rule needs 'above', 'below', or a baseline_max_* clause".into(),
+                ))
+            }
+            (Some((above, limit)), false) => match (spec.window, spec.frac) {
+                (None, None) => Predicate::Threshold { above, limit },
+                (Some(window), frac) => {
+                    if window == 0 {
+                        return Err(ctx("'window' must be >= 1".into()));
+                    }
+                    let frac = frac.unwrap_or(1.0);
+                    if !(0.0..=1.0).contains(&frac) {
+                        return Err(ctx("'frac' must be in [0, 1]".into()));
+                    }
+                    if !matches!(metric, MetricSel::Sample(_)) {
+                        return Err(ctx(
+                            "burn-rate windows only apply to sample.* metrics".into()
+                        ));
+                    }
+                    Predicate::BurnRate {
+                        above,
+                        limit,
+                        window,
+                        frac,
+                    }
+                }
+                (None, Some(_)) => return Err(ctx("'frac' requires 'window'".into())),
+            },
+            (None, true) => {
+                if spec.window.is_some() || spec.frac.is_some() {
+                    return Err(ctx("baseline rules take no 'window'/'frac'".into()));
+                }
+                Predicate::DeltaVsBaseline {
+                    max_abs: spec.baseline_max_abs.unwrap_or(0.0),
+                    max_rel: spec.baseline_max_rel.unwrap_or(0.0),
+                }
+            }
+        };
+        let suppress_window_ns = match spec.suppress_window_secs {
+            None => DEFAULT_SUPPRESS_WINDOW_NS,
+            Some(s) if s >= 0.0 => (s * 1e9) as u64,
+            Some(_) => return Err(ctx("'suppress_window_secs' must be >= 0".into())),
+        };
+        Ok(CompiledRule {
+            name: spec.name.clone(),
+            metric_name: spec.metric.clone(),
+            metric,
+            severity,
+            predicate,
+            suppress: spec.suppress.clone(),
+            suppress_window_ns,
+        })
+    }
+}
+
+/// Canonical `fleet.*` field name (static str for [`MetricSel`]).
+fn fleet_field_name(field: &str) -> Option<&'static str> {
+    Some(match field {
+        "clients" => "clients",
+        "modulated_packets" => "modulated_packets",
+        "released_packets" => "released_packets",
+        "dropped_packets" => "dropped_packets",
+        "deadline_misses" => "deadline_misses",
+        "deadline_miss_rate" => "deadline_miss_rate",
+        "mean_abs_delay_error_p95_ms" => "mean_abs_delay_error_p95_ms",
+        "worst_abs_delay_error_p95_ms" => "worst_abs_delay_error_p95_ms",
+        "failed_clients" => "failed_clients",
+        "degraded_clients" => "degraded_clients",
+        _ => return None,
+    })
+}
+
+/// A fault event as the alert engine consumes it (mirrors
+/// `faultkit::FaultEvent` without a crate dependency: `obs` sits below
+/// `faultkit` in the workspace graph).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultStamp {
+    /// Virtual time of the injection (ns from run start).
+    pub t_virtual_ns: u64,
+    /// Fault kind (stable name, e.g. `kill_worker`).
+    pub fault: String,
+    /// Human-readable detail.
+    #[serde(default)]
+    pub info: String,
+}
+
+/// Parse fault stamps from a `--fault-out` JSONL log.
+pub fn parse_fault_stamps(text: &str) -> Result<Vec<FaultStamp>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad fault line: {e}")))
+        .collect()
+}
+
+/// Everything one evaluation reads. All references: evaluation never
+/// mutates its inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlertInputs<'a> {
+    /// Merged telemetry series, oldest first (empty when the run
+    /// sampled no telemetry).
+    pub series: &'a [SamplePoint],
+    /// The run's aggregate fleet report, for `fleet.*` rules.
+    pub report: Option<&'a FleetReport>,
+    /// A baseline run's report (its embedded telemetry serves
+    /// `sample.*` baseline rules) for delta-vs-baseline predicates.
+    pub baseline: Option<&'a FleetReport>,
+    /// Injected-fault stamps driving suppression windows.
+    pub faults: &'a [FaultStamp],
+}
+
+/// One fired alert. A `sample.*` alert covers a maximal run of
+/// consecutive violating boundaries sharing a suppression status; a
+/// `fleet.*` alert covers the whole run (`t_first_ns == t_last_ns == 0`,
+/// `samples == 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The firing rule's name.
+    pub rule: String,
+    /// Severity name (`info` / `warn` / `critical`).
+    pub severity: String,
+    /// The metric selector that violated.
+    pub metric: String,
+    /// First violating boundary (virtual ns; 0 for aggregate rules).
+    pub t_first_ns: u64,
+    /// Last violating boundary (virtual ns; 0 for aggregate rules).
+    pub t_last_ns: u64,
+    /// Violating boundaries covered (1 for aggregate rules).
+    pub samples: u64,
+    /// Worst observed value over the covered boundaries.
+    pub value: f64,
+    /// The violated condition, rendered.
+    pub threshold: String,
+    /// True when every covered boundary fell inside a suppression
+    /// window opened by a matching injected fault.
+    pub suppressed: bool,
+    /// The suppressing fault (`kind@t`), empty when unsuppressed.
+    #[serde(default)]
+    pub attributed_to: String,
+}
+
+/// The deterministic evaluation artifact: every alert plus tallies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertReport {
+    /// Schema version ([`ALERTS_SCHEMA`]).
+    pub schema: u32,
+    /// Rules evaluated.
+    pub rules: u64,
+    /// Telemetry boundaries scanned.
+    pub boundaries: u64,
+    /// Fault stamps considered for suppression.
+    pub fault_events: u64,
+    /// Every fired alert, in rule order then virtual-time order.
+    pub alerts: Vec<Alert>,
+}
+
+impl AlertReport {
+    /// Alerts that fired inside suppression windows.
+    pub fn suppressed(&self) -> impl Iterator<Item = &Alert> {
+        self.alerts.iter().filter(|a| a.suppressed)
+    }
+
+    /// Alerts that fired with no covering suppression window.
+    pub fn active(&self) -> impl Iterator<Item = &Alert> {
+        self.alerts.iter().filter(|a| !a.suppressed)
+    }
+
+    /// Count active (unsuppressed) alerts at or above `floor`.
+    pub fn active_at_or_above(&self, floor: Severity) -> usize {
+        self.active()
+            .filter(|a| Severity::parse(&a.severity).map(|s| s >= floor) == Ok(true))
+            .count()
+    }
+
+    /// The gate: violation strings for every active alert at or above
+    /// `floor` (empty = pass). Suppressed alerts never gate — they are
+    /// attributed to their injected fault instead.
+    pub fn check(&self, floor: Severity) -> Vec<String> {
+        self.active()
+            .filter(|a| Severity::parse(&a.severity).map(|s| s >= floor) == Ok(true))
+            .map(|a| {
+                format!(
+                    "[{}] {} {} {} (worst {} over {} boundaries at t={:.1}s..{:.1}s)",
+                    a.severity,
+                    a.rule,
+                    a.metric,
+                    a.threshold,
+                    a.value,
+                    a.samples,
+                    a.t_first_ns as f64 / 1e9,
+                    a.t_last_ns as f64 / 1e9,
+                )
+            })
+            .collect()
+    }
+
+    /// One JSON object per alert, in report order — the `--out`
+    /// artifact. Byte-identical across shard layouts and reruns.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for a in &self.alerts {
+            s.push_str(&serde_json::to_string(a).expect("alert serializes"));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse alerts back from a JSONL export (tallies recomputed from
+    /// the lines; schema/boundary counts are not round-tripped).
+    pub fn alerts_from_jsonl(text: &str) -> Result<Vec<Alert>, String> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str(l).map_err(|e| format!("bad alert line: {e}")))
+            .collect()
+    }
+
+    /// Markdown report: summary counts plus one table row per alert.
+    pub fn render_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "## Alerts\n");
+        let active = self.active().count();
+        let suppressed = self.suppressed().count();
+        let _ = writeln!(
+            s,
+            "*{} rules over {} boundaries, {} fault events: {} active alert(s), {} suppressed.*\n",
+            self.rules, self.boundaries, self.fault_events, active, suppressed
+        );
+        if self.alerts.is_empty() {
+            let _ = writeln!(s, "No alerts fired.");
+            return s;
+        }
+        let _ = writeln!(
+            s,
+            "| severity | rule | metric | violated | worst | window (virtual) | suppressed by |"
+        );
+        let _ = writeln!(s, "|---|---|---|---|---|---|---|");
+        for a in &self.alerts {
+            let window = if a.metric.starts_with("fleet.") {
+                "whole run".to_string()
+            } else {
+                format!(
+                    "{:.1}s..{:.1}s ({} samples)",
+                    a.t_first_ns as f64 / 1e9,
+                    a.t_last_ns as f64 / 1e9,
+                    a.samples
+                )
+            };
+            let _ = writeln!(
+                s,
+                "| {} | {} | `{}` | {} | {} | {} | {} |",
+                a.severity,
+                a.rule,
+                a.metric,
+                a.threshold,
+                a.value,
+                window,
+                if a.suppressed {
+                    a.attributed_to.as_str()
+                } else {
+                    "—"
+                }
+            );
+        }
+        s
+    }
+}
+
+/// The suppressing fault covering virtual time `t` for `rule`, if any:
+/// the latest matching-kind fault with `t` inside
+/// `[fault.t, fault.t + window]`.
+fn covering_fault<'a>(
+    rule: &CompiledRule,
+    faults: &'a [FaultStamp],
+    t: u64,
+) -> Option<&'a FaultStamp> {
+    faults
+        .iter()
+        .filter(|f| {
+            rule.suppress.iter().any(|k| k == &f.fault)
+                && f.t_virtual_ns <= t
+                && t - f.t_virtual_ns <= rule.suppress_window_ns
+        })
+        .max_by_key(|f| f.t_virtual_ns)
+}
+
+/// Render a fault attribution (`kind@12.0s`).
+fn attribution(f: &FaultStamp) -> String {
+    format!("{}@{:.1}s", f.fault, f.t_virtual_ns as f64 / 1e9)
+}
+
+/// Evaluate a rule set over a run. Pure over its inputs: the same
+/// inputs always produce the same report, byte for byte.
+pub fn evaluate(rules: &RuleSet, inputs: &AlertInputs) -> Result<AlertReport, String> {
+    let compiled = rules.compile()?;
+    let mut report = AlertReport {
+        schema: ALERTS_SCHEMA,
+        rules: compiled.len() as u64,
+        boundaries: inputs.series.len() as u64,
+        fault_events: inputs.faults.len() as u64,
+        alerts: Vec::new(),
+    };
+    for rule in &compiled {
+        match &rule.metric {
+            MetricSel::Sample(field) => evaluate_series(rule, field, inputs, &mut report.alerts)?,
+            MetricSel::Fleet(field) => {
+                let Some(rep) = inputs.report else {
+                    return Err(format!(
+                        "rule '{}' reads {} but no fleet report was provided",
+                        rule.name, rule.metric_name
+                    ));
+                };
+                let value = fleet_value(rep, field).expect("validated at compile");
+                let violated = match &rule.predicate {
+                    Predicate::Threshold { above, limit } => {
+                        threshold_violated(value, *above, *limit)
+                    }
+                    Predicate::DeltaVsBaseline { max_abs, max_rel } => {
+                        let Some(base) = inputs.baseline else {
+                            return Err(format!(
+                                "rule '{}' needs a baseline report for {}",
+                                rule.name, rule.metric_name
+                            ));
+                        };
+                        let b = fleet_value(base, field).expect("validated at compile");
+                        (value - b).abs() > max_abs + max_rel * b.abs()
+                    }
+                    Predicate::BurnRate { .. } => unreachable!("rejected at compile"),
+                };
+                if violated {
+                    push_aggregate_alert(rule, value, inputs, &mut report.alerts);
+                }
+            }
+            MetricSel::FleetCounter(name) => {
+                let Some(rep) = inputs.report else {
+                    return Err(format!(
+                        "rule '{}' reads {} but no fleet report was provided",
+                        rule.name, rule.metric_name
+                    ));
+                };
+                let value = rep.metrics.counter(name).ok_or_else(|| {
+                    format!("rule '{}': fleet counter '{name}' not in report", rule.name)
+                })? as f64;
+                let violated = match &rule.predicate {
+                    Predicate::Threshold { above, limit } => {
+                        threshold_violated(value, *above, *limit)
+                    }
+                    Predicate::DeltaVsBaseline { max_abs, max_rel } => {
+                        let Some(base) = inputs.baseline else {
+                            return Err(format!(
+                                "rule '{}' needs a baseline report for {}",
+                                rule.name, rule.metric_name
+                            ));
+                        };
+                        let b = base.metrics.counter(name).ok_or_else(|| {
+                            format!(
+                                "rule '{}': fleet counter '{name}' not in baseline",
+                                rule.name
+                            )
+                        })? as f64;
+                        (value - b).abs() > max_abs + max_rel * b.abs()
+                    }
+                    Predicate::BurnRate { .. } => unreachable!("rejected at compile"),
+                };
+                if violated {
+                    push_aggregate_alert(rule, value, inputs, &mut report.alerts);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn threshold_violated(value: f64, above: bool, limit: f64) -> bool {
+    if above {
+        value > limit
+    } else {
+        value < limit
+    }
+}
+
+/// Aggregate (`fleet.*`) alert: covers the whole run, suppressed when
+/// any matching-kind fault fired at all (aggregates integrate the full
+/// run, so every matching injection taints them).
+fn push_aggregate_alert(
+    rule: &CompiledRule,
+    value: f64,
+    inputs: &AlertInputs,
+    alerts: &mut Vec<Alert>,
+) {
+    let suppressor = inputs
+        .faults
+        .iter()
+        .filter(|f| rule.suppress.iter().any(|k| k == &f.fault))
+        .max_by_key(|f| f.t_virtual_ns);
+    alerts.push(Alert {
+        rule: rule.name.clone(),
+        severity: rule.severity.name().to_string(),
+        metric: rule.metric_name.clone(),
+        t_first_ns: 0,
+        t_last_ns: 0,
+        samples: 1,
+        value,
+        threshold: rule.predicate.describe(),
+        suppressed: suppressor.is_some(),
+        attributed_to: suppressor.map(attribution).unwrap_or_default(),
+    });
+}
+
+/// Series (`sample.*`) evaluation: per-boundary violation flags, then
+/// maximal runs of consecutive violating boundaries sharing a
+/// suppression status collapse into one alert each.
+fn evaluate_series(
+    rule: &CompiledRule,
+    field: &str,
+    inputs: &AlertInputs,
+    alerts: &mut Vec<Alert>,
+) -> Result<(), String> {
+    let (_, sel) = sample_selector(field).expect("validated at compile");
+    let series = inputs.series;
+    // Per-boundary (violates, worst value observed for the alert row).
+    let mut flags: Vec<Option<f64>> = Vec::with_capacity(series.len());
+    match &rule.predicate {
+        Predicate::Threshold { above, limit } => {
+            for row in series {
+                let v = sel(row);
+                flags.push(threshold_violated(v, *above, *limit).then_some(v));
+            }
+        }
+        Predicate::BurnRate {
+            above,
+            limit,
+            window,
+            frac,
+        } => {
+            let w = *window as usize;
+            for i in 0..series.len() {
+                let lo = (i + 1).saturating_sub(w);
+                let win = &series[lo..=i];
+                let bad = win
+                    .iter()
+                    .filter(|r| threshold_violated(sel(r), *above, *limit))
+                    .count();
+                // Full windows only: the first w-1 boundaries cannot burn.
+                let burns = win.len() == w && bad as f64 >= *frac * w as f64;
+                flags.push(burns.then(|| sel(&series[i])));
+            }
+        }
+        Predicate::DeltaVsBaseline { max_abs, max_rel } => {
+            let base_series = inputs
+                .baseline
+                .and_then(|b| b.telemetry.as_ref())
+                .map(|t| t.series.as_slice())
+                .ok_or_else(|| {
+                    format!(
+                        "rule '{}' needs a baseline report with telemetry for {}",
+                        rule.name, rule.metric_name
+                    )
+                })?;
+            for row in series {
+                // Align by boundary time, not index: a perturbed run may
+                // cover a different span.
+                let b = base_series.iter().find(|r| r.t_ns == row.t_ns);
+                flags.push(match b {
+                    None => None,
+                    Some(b) => {
+                        let (v, bv) = (sel(row), sel(b));
+                        ((v - bv).abs() > max_abs + max_rel * bv.abs()).then_some(v)
+                    }
+                });
+            }
+        }
+    }
+    // Collapse runs. A run splits when suppression status changes so a
+    // fault-shadowed prefix suppresses while the tail still alarms.
+    let mut i = 0;
+    while i < series.len() {
+        let Some(v0) = flags[i] else {
+            i += 1;
+            continue;
+        };
+        let first_fault = covering_fault(rule, inputs.faults, series[i].t_ns);
+        let status = first_fault.is_some();
+        let (mut last, mut worst, mut count) = (i, v0, 1u64);
+        let mut j = i + 1;
+        while j < series.len() {
+            let Some(v) = flags[j] else { break };
+            if covering_fault(rule, inputs.faults, series[j].t_ns).is_some() != status {
+                break;
+            }
+            worst = if worst >= v { worst } else { v };
+            last = j;
+            count += 1;
+            j += 1;
+        }
+        alerts.push(Alert {
+            rule: rule.name.clone(),
+            severity: rule.severity.name().to_string(),
+            metric: rule.metric_name.clone(),
+            t_first_ns: series[i].t_ns,
+            t_last_ns: series[last].t_ns,
+            samples: count,
+            value: worst,
+            threshold: rule.predicate.describe(),
+            suppressed: status,
+            attributed_to: first_fault.map(attribution).unwrap_or_default(),
+        });
+        i = j;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{FleetTelemetry, TELEMETRY_SCHEMA};
+
+    fn row(t_secs: u64, queue_depth: u64, released: u64, err_ns: u64) -> SamplePoint {
+        SamplePoint {
+            t_ns: t_secs * 1_000_000_000,
+            queue_depth,
+            released,
+            abs_delay_error_ns: err_ns,
+            ..SamplePoint::default()
+        }
+    }
+
+    fn one_rule(toml: &str) -> RuleSet {
+        RuleSet::from_toml(toml).unwrap()
+    }
+
+    #[test]
+    fn toml_parses_rules_and_rejects_garbage() {
+        let rs = one_rule(
+            r#"
+# a comment
+[[rule]]
+name = "deep-queue"            # trailing comment
+metric = "sample.queue_depth"
+severity = "critical"
+above = 100
+window = 2
+frac = 0.5
+suppress = ["kill_worker", "stall_feed"]
+suppress_window_secs = 7.5
+"#,
+        );
+        assert_eq!(rs.rules.len(), 1);
+        let r = &rs.rules[0];
+        assert_eq!(r.name, "deep-queue");
+        assert_eq!(r.above, Some(100.0));
+        assert_eq!(r.window, Some(2));
+        assert_eq!(r.suppress, vec!["kill_worker", "stall_feed"]);
+        assert_eq!(r.suppress_window_secs, Some(7.5));
+
+        assert!(
+            RuleSet::from_toml("name = \"x\"").is_err(),
+            "entry before table"
+        );
+        assert!(
+            RuleSet::from_toml("[[rule]]\nbogus = 1").is_err(),
+            "unknown key"
+        );
+        assert!(RuleSet::from_toml("[rule]").is_err(), "plain table");
+        assert!(RuleSet::from_toml("[[rule]]\nname = unquoted").is_err());
+    }
+
+    #[test]
+    fn json_round_trips_and_compiles_like_toml() {
+        let rs = one_rule("[[rule]]\nname = \"a\"\nmetric = \"sample.released\"\nbelow = 1\n");
+        let back = RuleSet::from_json(&rs.to_json_pretty()).unwrap();
+        assert_eq!(back, rs);
+        assert_eq!(back.compile().unwrap(), rs.compile().unwrap());
+    }
+
+    #[test]
+    fn compile_rejects_bad_specs() {
+        let bad = [
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.nope\"\nabove = 1\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"fleet.nope\"\nabove = 1\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"queue_depth\"\nabove = 1\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\nabove = 1\nbelow = 2\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\nabove = 1\nbaseline_max_abs = 2\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\nabove = 1\nfrac = 0.5\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\nabove = 1\nwindow = 2\nfrac = 1.5\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"fleet.deadline_miss_rate\"\nabove = 1\nwindow = 2\n",
+            "[[rule]]\nname = \"x\"\nmetric = \"sample.released\"\nabove = 1\nseverity = \"loud\"\n",
+            "[[rule]]\nmetric = \"sample.released\"\nabove = 1\n",
+        ];
+        for toml in bad {
+            let rs = RuleSet::from_toml(toml).unwrap();
+            assert!(rs.compile().is_err(), "should reject: {toml}");
+        }
+    }
+
+    #[test]
+    fn threshold_groups_consecutive_boundaries() {
+        let rs = one_rule("[[rule]]\nname = \"q\"\nmetric = \"sample.queue_depth\"\nabove = 10\n");
+        let series = [
+            row(1, 5, 0, 0),
+            row(2, 11, 0, 0),
+            row(3, 30, 0, 0),
+            row(4, 2, 0, 0),
+            row(5, 12, 0, 0),
+        ];
+        let rep = evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rep.alerts.len(), 2);
+        let a = &rep.alerts[0];
+        assert_eq!((a.t_first_ns, a.t_last_ns), (2_000_000_000, 3_000_000_000));
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.value, 30.0);
+        assert!(!a.suppressed);
+        assert_eq!(rep.alerts[1].t_first_ns, 5_000_000_000);
+        assert_eq!(rep.active_at_or_above(Severity::Warn), 2);
+        assert_eq!(rep.check(Severity::Critical).len(), 0, "warn < critical");
+    }
+
+    #[test]
+    fn burn_rate_needs_full_window_fraction() {
+        let rs = one_rule(
+            "[[rule]]\nname = \"burn\"\nmetric = \"sample.queue_depth\"\nabove = 10\nwindow = 3\nfrac = 0.6\n",
+        );
+        // Boundaries: ok, bad, bad, ok, bad — windows of 3 with >= 2 bad
+        // are (1,2,3) at t=3s... wait indexes: [5,20,20,5,20]
+        let series = [
+            row(1, 5, 0, 0),
+            row(2, 20, 0, 0),
+            row(3, 20, 0, 0),
+            row(4, 5, 0, 0),
+            row(5, 20, 0, 0),
+        ];
+        let rep = evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        // Full windows: t=3 ([5,20,20] → 2/3 burns), t=4 ([20,20,5] →
+        // 2/3 burns), t=5 ([20,5,20] → 2/3 burns). t=1,2 lack a window.
+        assert_eq!(rep.alerts.len(), 1);
+        let a = &rep.alerts[0];
+        assert_eq!((a.t_first_ns, a.t_last_ns), (3_000_000_000, 5_000_000_000));
+        assert_eq!(a.samples, 3);
+    }
+
+    #[test]
+    fn suppression_window_attributes_and_splits_runs() {
+        let rs = one_rule(
+            "[[rule]]\nname = \"q\"\nmetric = \"sample.queue_depth\"\nabove = 10\nsuppress = [\"kill_worker\"]\nsuppress_window_secs = 2.0\n",
+        );
+        let series = [
+            row(1, 20, 0, 0), // before the fault: active
+            row(2, 20, 0, 0), // fault at t=2s: suppressed
+            row(3, 20, 0, 0), // within 2s window: suppressed
+            row(4, 20, 0, 0), // within window (t - 2s = 2s <= 2s): suppressed
+            row(5, 20, 0, 0), // window expired: active again
+        ];
+        let faults = [FaultStamp {
+            t_virtual_ns: 2_000_000_000,
+            fault: "kill_worker".into(),
+            info: "shard 1".into(),
+        }];
+        let rep = evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                faults: &faults,
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rep.alerts.len(), 3, "{:?}", rep.alerts);
+        assert!(!rep.alerts[0].suppressed);
+        assert_eq!(rep.alerts[0].samples, 1);
+        assert!(rep.alerts[1].suppressed);
+        assert_eq!(rep.alerts[1].samples, 3);
+        assert_eq!(rep.alerts[1].attributed_to, "kill_worker@2.0s");
+        assert!(!rep.alerts[2].suppressed);
+        // Only the unsuppressed runs gate.
+        assert_eq!(rep.check(Severity::Warn).len(), 2);
+        // A different fault kind does not suppress.
+        let other = [FaultStamp {
+            t_virtual_ns: 2_000_000_000,
+            fault: "stall_feed".into(),
+            info: String::new(),
+        }];
+        let rep2 = evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                faults: &other,
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rep2.alerts.len(), 1);
+        assert!(!rep2.alerts[0].suppressed);
+    }
+
+    fn fleet_report_with(series: Vec<SamplePoint>, miss_rate: f64) -> FleetReport {
+        let mut rep =
+            FleetReport::from_manifests("t", &[], &crate::fidelity::FidelityThresholds::default());
+        rep.deadline_miss_rate = miss_rate;
+        rep.telemetry = Some(FleetTelemetry {
+            schema: TELEMETRY_SCHEMA,
+            interval_ns: 1_000_000_000,
+            evicted: 0,
+            series,
+            worst_clients: Vec::new(),
+            hot_stations: Vec::new(),
+        });
+        rep
+    }
+
+    #[test]
+    fn aggregate_rules_fire_and_suppress_without_windows() {
+        let rs = one_rule(
+            "[[rule]]\nname = \"miss\"\nmetric = \"fleet.deadline_miss_rate\"\nseverity = \"critical\"\nabove = 0.05\nsuppress = [\"stall_feed\"]\n",
+        );
+        let rep = fleet_report_with(Vec::new(), 0.2);
+        let out = evaluate(
+            &rs,
+            &AlertInputs {
+                report: Some(&rep),
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.alerts.len(), 1);
+        assert!(!out.alerts[0].suppressed);
+        assert_eq!(out.check(Severity::Critical).len(), 1);
+        // Any matching fault suppresses the whole-run aggregate.
+        let faults = [FaultStamp {
+            t_virtual_ns: 40_000_000_000,
+            fault: "stall_feed".into(),
+            info: String::new(),
+        }];
+        let out2 = evaluate(
+            &rs,
+            &AlertInputs {
+                report: Some(&rep),
+                faults: &faults,
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert!(out2.alerts[0].suppressed);
+        assert_eq!(out2.alerts[0].attributed_to, "stall_feed@40.0s");
+        assert!(out2.check(Severity::Critical).is_empty());
+        // Missing report is an evaluation error, not a silent pass.
+        assert!(evaluate(&rs, &AlertInputs::default()).is_err());
+    }
+
+    #[test]
+    fn baseline_delta_fires_on_drift_only() {
+        let rs = one_rule(
+            "[[rule]]\nname = \"drift\"\nmetric = \"sample.released\"\nbaseline_max_abs = 1\nbaseline_max_rel = 0.1\n",
+        );
+        let base = fleet_report_with(
+            vec![row(1, 0, 100, 0), row(2, 0, 100, 0), row(3, 0, 100, 0)],
+            0.0,
+        );
+        // t=2 drifts by 20 > 1 + 0.1·100 = 11; t=3 within tolerance.
+        let series = [row(1, 0, 100, 0), row(2, 0, 120, 0), row(3, 0, 109, 0)];
+        let out = evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                baseline: Some(&base),
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.alerts.len(), 1);
+        assert_eq!(out.alerts[0].t_first_ns, 2_000_000_000);
+        assert_eq!(out.alerts[0].value, 120.0);
+        // No baseline → evaluation error.
+        assert!(evaluate(
+            &rs,
+            &AlertInputs {
+                series: &series,
+                ..AlertInputs::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_counter_rules_read_the_registry() {
+        let rs = one_rule(
+            "[[rule]]\nname = \"kills\"\nmetric = \"fleet.metrics.fault.worker_kills\"\nabove = 0\n",
+        );
+        let mut rep = fleet_report_with(Vec::new(), 0.0);
+        rep.metrics.set_counter("fault.worker_kills", 2);
+        let out = evaluate(
+            &rs,
+            &AlertInputs {
+                report: Some(&rep),
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.alerts.len(), 1);
+        assert_eq!(out.alerts[0].value, 2.0);
+        // Unknown counter is an error.
+        rep.metrics = crate::MetricsRegistry::new();
+        assert!(evaluate(
+            &rs,
+            &AlertInputs {
+                report: Some(&rep),
+                ..AlertInputs::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_round_trip() {
+        let rs = RuleSet::builtin();
+        let series = [row(1, 5, 10, 200_000_000), row(2, 7, 0, 0)];
+        let mut rep = fleet_report_with(series.to_vec(), 0.9);
+        rep.clients = 3;
+        rep.released_packets = 10;
+        let faults = [FaultStamp {
+            t_virtual_ns: 1_000_000_000,
+            fault: "kill_worker".into(),
+            info: String::new(),
+        }];
+        let inputs = AlertInputs {
+            series: &series,
+            report: Some(&rep),
+            faults: &faults,
+            ..AlertInputs::default()
+        };
+        let a = evaluate(&rs, &inputs).unwrap();
+        let b = evaluate(&rs, &inputs).unwrap();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.render_markdown(), b.render_markdown());
+        let back = AlertReport::alerts_from_jsonl(&a.to_jsonl()).unwrap();
+        assert_eq!(back, a.alerts);
+        let md = a.render_markdown();
+        assert!(md.contains("## Alerts"));
+        assert!(md.contains("fleet-deadline-miss-rate"));
+    }
+
+    #[test]
+    fn builtin_rules_compile() {
+        assert!(RuleSet::builtin().compile().is_ok());
+        // Quiet inputs: no alerts, gate passes.
+        let rep = fleet_report_with(Vec::new(), 0.0);
+        let out = evaluate(
+            &RuleSet::builtin(),
+            &AlertInputs {
+                report: Some(&rep),
+                ..AlertInputs::default()
+            },
+        )
+        .unwrap();
+        assert!(out.alerts.is_empty());
+        assert!(out.check(Severity::Info).is_empty());
+    }
+
+    #[test]
+    fn fault_stamps_parse_from_jsonl() {
+        let text = "{\"t_virtual_ns\":5,\"fault\":\"kill_worker\",\"info\":\"x\"}\n\n";
+        let stamps = parse_fault_stamps(text).unwrap();
+        assert_eq!(stamps.len(), 1);
+        assert_eq!(stamps[0].fault, "kill_worker");
+        assert!(parse_fault_stamps("not json\n").is_err());
+    }
+}

@@ -36,7 +36,16 @@
 //!   (JSONL / Prometheus / markdown sparklines) with space-saving
 //!   [`TopK`] outlier tracking;
 //! * [`profile`] — an opt-in scoped wall-clock [`Profiler`] with
-//!   flamegraph collapsed-stack output for the fleet hot paths.
+//!   flamegraph collapsed-stack output for the fleet hot paths;
+//! * [`alerts`] — the fidelity SLO engine: declarative TOML/JSON rules
+//!   (thresholds, windowed burn rates, delta-vs-baseline) evaluated in
+//!   virtual time over the telemetry series and fleet aggregates, with
+//!   chaos-aware suppression windows keyed off injected-fault
+//!   timestamps, exported as byte-deterministic JSONL + markdown;
+//! * [`diff`] — cross-run divergence forensics: a first-divergence
+//!   finder that walks two runs' artifacts in lockstep and names the
+//!   earliest differing field with virtual-time / client / shard
+//!   context (`tracemod diff-runs`).
 //!
 //! **Determinism rule**: everything under [`RunManifest::metrics`] and
 //! [`RunManifest::fidelity`] must derive only from simulation state
@@ -45,7 +54,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod bench;
+pub mod diff;
 pub mod fidelity;
 pub mod fleet;
 pub mod flight;
@@ -57,7 +68,12 @@ pub mod sink;
 pub mod span;
 pub mod telemetry;
 
+pub use alerts::{
+    evaluate as evaluate_alerts, Alert, AlertInputs, AlertReport, FaultStamp, RuleSet, Severity,
+    ALERTS_SCHEMA,
+};
 pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict, OverheadGate};
+pub use diff::{diff_artifacts, ArtifactKind, DiffOptions, Divergence};
 pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
 pub use fleet::{FleetReport, FLEET_SCHEMA};
 pub use flight::{FlightHandle, FlightRecord, FlightRecorder, PacketId, PacketJourney, Stage};
@@ -65,7 +81,7 @@ pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
 pub use metrics::{Counter, Gauge, Hist, HistSnapshot};
 pub use profile::{ProfEntry, Profiler};
 pub use registry::MetricsRegistry;
-pub use sink::{Event, JsonlSink};
+pub use sink::{Event, JsonlSink, SharedSink};
 pub use span::SpanTimer;
 pub use telemetry::{
     FleetTelemetry, SampleInputs, SamplePoint, ShardTelemetry, TelemetryConfig, TopEntry, TopK,

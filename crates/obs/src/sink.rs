@@ -1,8 +1,10 @@
-//! Append-only JSON-lines event sink.
+//! Append-only JSON-lines event sink, plus the poison-tolerant
+//! [`SharedSink`] handle for multi-worker runs.
 
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// One observability event: a named measurement at a virtual time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,12 +53,14 @@ impl JsonlSink {
         Ok(JsonlSink::to_writer(io::BufWriter::new(f)))
     }
 
-    /// Append one event as a JSON line.
+    /// Append one event as a JSON line. The line (terminator included)
+    /// goes down in a single `write_all`, so a panic unwinding through
+    /// a shared sink cannot leave a torn line behind.
     pub fn emit(&mut self, ev: &Event) -> io::Result<()> {
-        let line = serde_json::to_string(ev)
+        let mut line = serde_json::to_string(ev)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
         self.out.write_all(line.as_bytes())?;
-        self.out.write_all(b"\n")?;
         self.events += 1;
         Ok(())
     }
@@ -69,6 +73,59 @@ impl JsonlSink {
     /// Events emitted so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+}
+
+/// A cloneable, thread-safe handle over one [`JsonlSink`], for runs
+/// where several workers stream into a single JSONL artifact.
+///
+/// **Poison tolerance.** A worker that panics while holding the sink
+/// lock poisons the mutex; with the stock `.lock().unwrap()` idiom
+/// every subsequent emitter would then panic too, cascading one
+/// worker's failure into total observability loss. `SharedSink`
+/// recovers the guard from the poison instead
+/// ([`PoisonError::into_inner`]): the sink's state is a line counter
+/// and a writer whose lines are appended atomically
+/// ([`JsonlSink::emit`] writes each line in one `write_all`), so the
+/// recovered state is always consistent and the survivors keep
+/// logging.
+#[derive(Debug, Clone)]
+pub struct SharedSink {
+    inner: Arc<Mutex<JsonlSink>>,
+}
+
+impl SharedSink {
+    /// Wrap a sink for shared use.
+    pub fn new(sink: JsonlSink) -> Self {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// A shared sink appending to the file at `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(SharedSink::new(JsonlSink::to_file(path)?))
+    }
+
+    /// Lock the sink, recovering from a poisoned mutex rather than
+    /// propagating the panic.
+    fn lock(&self) -> MutexGuard<'_, JsonlSink> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one event (serialized line written atomically).
+    pub fn emit(&self, ev: &Event) -> io::Result<()> {
+        self.lock().emit(ev)
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.lock().flush()
+    }
+
+    /// Events emitted so far, across all handles.
+    pub fn events(&self) -> u64 {
+        self.lock().events()
     }
 }
 
@@ -85,16 +142,37 @@ mod tests {
     use super::*;
     use std::sync::{Arc, Mutex};
 
-    /// Shared in-memory writer for inspecting sink output.
+    /// Shared in-memory writer for inspecting sink output
+    /// (poison-tolerant, like the production paths).
     #[derive(Clone, Default)]
     struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Shared {
+        fn contents(&self) -> Vec<u8> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        }
+    }
     impl Write for Shared {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-            self.0.lock().unwrap().extend_from_slice(buf);
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> io::Result<()> {
             Ok(())
+        }
+    }
+
+    fn event(i: u64) -> Event {
+        Event {
+            t_virtual_ns: i * 500,
+            stage: "modulate".into(),
+            name: "queue_depth".into(),
+            value: i as f64,
         }
     }
 
@@ -103,20 +181,61 @@ mod tests {
         let shared = Shared::default();
         let mut sink = JsonlSink::to_writer(shared.clone());
         for i in 0..3u64 {
-            sink.emit(&Event {
-                t_virtual_ns: i * 500,
-                stage: "modulate".into(),
-                name: "queue_depth".into(),
-                value: i as f64,
-            })
-            .unwrap();
+            sink.emit(&event(i)).unwrap();
         }
         assert_eq!(sink.events(), 3);
-        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let text = String::from_utf8(shared.contents()).unwrap();
         assert_eq!(text.lines().count(), 3);
         let back = parse_events(&text).unwrap();
         assert_eq!(back.len(), 3);
         assert_eq!(back[2].value, 2.0);
         assert_eq!(back[0].stage, "modulate");
+    }
+
+    #[test]
+    fn shared_sink_fans_in_from_clones() {
+        let shared = Shared::default();
+        let sink = SharedSink::new(JsonlSink::to_writer(shared.clone()));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let s = sink.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    s.emit(&event(w * 100 + i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.events(), 32);
+        let text = String::from_utf8(shared.contents()).unwrap();
+        // Every line is whole and parseable: no interleaved writes.
+        assert_eq!(parse_events(&text).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn shared_sink_survives_a_poisoning_panic() {
+        let shared = Shared::default();
+        let sink = SharedSink::new(JsonlSink::to_writer(shared.clone()));
+        sink.emit(&event(0)).unwrap();
+        // A worker panics while holding the sink lock, poisoning it.
+        let poisoner = sink.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker died mid-emit");
+        })
+        .join();
+        assert!(result.is_err(), "the worker must actually panic");
+        assert!(sink.inner.is_poisoned(), "the mutex must be poisoned");
+        // Survivors keep logging through the poisoned lock.
+        sink.emit(&event(1)).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.events(), 2);
+        let text = String::from_utf8(shared.contents()).unwrap();
+        let back = parse_events(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].t_virtual_ns, 500);
     }
 }

@@ -509,12 +509,14 @@ impl FleetTelemetry {
 
     /// Prometheus-style text exposition of the final state: cumulative
     /// counters over the retained window, boundary gauges from the last
-    /// row, and the outlier trackers as labeled series.
+    /// row, and the outlier trackers as labeled series. HELP text and
+    /// label values go through the exposition-format escaping rules
+    /// ([`escape_help`], [`escape_label_value`]).
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
         let total = |f: fn(&SamplePoint) -> u64| self.series.iter().map(f).sum::<u64>();
         let mut counter = |name: &str, help: &str, v: u64| {
-            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# HELP {name} {}", escape_help(help));
             let _ = writeln!(s, "# TYPE {name} counter");
             let _ = writeln!(s, "{name} {v}");
         };
@@ -555,7 +557,7 @@ impl FleetTelemetry {
         );
         let last = self.series.last().copied().unwrap_or_default();
         let mut gauge = |name: &str, help: &str, v: u64| {
-            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# HELP {name} {}", escape_help(help));
             let _ = writeln!(s, "# TYPE {name} gauge");
             let _ = writeln!(s, "{name} {v}");
         };
@@ -589,7 +591,8 @@ impl FleetTelemetry {
                 let _ = writeln!(
                     s,
                     "fleet_client_rtt_p95_us{{client=\"{}\"}} {}",
-                    e.key, e.weight
+                    escape_label_value(&e.key.to_string()),
+                    e.weight
                 );
             }
         }
@@ -603,7 +606,8 @@ impl FleetTelemetry {
                 let _ = writeln!(
                     s,
                     "fleet_station_hot_frames{{station=\"{}\"}} {}",
-                    e.key, e.weight
+                    escape_label_value(&e.key.to_string()),
+                    e.weight
                 );
             }
         }
@@ -678,6 +682,47 @@ impl FleetTelemetry {
         }
         s
     }
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape Prometheus HELP text per the exposition format: backslash
+/// and newline become `\\` and `\n` (quotes stay literal in HELP).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// True when `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`). The exposition tests hold every
+/// exported series name to this.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 /// Format a rendered value: integers bare, fractional values to two

@@ -13,6 +13,9 @@
 //! tracemod journey [--packet-id N | --window T0..T1]
 //! tracemod bench-diff current.jsonl [--baseline BENCH_baseline.json] [--check] [--json]
 //! tracemod fleet --clients 10000 [--shards 8] [--jobs 8] [--obs-out fleet.json] [--check]
+//! tracemod alerts --rules builtin --telemetry tel.jsonl --report fleet.json [--check]
+//! tracemod diff-runs a.jsonl b.jsonl [--shards 8] [--check]
+//! tracemod help
 //! ```
 //!
 //! Files use the binary formats by default; any path ending in `.json`
@@ -25,17 +28,21 @@
 //! exit code (2 for usage errors, 1 for runtime failures) — no panics.
 
 use distill::{distill_stream, distill_with_report, DistillConfig, WindowConfig};
-use emu::{fleet_run, fleet_run_chaos, FleetPlan};
+use emu::{fleet_alerts, fleet_run, fleet_run_chaos, FleetPlan};
 use emu::{
     live_modulated_run, live_run, modulated_run, Benchmark, CellKind, Exec, LiveModOutcome,
     RunConfig, TrialCell, TrialPlan,
 };
-use faultkit::FaultPlan;
+use faultkit::{events_to_jsonl, FaultPlan};
 use modulate::TickClock;
 use netsim::SimDuration;
+use obs::alerts::parse_fault_stamps;
 use obs::bench::{parse_bench_jsonl, BenchDiff, BenchDiffConfig, OverheadGate};
 use obs::flight::PacketId;
-use obs::{FidelityThresholds, FleetReport, RunManifest, TelemetryConfig};
+use obs::{
+    diff_artifacts, evaluate_alerts, AlertInputs, DiffOptions, FidelityThresholds, FleetReport,
+    RuleSet, RunManifest, SamplePoint, Severity, TelemetryConfig,
+};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
@@ -871,11 +878,8 @@ fn cmd_chaos(args: &Args) -> CliResult {
                 ev.fault,
                 ev.info
             );
-            fault_log.push_str(
-                &serde_json::to_string(ev).map_err(|e| CliError::runtime(e.to_string()))?,
-            );
-            fault_log.push('\n');
         }
+        fault_log.push_str(&events_to_jsonl(&o.faults));
         let c = &o.counters;
         injected_total += c.injected_total();
         eprintln!(
@@ -956,6 +960,11 @@ fn cmd_fleet(args: &Args) -> CliResult {
             "telemetry-prom",
             "telemetry-interval-secs",
             "profile-out",
+            "fault-out",
+            "alerts",
+            "alerts-out",
+            "alerts-md",
+            "alerts-baseline",
             "check",
         ],
         1,
@@ -1039,6 +1048,14 @@ fn cmd_fleet(args: &Args) -> CliResult {
             ev.info
         );
     }
+    if let Some(fault_out) = args.get("fault-out") {
+        std::fs::write(fault_out, events_to_jsonl(&out.faults))
+            .map_err(|e| CliError::runtime(format!("write {fault_out}: {e}")))?;
+        eprintln!(
+            "wrote fault-event log ({} event(s)) → {fault_out}",
+            out.faults.len()
+        );
+    }
     if let Some(r) = &out.report.runner {
         eprintln!(
             "engine: {:.0} events/s over {:.2}s wall, peak queue depth {}, peak packets live {}",
@@ -1102,7 +1119,218 @@ fn cmd_fleet(args: &Args) -> CliResult {
         }
         eprintln!("fleet fidelity gate: PASS");
     }
+    if let Some(rules_spec) = args.get("alerts") {
+        let rules = load_rules(rules_spec)?;
+        let baseline = read_fleet_report(args, "alerts-baseline")?;
+        let alerts = fleet_alerts(&out, &rules, baseline.as_ref()).map_err(CliError::runtime)?;
+        eprintln!(
+            "alerts: {} active, {} suppressed ({} rule(s) over {} boundaries)",
+            alerts.active().count(),
+            alerts.suppressed().count(),
+            alerts.rules,
+            alerts.boundaries
+        );
+        if let Some(p) = args.get("alerts-out") {
+            std::fs::write(p, alerts.to_jsonl())
+                .map_err(|e| CliError::runtime(format!("write {p}: {e}")))?;
+            eprintln!("wrote alert report → {p}");
+        }
+        if let Some(p) = args.get("alerts-md") {
+            std::fs::write(p, alerts.render_markdown())
+                .map_err(|e| CliError::runtime(format!("write {p}: {e}")))?;
+            eprintln!("wrote alert summary → {p}");
+        }
+        if args.get("check").is_some() {
+            let violations = alerts.check(Severity::Warn);
+            if !violations.is_empty() {
+                let mut msg = String::from("fleet alert gate failed:");
+                for v in &violations {
+                    msg.push_str("\n  - ");
+                    msg.push_str(v);
+                }
+                return Err(CliError::runtime(msg));
+            }
+            eprintln!("fleet alert gate: PASS");
+        }
+    }
     Ok(())
+}
+
+/// Resolve a `--rules`/`--alerts` value: the literal `builtin`, or a
+/// path to a rule file — TOML (`[[rule]]` tables) unless the extension
+/// or the leading byte says JSON. Rules are compiled up front so a bad
+/// rule file is a bad invocation (exit 2), not a mid-run failure.
+fn load_rules(spec: &str) -> Result<RuleSet, CliError> {
+    if spec == "builtin" {
+        return Ok(RuleSet::builtin());
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::usage(format!("read rules {spec}: {e}")))?;
+    let rules = if spec.ends_with(".json") || text.trim_start().starts_with('{') {
+        RuleSet::from_json(&text)
+    } else {
+        RuleSet::from_toml(&text)
+    }
+    .map_err(|e| CliError::usage(format!("{spec}: {e}")))?;
+    rules
+        .compile()
+        .map_err(|e| CliError::usage(format!("{spec}: {e}")))?;
+    Ok(rules)
+}
+
+/// Read an optional `--<key> fleet.json` aggregate report.
+fn read_fleet_report(args: &Args, key: &str) -> Result<Option<FleetReport>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::runtime(format!("read {p}: {e}")))?;
+            FleetReport::from_json(&text)
+                .map(Some)
+                .map_err(|e| CliError::runtime(format!("{p}: {e}")))
+        }
+    }
+}
+
+fn cmd_alerts(args: &Args) -> CliResult {
+    args.check(
+        &[
+            "rules",
+            "telemetry",
+            "report",
+            "baseline",
+            "faults",
+            "out",
+            "md",
+            "min-severity",
+            "check",
+        ],
+        1,
+    )?;
+    let rules = load_rules(args.require("rules")?)?;
+    let report = read_fleet_report(args, "report")?;
+    let baseline = read_fleet_report(args, "baseline")?;
+    // The series comes from an exported `--telemetry-out` JSONL when
+    // given, else from the series embedded in the fleet report.
+    let series: Vec<SamplePoint> = match args.get("telemetry") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("read {path}: {e}")))?;
+            let mut rows = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                rows.push(
+                    serde_json::from_str::<SamplePoint>(line)
+                        .map_err(|e| CliError::runtime(format!("{path}:{}: {e}", i + 1)))?,
+                );
+            }
+            rows
+        }
+        None => report
+            .as_ref()
+            .and_then(|r| r.telemetry.as_ref())
+            .map(|t| t.series.clone())
+            .unwrap_or_default(),
+    };
+    if series.is_empty() && report.is_none() {
+        return Err(CliError::usage(
+            "nothing to evaluate: pass --telemetry F.jsonl and/or --report fleet.json",
+        ));
+    }
+    let faults = match args.get("faults") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("read {path}: {e}")))?;
+            parse_fault_stamps(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+        }
+        None => Vec::new(),
+    };
+    let alert_report = evaluate_alerts(
+        &rules,
+        &AlertInputs {
+            series: &series,
+            report: report.as_ref(),
+            baseline: baseline.as_ref(),
+            faults: &faults,
+        },
+    )
+    .map_err(CliError::runtime)?;
+    print!("{}", alert_report.render_markdown());
+    if let Some(p) = args.get("out") {
+        std::fs::write(p, alert_report.to_jsonl())
+            .map_err(|e| CliError::runtime(format!("write {p}: {e}")))?;
+        eprintln!("wrote alert report → {p}");
+    }
+    if let Some(p) = args.get("md") {
+        std::fs::write(p, alert_report.render_markdown())
+            .map_err(|e| CliError::runtime(format!("write {p}: {e}")))?;
+        eprintln!("wrote alert summary → {p}");
+    }
+    if args.get("check").is_some() {
+        let floor =
+            Severity::parse(args.get("min-severity").unwrap_or("warn")).map_err(CliError::usage)?;
+        let violations = alert_report.check(floor);
+        if !violations.is_empty() {
+            let mut msg = String::from("alert gate failed:");
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(CliError::runtime(msg));
+        }
+        eprintln!(
+            "alert gate: PASS ({} suppressed alert(s) attributed to faults)",
+            alert_report.suppressed().count()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diff_runs(args: &Args) -> CliResult {
+    args.check(&["shards", "check"], 3)?;
+    let a_path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("missing run artifacts: tracemod diff-runs A B"))?;
+    let b_path = args
+        .positional
+        .get(2)
+        .ok_or_else(|| CliError::usage("missing second run artifact: tracemod diff-runs A B"))?;
+    let a = std::fs::read_to_string(a_path)
+        .map_err(|e| CliError::runtime(format!("read {a_path}: {e}")))?;
+    let b = std::fs::read_to_string(b_path)
+        .map_err(|e| CliError::runtime(format!("read {b_path}: {e}")))?;
+    let mut opts = DiffOptions::default();
+    if let Some(s) = args.get("shards") {
+        let n: usize = s
+            .parse()
+            .map_err(|_| CliError::usage(format!("invalid value for --shards: {s}")))?;
+        if n == 0 {
+            return Err(CliError::usage("--shards must be positive"));
+        }
+        opts.shards = Some(n);
+    }
+    match diff_artifacts(&a, &b, &opts) {
+        None => {
+            println!(
+                "runs identical: {a_path} == {b_path} ({} record(s))",
+                obs::diff::record_count(&a)
+            );
+            Ok(())
+        }
+        Some(d) => {
+            println!("first divergence: {}", d.render());
+            if args.get("check").is_some() {
+                Err(CliError::runtime(format!(
+                    "runs diverge: {a_path} vs {b_path}"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+    }
 }
 
 fn report_result(r: &emu::RunResult) {
@@ -1157,13 +1385,43 @@ commands:
                                            --telemetry-prom F write the sampled series as JSONL /
                                            Prometheus text [--telemetry-interval-secs N, default 1];
                                            --profile-out F writes a collapsed-stack self-profile;
-                                           --check gates on the fleet fidelity thresholds)
+                                           --fault-out F writes the fault-event JSONL;
+                                           --alerts RULES evaluates SLO alert rules over the run
+                                           [--alerts-out F / --alerts-md F export JSONL/markdown,
+                                           --alerts-baseline fleet.json feeds delta rules];
+                                           --check gates on the fleet fidelity thresholds and,
+                                           with --alerts, on active alerts)
+  alerts --rules RULES                     evaluate SLO alert rules over exported run artifacts
+                                           (RULES is a TOML/JSON rule file or 'builtin';
+                                           --telemetry F.jsonl --report fleet.json --faults F.jsonl
+                                           feed the engine, --baseline fleet.json feeds delta
+                                           rules; --out F / --md F export JSONL/markdown; --check
+                                           [--min-severity info|warn|critical] fails on active
+                                           alerts at or above the floor)
+  diff-runs A B                            report the first field where two runs' artifacts
+                                           diverge, with virtual-time/client/shard context
+                                           (works on telemetry/manifest/fault/alert JSONL, fleet
+                                           reports, and flight traces; --shards N names the owning
+                                           shard; --check exits nonzero on divergence — the CI
+                                           replacement for cmp)
+  help                                     print this usage and exit 0 (also --help / -h)
 benchmarks: web, ftp-send, ftp-recv, andrew
 scenario commands also accept --duration-secs N to shorten the traversal";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&raw);
+    // `help` in any spelling prints the full usage to stdout and exits
+    // 0 — it is the one successful invocation that takes no action.
+    // Unknown commands still print it to stderr and exit 2.
+    let wants_help = matches!(
+        args.positional.first().map(String::as_str),
+        Some("help") | Some("-h")
+    ) || args.get("help").is_some();
+    if wants_help {
+        println!("{USAGE}");
+        return;
+    }
     let result = match args.positional.first().map(String::as_str) {
         Some("scenarios") => cmd_scenarios(&args),
         Some("dump-scenario") => cmd_dump_scenario(&args),
@@ -1179,6 +1437,8 @@ fn main() {
         Some("bench-diff") => cmd_bench_diff(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("fleet") => cmd_fleet(&args),
+        Some("alerts") => cmd_alerts(&args),
+        Some("diff-runs") => cmd_diff_runs(&args),
         Some(other) => Err(CliError::usage(format!("unknown command '{other}'"))),
         None => Err(CliError::usage("no command given")),
     };

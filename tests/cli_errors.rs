@@ -46,7 +46,49 @@ fn temp_path(tag: &str) -> PathBuf {
 fn unknown_command_is_a_usage_error() {
     let out = tracemod(&["frobnicate"]);
     assert_exit(&out, 2, "unknown command 'frobnicate'");
-    assert!(stderr_of(&out).contains("usage"), "must print usage help");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("usage"), "must print usage help");
+    // The usage text enumerates every subcommand, so a typo'd command
+    // always shows the full menu.
+    for cmd in [
+        "scenarios",
+        "collect",
+        "distill",
+        "inspect",
+        "replay",
+        "live",
+        "live-pipeline",
+        "obs-report",
+        "trace-export",
+        "journey",
+        "bench-diff",
+        "chaos",
+        "fleet",
+        "alerts",
+        "diff-runs",
+        "help",
+    ] {
+        assert!(stderr.contains(cmd), "usage must list {cmd:?}");
+    }
+}
+
+#[test]
+fn help_prints_usage_on_stdout_and_exits_zero() {
+    for spelling in [&["help"][..], &["--help"], &["-h"], &["fleet", "--help"]] {
+        let out = tracemod(spelling);
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{spelling:?} must exit 0; stderr:\n{}",
+            stderr_of(&out)
+        );
+        assert!(
+            stdout.contains("usage: tracemod"),
+            "{spelling:?} must print usage on stdout"
+        );
+        assert!(stdout.contains("diff-runs"), "usage lists every command");
+    }
 }
 
 #[test]
@@ -203,4 +245,163 @@ fn chaos_artifacts_identical_across_jobs_and_reruns() {
     assert_eq!(run("8", "a"), baseline, "--jobs 8 diverged from --jobs 1");
 
     std::fs::remove_file(&plan).ok();
+}
+
+#[test]
+fn diff_runs_wants_two_artifacts() {
+    let out = tracemod(&["diff-runs"]);
+    assert_exit(&out, 2, "missing run artifacts");
+    let a = temp_path("only-one.jsonl");
+    std::fs::write(&a, "{\"t_ns\":1,\"events\":2}\n").unwrap();
+    let out = tracemod(&["diff-runs", a.to_str().unwrap()]);
+    std::fs::remove_file(&a).ok();
+    assert_exit(&out, 2, "missing second run artifact");
+}
+
+#[test]
+fn diff_runs_reports_identical_and_first_divergence() {
+    let a = temp_path("run-a.jsonl");
+    let b = temp_path("run-b.jsonl");
+    let rows = |released: u64| {
+        format!(
+            "{{\"t_ns\":1000000000,\"events\":10,\"released\":4}}\n\
+             {{\"t_ns\":2000000000,\"events\":12,\"released\":{released}}}\n"
+        )
+    };
+    std::fs::write(&a, rows(5)).unwrap();
+    std::fs::write(&b, rows(5)).unwrap();
+
+    // Identical: exit 0 and say so, with or without --check.
+    let out = tracemod(&[
+        "diff-runs",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--check",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical runs must pass --check; stderr:\n{}",
+        stderr_of(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("runs identical"), "got:\n{stdout}");
+    assert!(stdout.contains("2 record(s)"), "got:\n{stdout}");
+
+    // Perturb one field of the second record: the report names the
+    // record, the field, both values, and the virtual time — and
+    // --check turns it into exit 1.
+    std::fs::write(&b, rows(9)).unwrap();
+    let out = tracemod(&["diff-runs", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "without --check divergence is informational"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for needle in [
+        "first divergence",
+        "record 1",
+        "released",
+        "5",
+        "9",
+        "t=2.0s",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "report must mention {needle:?}; got:\n{stdout}"
+        );
+    }
+    let out = tracemod(&[
+        "diff-runs",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--check",
+    ]);
+    assert_exit(&out, 1, "runs diverge");
+
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn alerts_needs_rules_and_inputs() {
+    let out = tracemod(&["alerts"]);
+    assert_exit(&out, 2, "missing required flag --rules");
+    let out = tracemod(&["alerts", "--rules", "builtin"]);
+    assert_exit(&out, 2, "nothing to evaluate");
+    let out = tracemod(&["alerts", "--rules", "/nonexistent/rules.toml"]);
+    assert_exit(&out, 2, "read rules");
+}
+
+#[test]
+fn alerts_check_gates_on_telemetry_and_respects_suppression() {
+    let rules = temp_path("rules.toml");
+    std::fs::write(
+        &rules,
+        "[[rule]]\n\
+         name = \"queue-depth\"\n\
+         metric = \"sample.queue_depth\"\n\
+         severity = \"critical\"\n\
+         above = 100\n\
+         suppress = [\"stall_feed\"]\n\
+         suppress_window_secs = 5.0\n",
+    )
+    .unwrap();
+    let telemetry = temp_path("tel.jsonl");
+    let row = |t_s: u64, depth: u64| {
+        format!(
+            "{{\"t_ns\":{},\"events\":10,\"queue_depth\":{depth},\"packets_live\":0,\
+             \"mod_held\":0,\"probes_sent\":1,\"rtts_completed\":1,\"packets_lost\":0,\
+             \"released\":1,\"abs_delay_error_ns\":0,\"station_frames\":0,\
+             \"degraded_clients\":0}}\n",
+            t_s * 1_000_000_000
+        )
+    };
+    std::fs::write(&telemetry, format!("{}{}", row(1, 5), row(2, 500))).unwrap();
+
+    // The breach is active: --check fails with the rule named.
+    let out = tracemod(&[
+        "alerts",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--check",
+    ]);
+    assert_exit(&out, 1, "queue-depth");
+
+    // The same breach inside a matching fault's suppression window is
+    // attributed, not gated on.
+    let faults = temp_path("faults.jsonl");
+    std::fs::write(
+        &faults,
+        "{\"t_virtual_ns\":1500000000,\"fault\":\"stall_feed\",\"info\":\"feed stalled\"}\n",
+    )
+    .unwrap();
+    let out = tracemod(&[
+        "alerts",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--telemetry",
+        telemetry.to_str().unwrap(),
+        "--faults",
+        faults.to_str().unwrap(),
+        "--check",
+    ]);
+    let stderr = stderr_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "suppressed breach must pass the gate; stderr:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("stall_feed@1.5s"),
+        "markdown must attribute the suppression; got:\n{stdout}"
+    );
+
+    std::fs::remove_file(&rules).ok();
+    std::fs::remove_file(&telemetry).ok();
+    std::fs::remove_file(&faults).ok();
 }
