@@ -5,6 +5,10 @@
 //! scenario, each with its *own* synthesized channel (per-client seeds
 //! drive [`Scenario::model`], so the fleet is N distinct realizations
 //! of the scenario's quality envelope, not N copies of one curve).
+//! Plans built from a [`ScenarioPack`] ([`FleetPlan::from_pack`]) go
+//! further: clients split across the pack's weighted mix of registry
+//! model specs — a mixed-radio fleet where some clients ride a LEO
+//! constellation while others walk an ERRANT cellular profile.
 //! [`fleet_run`] shards the clients into contiguous ranges, runs one
 //! [`FleetSim`] engine per shard as a [`TrialPlan`] cell (reusing the
 //! plan-order reassembly machinery, so shard outputs merge
@@ -41,7 +45,7 @@ use obs::fleet::FleetReport;
 use obs::telemetry::{FleetTelemetry, SampleInputs, ShardTelemetry, TelemetryConfig};
 use obs::{FidelityThresholds, Hist, Profiler, RunManifest, RunnerSection};
 use tracekit::{QualityTuple, ReplayTrace};
-use wavelan::{ChannelModel, Scenario};
+use wavelan::{ChannelModel, Registry, Scenario, ScenarioPack};
 
 /// Small probe wire size (the paper's short ping).
 const PROBE_SMALL: u32 = 106;
@@ -107,6 +111,11 @@ pub struct FleetPlan {
     /// Run the scoped self-profiler (wall-clock spans over the shard
     /// hot paths; opt-in because it reads `Instant` per event).
     pub profile: bool,
+    /// Scenario pack behind this plan, when one was loaded: clients
+    /// draw their channel spec from the pack's weighted mix
+    /// ([`ScenarioPack::spec_for_client`]) instead of all walking the
+    /// scenario's single model — a mixed-radio fleet.
+    pub pack: Option<ScenarioPack>,
 }
 
 impl FleetPlan {
@@ -127,7 +136,18 @@ impl FleetPlan {
             duration: None,
             telemetry: None,
             profile: false,
+            pack: None,
         }
+    }
+
+    /// A fleet built from a scenario pack: clients split across the
+    /// pack's weighted model mix, all other knobs at [`FleetPlan::new`]
+    /// defaults. The pack must already be validated (see
+    /// [`wavelan::load_pack`]).
+    pub fn from_pack(pack: ScenarioPack, clients: u32) -> Self {
+        let mut plan = FleetPlan::new(pack.scenario(), clients);
+        plan.pack = Some(pack);
+        plan
     }
 
     /// Set the fleet seed.
@@ -172,6 +192,17 @@ impl FleetPlan {
         self.duration.unwrap_or(self.scenario.duration)
     }
 
+    /// The channel model family + canonical params governing `client`
+    /// — the pack's per-client spec for mixed fleets, otherwise the
+    /// scenario's own model identity. Pure function of the client
+    /// index, so attribution is shard-invariant.
+    pub fn model_info_for(&self, client: u32) -> (String, String) {
+        match &self.pack {
+            Some(pack) => pack.spec_for_client(client).info(),
+            None => self.scenario.model_info(),
+        }
+    }
+
     /// Contiguous near-equal client ranges, one per shard. Contiguity
     /// is what lets the merged manifest list be a plain concatenation
     /// in plan order.
@@ -190,13 +221,27 @@ impl FleetPlan {
     }
 }
 
-/// Synthesize one client's replay trace: its own realization of the
-/// scenario's channel model, sampled on the tuple cadence. This is the
-/// per-client diversity that makes a fleet meaningful — each client
-/// draws distinct checkpoint offsets and walk jitter from its seed.
+/// Build one client's channel model. Plans carrying a scenario pack
+/// route through the registry with the client's spec from the weighted
+/// mix; plain plans use the scenario's own model. Either way the model
+/// is a generic [`ChannelModel`] — nothing here assumes WaveLAN.
+fn client_model(plan: &FleetPlan, client: u32, rng: &mut SimRng) -> Box<dyn ChannelModel> {
+    match &plan.pack {
+        Some(pack) => Registry::builtin()
+            .build(pack.spec_for_client(client), plan.duration(), rng)
+            .expect("pack specs are validated at load time"),
+        None => plan.scenario.model(rng),
+    }
+}
+
+/// Synthesize one client's replay trace: its own realization of its
+/// channel model, sampled on the tuple cadence. This is the per-client
+/// diversity that makes a fleet meaningful — each client draws a
+/// distinct realization (and, under a pack, possibly a distinct model
+/// family) from its seed.
 fn client_replay(plan: &FleetPlan, client: u32) -> ReplayTrace {
     let mut rng = SimRng::seed_from_u64(client_seed(plan.seed, client, PURPOSE_CHANNEL));
-    let mut model = plan.scenario.model(&mut rng);
+    let mut model = client_model(plan, client, &mut rng);
     let duration_ns = plan.duration().as_nanos();
     let mut replay = ReplayTrace::new(&format!("fleet/{}/{client}", plan.scenario.name));
     let mut t = 0u64;
@@ -597,6 +642,8 @@ fn run_shard(
         .zip(lo..hi)
         .map(|(cl, c)| {
             let mut man = RunManifest::new(plan.scenario.name, "fleet-probe", c);
+            let (family, params) = plan.model_info_for(c);
+            man.set_model(&family, &params);
             man.fidelity = cl.m.fidelity();
             let mm = &mut man.metrics;
             mm.set_counter("fleet.probes_sent", cl.probes_sent);
@@ -959,6 +1006,51 @@ mod tests {
         assert!(stacks.contains(&"shard;setup"), "{stacks:?}");
         let collapsed = prof.render_collapsed();
         assert!(collapsed.contains("shard;run;probe "));
+    }
+
+    #[test]
+    fn pack_fleet_mixes_models_and_stays_shard_invariant() {
+        let toml = "name = \"mix\"\nduration_secs = 3\n\n[[model]]\nfamily = \"leo\"\nshare = 3\n\n[[model]]\nfamily = \"errant\"\noperator = \"op2\"\nrat = \"4g\"\n";
+        let pack = ScenarioPack::from_toml(toml).unwrap();
+        pack.validate(Registry::builtin()).unwrap();
+        let plan = FleetPlan::from_pack(pack, 8).with_probe_interval(SimDuration::from_millis(500));
+        let serial = fleet_run(&plan, &Exec::serial());
+        assert_eq!(serial.report.scenario, "mix");
+        // Shares 3:1 over client % 4 ⇒ 6 LEO clients, 2 ERRANT.
+        assert_eq!(serial.report.models.len(), 2);
+        assert_eq!(serial.report.models[0].family, "leo");
+        assert_eq!(serial.report.models[0].clients, 6);
+        assert_eq!(serial.report.models[1].family, "errant");
+        assert_eq!(serial.report.models[1].clients, 2);
+        assert_eq!(
+            serial.report.metrics.counter("fleet.model_clients.leo"),
+            Some(6)
+        );
+        // Per-client manifests carry the model attribution.
+        assert_eq!(serial.manifests[3].model.as_ref().unwrap().family, "errant");
+        assert!(serial.manifests[3]
+            .model
+            .as_ref()
+            .unwrap()
+            .params
+            .contains("operator=op2"));
+        // Mixed fleets keep the byte-identity guarantee.
+        let sharded = fleet_run(&plan.clone().with_shards(4), &Exec::with_workers(2));
+        let a: Vec<String> = serial
+            .manifests
+            .iter()
+            .map(RunManifest::deterministic_json)
+            .collect();
+        let b: Vec<String> = sharded
+            .manifests
+            .iter()
+            .map(RunManifest::deterministic_json)
+            .collect();
+        assert_eq!(a, b, "pack fleet must match serial bytes at 4 shards");
+        assert_eq!(
+            serial.report.deterministic_json(),
+            sharded.report.deterministic_json()
+        );
     }
 
     #[test]

@@ -450,6 +450,8 @@ pub(crate) fn live_modulated_run_inner(
     // derives from virtual-time simulation state only; wall-clock
     // readings go exclusively into the runner section.
     let mut manifest = RunManifest::new(scenario.name, benchmark.name(), trial);
+    let (family, params) = scenario.model_info();
+    manifest.set_model(&family, &params);
     let mut m = MetricsRegistry::new();
     m.set_counter("netsim.collect.events", wl.sim.events_processed());
     m.set_counter(

@@ -19,6 +19,19 @@ use std::fmt::Write as _;
 /// Fleet-report schema version, bumped on incompatible layout changes.
 pub const FLEET_SCHEMA: u32 = 1;
 
+/// How many clients ran one channel-model realization — the per-family
+/// breakdown of a mixed-radio fleet (scenario packs assign different
+/// model specs to different client shares).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUsage {
+    /// Registered model-family name.
+    pub family: String,
+    /// Canonical `key=value` parameter string for this spec.
+    pub params: String,
+    /// Clients whose channel came from this spec.
+    pub clients: u32,
+}
+
 /// Aggregate fidelity and accounting across a whole fleet of clients.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -52,6 +65,11 @@ pub struct FleetReport {
     /// empty fleet).
     #[serde(default)]
     pub worst_p95_client: Option<u32>,
+    /// Channel-model breakdown in first-seen client order (empty when
+    /// manifests predate model attribution). Mirrored into
+    /// `fleet.model_clients.<family>` counters for alert selectors.
+    #[serde(default)]
+    pub models: Vec<ModelUsage>,
     /// Fleet-level deterministic metrics (station traffic, engine
     /// event totals, arena peaks that are layout-invariant).
     pub metrics: MetricsRegistry,
@@ -89,6 +107,7 @@ impl FleetReport {
             failed_clients: 0,
             degraded_clients: 0,
             worst_p95_client: None,
+            models: Vec::new(),
             metrics: MetricsRegistry::new(),
             telemetry: None,
             runner: None,
@@ -113,6 +132,33 @@ impl FleetReport {
             if f.degraded {
                 r.degraded_clients += 1;
             }
+            if let Some(mi) = &m.model {
+                match r
+                    .models
+                    .iter_mut()
+                    .find(|u| u.family == mi.family && u.params == mi.params)
+                {
+                    Some(u) => u.clients += 1,
+                    None => r.models.push(ModelUsage {
+                        family: mi.family.clone(),
+                        params: mi.params.clone(),
+                        clients: 1,
+                    }),
+                }
+            }
+        }
+        let tallies: Vec<(String, u64)> = r
+            .models
+            .iter()
+            .map(|u| {
+                (
+                    format!("fleet.model_clients.{}", u.family),
+                    u.clients as u64,
+                )
+            })
+            .collect();
+        for (name, n) in tallies {
+            r.metrics.add_counter(&name, n);
         }
         if r.released_packets > 0 {
             r.deadline_miss_rate = r.deadline_misses as f64 / r.released_packets as f64;
@@ -206,6 +252,13 @@ impl FleetReport {
             "  clients: {} failed gate, {} degraded",
             self.failed_clients, self.degraded_clients
         );
+        for u in &self.models {
+            let _ = writeln!(
+                s,
+                "  model {} [{}]: {} clients",
+                u.family, u.params, u.clients
+            );
+        }
         for (k, v) in self.metrics.counters() {
             let _ = writeln!(s, "  {k} = {v}");
         }
@@ -256,6 +309,14 @@ impl FleetReport {
         }
         let _ = writeln!(s, "| failed clients | {} |", self.failed_clients);
         let _ = writeln!(s, "| degraded clients | {} |", self.degraded_clients);
+        if !self.models.is_empty() {
+            let _ = writeln!(s, "\n### Channel models\n");
+            let _ = writeln!(s, "| family | params | clients |");
+            let _ = writeln!(s, "|---|---|---|");
+            for u in &self.models {
+                let _ = writeln!(s, "| `{}` | `{}` | {} |", u.family, u.params, u.clients);
+            }
+        }
         let counters: Vec<_> = self.metrics.counters().collect();
         if !counters.is_empty() {
             let _ = writeln!(s, "\n### Fleet counters\n");
@@ -363,6 +424,43 @@ mod tests {
         assert!(md.contains("## Fleet report"));
         assert!(md.contains("(client 1)"));
         assert!(md.contains("| clients | 3 |"));
+    }
+
+    #[test]
+    fn model_usage_aggregates_in_first_seen_order() {
+        let mut a = manifest(0, 1.0, 10);
+        a.set_model("leo", "pass_secs=45");
+        let mut b = manifest(1, 1.0, 10);
+        b.set_model("errant", "operator=op2 rat=4g");
+        let mut c = manifest(2, 1.0, 10);
+        c.set_model("leo", "pass_secs=45");
+        let r = FleetReport::from_manifests("leo-mix", &[a, b, c], &FidelityThresholds::default());
+        assert_eq!(r.models.len(), 2);
+        assert_eq!(r.models[0].family, "leo");
+        assert_eq!(r.models[0].clients, 2);
+        assert_eq!(r.models[1].family, "errant");
+        assert_eq!(r.models[1].clients, 1);
+        assert_eq!(r.metrics.counter("fleet.model_clients.leo"), Some(2));
+        assert_eq!(r.metrics.counter("fleet.model_clients.errant"), Some(1));
+        let md = r.render_markdown();
+        assert!(md.contains("### Channel models"));
+        assert!(md.contains("| `errant` | `operator=op2 rat=4g` | 1 |"));
+        let txt = r.render_text();
+        assert!(txt.contains("model leo [pass_secs=45]: 2 clients"));
+    }
+
+    #[test]
+    fn report_without_models_field_parses() {
+        let manifests = vec![manifest(0, 1.0, 10)];
+        let r =
+            FleetReport::from_manifests("porter_walk", &manifests, &FidelityThresholds::default());
+        assert!(r.models.is_empty());
+        // Old reports (pre-models JSON) must still deserialize.
+        let json = r.deterministic_json();
+        assert!(json.contains("\"models\":[]"), "{json}");
+        let stripped = json.replace("\"models\":[],", "");
+        let parsed = FleetReport::from_json(&stripped).unwrap();
+        assert!(parsed.models.is_empty());
     }
 
     #[test]

@@ -75,9 +75,9 @@ pub use alerts::{
 pub use bench::{BenchDiff, BenchDiffConfig, BenchRecord, BenchStatus, BenchVerdict, OverheadGate};
 pub use diff::{diff_artifacts, ArtifactKind, DiffOptions, Divergence};
 pub use fidelity::{FidelityCollector, FidelityReport, FidelityThresholds};
-pub use fleet::{FleetReport, FLEET_SCHEMA};
+pub use fleet::{FleetReport, ModelUsage, FLEET_SCHEMA};
 pub use flight::{FlightHandle, FlightRecord, FlightRecorder, PacketId, PacketJourney, Stage};
-pub use manifest::{RunManifest, RunnerSection, MANIFEST_SCHEMA};
+pub use manifest::{ModelInfo, RunManifest, RunnerSection, MANIFEST_SCHEMA};
 pub use metrics::{Counter, Gauge, Hist, HistSnapshot};
 pub use profile::{ProfEntry, Profiler};
 pub use registry::MetricsRegistry;

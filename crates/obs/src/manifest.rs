@@ -24,6 +24,18 @@ pub struct RunnerSection {
     pub worker_utilization: f64,
 }
 
+/// The channel model that produced a run's conditions, identified by
+/// its registry family name + canonical parameter string — the stable
+/// attribution key alerts and `diff-runs` group divergences by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registered model-family name ("piecewise", "errant", "leo", …).
+    pub family: String,
+    /// Canonical `key=value` parameter string (sorted keys; may be
+    /// empty for all-defaults builds).
+    pub params: String,
+}
+
 /// The machine-readable record of one emulation run: deterministic
 /// sim-path metrics and fidelity self-check, plus an optional
 /// wall-clock runner section.
@@ -42,6 +54,10 @@ pub struct RunManifest {
     pub metrics: MetricsRegistry,
     /// Modulation-layer fidelity self-check.
     pub fidelity: FidelityReport,
+    /// The channel model behind this run (deterministic; part of the
+    /// byte-identity surface). Absent in pre-registry manifests.
+    #[serde(default)]
+    pub model: Option<ModelInfo>,
     /// Wall-clock runner section; `None` in deterministic comparisons.
     #[serde(default)]
     pub runner: Option<RunnerSection>,
@@ -57,8 +73,17 @@ impl RunManifest {
             trial,
             metrics: MetricsRegistry::new(),
             fidelity: FidelityReport::empty(),
+            model: None,
             runner: None,
         }
+    }
+
+    /// Record the channel model behind this run.
+    pub fn set_model(&mut self, family: &str, params: &str) {
+        self.model = Some(ModelInfo {
+            family: family.to_string(),
+            params: params.to_string(),
+        });
     }
 
     /// Pretty-printed JSON form (what `--obs-out` writes).
@@ -94,6 +119,9 @@ impl RunManifest {
             "run manifest (schema {}): scenario={} benchmark={} trial={}",
             self.schema, self.scenario, self.benchmark, self.trial
         );
+        if let Some(m) = &self.model {
+            let _ = writeln!(s, "channel model: {} [{}]", m.family, m.params);
+        }
 
         let _ = writeln!(s, "\n-- fidelity self-check --");
         let _ = writeln!(
@@ -203,6 +231,9 @@ impl RunManifest {
             "## Run manifest: `{}` / `{}` trial {} (schema {})\n",
             self.scenario, self.benchmark, self.trial, self.schema
         );
+        if let Some(m) = &self.model {
+            let _ = writeln!(s, "Channel model: `{}` [{}]\n", m.family, m.params);
+        }
 
         let _ = writeln!(s, "### Fidelity self-check\n");
         let _ = writeln!(s, "| metric | value |");

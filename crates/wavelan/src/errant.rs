@@ -1,0 +1,267 @@
+//! ERRANT-style cellular channel model: operator/RAT profile packs.
+//!
+//! ERRANT ("Realistic Emulation of Radio Access Networks") showed that
+//! a useful cellular emulation unit is a *profile* — an (operator, RAT)
+//! pair carrying distributions of downlink rate, one-way delay and loss
+//! measured in the wild — from which each emulated session draws one
+//! *realization*. [`ErrantModel`] reproduces that structure on top of
+//! this crate's [`ChannelModel`] contract: the per-client trial RNG
+//! draws the session medians once at construction (so a 10k-client
+//! fleet sees 10k distinct-but-reproducible sessions of the same
+//! profile), and a reflected random walk (the same temporal-coherence
+//! machinery the WaveLAN scenario models use) varies conditions
+//! smoothly around those medians during the run.
+//!
+//! Cellular links have no station-roaming discontinuities at this
+//! abstraction level, so [`handoffs`](ChannelModel::handoffs) stays 0.
+
+use crate::model::{ChannelModel, LinkConditions, WalkState};
+use crate::signal::SignalInfo;
+use netsim::{SimDuration, SimRng, SimTime};
+
+/// Radio access technology of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rat {
+    /// UMTS/HSPA-era radio: tens of milliseconds of one-way delay,
+    /// single-digit Mb/s.
+    ThreeG,
+    /// LTE-era radio: low tens of milliseconds, tens of Mb/s.
+    FourG,
+}
+
+impl Rat {
+    /// Stable lowercase token used in scenario packs and model names.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Rat::ThreeG => "3g",
+            Rat::FourG => "4g",
+        }
+    }
+
+    /// Parse a pack token ("3g" / "4g").
+    pub fn parse(s: &str) -> Option<Rat> {
+        match s {
+            "3g" => Some(Rat::ThreeG),
+            "4g" => Some(Rat::FourG),
+            _ => None,
+        }
+    }
+}
+
+/// An (operator, RAT) profile: the parameter ranges session realizations
+/// are drawn from. Ranges are inclusive `(lo, hi)` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrantProfile {
+    /// Operator token ("op1".."op3").
+    pub operator: &'static str,
+    /// Radio access technology.
+    pub rat: Rat,
+    /// Session median downlink rate range, kb/s.
+    pub rate_kbps: (f64, f64),
+    /// Session median one-way delay range, milliseconds.
+    pub delay_ms: (f64, f64),
+    /// Session median loss-probability range (0–1).
+    pub loss: (f64, f64),
+    /// Typical reported signal level (WaveLAN-unit scale, for the
+    /// device-report channel of the collection daemon).
+    pub signal: f64,
+}
+
+/// The built-in profile table: three synthetic operators × two RATs.
+/// Magnitudes follow the ERRANT paper's MONROE measurements, scaled so
+/// the delays sit in the modulation layer's validated range.
+pub const ERRANT_PROFILES: &[ErrantProfile] = &[
+    ErrantProfile {
+        operator: "op1",
+        rat: Rat::ThreeG,
+        rate_kbps: (1_800.0, 7_500.0),
+        delay_ms: (22.0, 46.0),
+        loss: (0.002, 0.020),
+        signal: 14.0,
+    },
+    ErrantProfile {
+        operator: "op1",
+        rat: Rat::FourG,
+        rate_kbps: (8_000.0, 42_000.0),
+        delay_ms: (11.0, 24.0),
+        loss: (0.000, 0.008),
+        signal: 22.0,
+    },
+    ErrantProfile {
+        operator: "op2",
+        rat: Rat::ThreeG,
+        rate_kbps: (1_200.0, 5_200.0),
+        delay_ms: (26.0, 58.0),
+        loss: (0.004, 0.028),
+        signal: 12.0,
+    },
+    ErrantProfile {
+        operator: "op2",
+        rat: Rat::FourG,
+        rate_kbps: (6_000.0, 30_000.0),
+        delay_ms: (13.0, 30.0),
+        loss: (0.001, 0.012),
+        signal: 20.0,
+    },
+    ErrantProfile {
+        operator: "op3",
+        rat: Rat::ThreeG,
+        rate_kbps: (900.0, 4_000.0),
+        delay_ms: (30.0, 70.0),
+        loss: (0.006, 0.035),
+        signal: 10.0,
+    },
+    ErrantProfile {
+        operator: "op3",
+        rat: Rat::FourG,
+        rate_kbps: (5_000.0, 24_000.0),
+        delay_ms: (15.0, 34.0),
+        loss: (0.002, 0.016),
+        signal: 18.0,
+    },
+];
+
+/// Look up a built-in profile by operator token and RAT.
+pub fn profile(operator: &str, rat: Rat) -> Option<&'static ErrantProfile> {
+    ERRANT_PROFILES
+        .iter()
+        .find(|p| p.operator == operator && p.rat == rat)
+}
+
+/// The operator tokens the built-in table knows.
+pub fn operators() -> Vec<&'static str> {
+    let mut ops: Vec<&'static str> = ERRANT_PROFILES.iter().map(|p| p.operator).collect();
+    ops.dedup();
+    ops
+}
+
+/// One session realization of an [`ErrantProfile`].
+pub struct ErrantModel {
+    name: String,
+    profile: ErrantProfile,
+    duration: SimDuration,
+    /// Session medians — drawn once from the trial RNG.
+    session_rate_kbps: f64,
+    session_delay_ms: f64,
+    session_loss: f64,
+    /// Smooth temporal variation around the medians.
+    walk: WalkState,
+    tau: SimDuration,
+}
+
+impl ErrantModel {
+    /// Draw a session realization of `profile`. The same `trial_rng`
+    /// seed reproduces the same session exactly.
+    pub fn new(profile: ErrantProfile, duration: SimDuration, trial_rng: &mut SimRng) -> Self {
+        // Log-uniform rate draw (MONROE rate distributions are heavy
+        // tailed); uniform for delay and loss.
+        let (r_lo, r_hi) = profile.rate_kbps;
+        let session_rate_kbps = r_lo * (r_hi / r_lo).powf(trial_rng.f64());
+        let session_delay_ms = trial_rng.range_f64(profile.delay_ms.0, profile.delay_ms.1);
+        let session_loss = trial_rng.range_f64(profile.loss.0, profile.loss.1);
+        ErrantModel {
+            name: format!("errant-{}-{}", profile.operator, profile.rat.token()),
+            profile,
+            duration,
+            session_rate_kbps,
+            session_delay_ms,
+            session_loss,
+            walk: WalkState::centered(),
+            tau: SimDuration::from_secs(5),
+        }
+    }
+
+    /// The session-median downlink rate this realization drew (kb/s).
+    pub fn session_rate_kbps(&self) -> f64 {
+        self.session_rate_kbps
+    }
+
+    /// The session-median one-way delay this realization drew (ms).
+    pub fn session_delay_ms(&self) -> f64 {
+        self.session_delay_ms
+    }
+}
+
+impl ChannelModel for ErrantModel {
+    fn sample(&mut self, now: SimTime, rng: &mut SimRng) -> LinkConditions {
+        self.walk.advance(now, self.tau, rng);
+
+        // Rate varies in [0.55, 1.10]× of the session median; delay is
+        // biased toward the median with excursions to ~2.2×; loss
+        // scales with the delay excursion (congestion correlates).
+        let rate_kbps = self.session_rate_kbps * (0.55 + 0.55 * self.walk.bw_u);
+        let u = self.walk.lat_u;
+        let delay_ms = self.session_delay_ms * (0.75 + 1.45 * u * u);
+        let loss = (self.session_loss * (0.5 + 1.5 * self.walk.loss_u)).clamp(0.0, 0.95);
+        let signal = (self.profile.signal * (0.85 + 0.3 * self.walk.sig_u)).max(1.0);
+
+        LinkConditions {
+            latency: SimDuration::from_secs_f64(delay_ms / 1e3),
+            bandwidth_bps: (rate_kbps * 1000.0).max(1000.0) as u64,
+            loss,
+            signal: SignalInfo::from_level(signal),
+        }
+    }
+
+    fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(seed: u64) -> ErrantModel {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let p = *profile("op1", Rat::FourG).unwrap();
+        ErrantModel::new(p, SimDuration::from_secs(120), &mut rng)
+    }
+
+    #[test]
+    fn session_realizations_are_seeded() {
+        let a = model(7);
+        let b = model(7);
+        let c = model(8);
+        assert_eq!(a.session_rate_kbps, b.session_rate_kbps);
+        assert_eq!(a.session_delay_ms, b.session_delay_ms);
+        assert_ne!(a.session_rate_kbps, c.session_rate_kbps);
+    }
+
+    #[test]
+    fn sessions_stay_inside_profile_envelope() {
+        for seed in 0..50 {
+            let m = model(seed);
+            let p = profile("op1", Rat::FourG).unwrap();
+            assert!(m.session_rate_kbps >= p.rate_kbps.0 && m.session_rate_kbps <= p.rate_kbps.1);
+            assert!(m.session_delay_ms >= p.delay_ms.0 && m.session_delay_ms <= p.delay_ms.1);
+        }
+    }
+
+    #[test]
+    fn rats_are_ordered_sensibly() {
+        // 4G beats 3G on both rate and delay for every operator.
+        for op in operators() {
+            let g3 = profile(op, Rat::ThreeG).unwrap();
+            let g4 = profile(op, Rat::FourG).unwrap();
+            assert!(g4.rate_kbps.0 > g3.rate_kbps.1 * 0.5, "{op} rate ordering");
+            assert!(g4.delay_ms.1 < g3.delay_ms.1, "{op} delay ordering");
+        }
+    }
+
+    #[test]
+    fn no_handoffs_and_stable_name() {
+        let mut m = model(3);
+        let mut rng = SimRng::seed_from_u64(1);
+        for i in 0..100 {
+            let c = m.sample(SimTime::from_millis(250 * i), &mut rng);
+            assert!(c.loss < 1.0);
+        }
+        assert_eq!(m.handoffs(), 0);
+        assert_eq!(m.name(), "errant-op1-4g");
+    }
+}

@@ -22,8 +22,11 @@
 
 pub mod channel;
 pub mod crosstraffic;
+pub mod errant;
+pub mod leo;
 pub mod mobility;
 pub mod model;
+pub mod registry;
 pub mod scenario;
 pub mod signal;
 pub mod spec;
@@ -31,8 +34,11 @@ pub mod wavepoint;
 
 pub use channel::{ChannelStats, WirelessChannel, MOBILE_PORT, WIRED_PORT};
 pub use crosstraffic::{CrossTraffic, CrossTrafficCfg};
+pub use errant::{ErrantModel, ErrantProfile, Rat};
+pub use leo::{LeoConfig, LeoModel};
 pub use mobility::{MobilityPath, Position, WalkBuilder};
 pub use model::{ChannelModel, Checkpoint, ConstantModel, LinkConditions, PiecewiseModel};
+pub use registry::{load_pack, ModelParams, ModelSpec, PackEntry, Registry, ScenarioPack};
 pub use scenario::Scenario;
 pub use signal::SignalInfo;
 pub use spec::{CheckpointSpec, CrossSpec, ScenarioSpec};

@@ -8,7 +8,6 @@
 
 use crate::signal::SignalInfo;
 use netsim::{SimDuration, SimRng, SimTime};
-use std::any::Any;
 
 /// Instantaneous one-way conditions of the wireless hop.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +24,11 @@ pub struct LinkConditions {
 }
 
 /// A source of time-varying channel conditions.
-pub trait ChannelModel: Any + Send {
+///
+/// Implementations are identified by their stable [`name`](Self::name)
+/// string (the registry's model-name key), never by `TypeId` downcasts
+/// — there is deliberately no `Any` supertrait.
+pub trait ChannelModel: Send {
     /// Conditions at `now`. May be stochastic (uses `rng`).
     fn sample(&mut self, now: SimTime, rng: &mut SimRng) -> LinkConditions;
 
@@ -128,17 +131,31 @@ pub struct PiecewiseModel {
     tau: SimDuration,
 }
 
+/// Reflected-random-walk state shared by the temporally-coherent
+/// models (piecewise WaveLAN scenarios and the ERRANT cellular
+/// profiles): four positions in `[0, 1]`, one per link parameter,
+/// evolved smoothly with correlation time `tau`.
 #[derive(Debug, Clone, Copy)]
-struct WalkState {
-    last: Option<SimTime>,
-    lat_u: f64,
-    bw_u: f64,
-    loss_u: f64,
-    sig_u: f64,
+pub(crate) struct WalkState {
+    pub(crate) last: Option<SimTime>,
+    pub(crate) lat_u: f64,
+    pub(crate) bw_u: f64,
+    pub(crate) loss_u: f64,
+    pub(crate) sig_u: f64,
 }
 
 impl WalkState {
-    fn advance(&mut self, now: SimTime, tau: SimDuration, rng: &mut SimRng) {
+    pub(crate) fn centered() -> Self {
+        WalkState {
+            last: None,
+            lat_u: 0.5,
+            bw_u: 0.5,
+            loss_u: 0.5,
+            sig_u: 0.5,
+        }
+    }
+
+    pub(crate) fn advance(&mut self, now: SimTime, tau: SimDuration, rng: &mut SimRng) {
         let dt = match self.last {
             None => {
                 self.lat_u = rng.f64();
@@ -196,13 +213,7 @@ impl PiecewiseModel {
             trial_loss_k: trial_rng.range_f64(0.88, 1.12),
             trial_signal_k: trial_rng.range_f64(0.9, 1.1),
             spike_p: 0.02,
-            walk: WalkState {
-                last: None,
-                lat_u: 0.5,
-                bw_u: 0.5,
-                loss_u: 0.5,
-                sig_u: 0.5,
-            },
+            walk: WalkState::centered(),
             tau: SimDuration::from_secs(3),
         }
     }

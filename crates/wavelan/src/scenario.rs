@@ -12,7 +12,8 @@
 
 use crate::channel::WirelessChannel;
 use crate::crosstraffic::CrossTrafficCfg;
-use crate::model::{Checkpoint, PiecewiseModel};
+use crate::model::{ChannelModel, Checkpoint, PiecewiseModel};
+use crate::registry::{ModelSpec, Registry};
 use netsim::{SimDuration, SimRng};
 
 /// A named mobile scenario: path checkpoints plus optional cross traffic.
@@ -45,6 +46,11 @@ pub struct Scenario {
     /// Uplink loss multiplier (see `WirelessChannel::loss_asym_up`):
     /// reproduces the send/recv asymmetry of the real WaveLAN (§5.3).
     pub loss_asym_up: f64,
+    /// When set, [`model`](Self::model) builds this spec through the
+    /// model [`Registry`] instead of the checkpoint-interpolated
+    /// WaveLAN model — the scenario-pack path. `None` for the four
+    /// built-in paper scenarios.
+    pub model_spec: Option<ModelSpec>,
 }
 
 const fn cp(
@@ -123,6 +129,7 @@ impl Scenario {
             cross: None,
             stationary: false,
             loss_asym_up: 1.05,
+            model_spec: None,
         }
     }
 
@@ -196,6 +203,7 @@ impl Scenario {
             // The paper's Flagstaff runs were strongly asymmetric: real
             // send 88.2 s vs recv 61.9 s (§5.3).
             loss_asym_up: 1.7,
+            model_spec: None,
         }
     }
 
@@ -281,6 +289,7 @@ impl Scenario {
             cross: None,
             stationary: false,
             loss_asym_up: 1.25,
+            model_spec: None,
         }
     }
 
@@ -300,6 +309,7 @@ impl Scenario {
             cross: Some(CrossTrafficCfg::chatterbox()),
             stationary: true,
             loss_asym_up: 1.0,
+            model_spec: None,
         }
     }
 
@@ -319,20 +329,36 @@ impl Scenario {
     }
 
     /// Build one trial's channel model. `trial_rng` should be seeded from
-    /// the trial number so trials vary but reproduce.
-    pub fn model(&self, trial_rng: &mut SimRng) -> PiecewiseModel {
-        PiecewiseModel::new(
-            self.name,
-            self.checkpoints.clone(),
-            self.duration,
-            trial_rng,
-        )
+    /// the trial number so trials vary but reproduce. Scenarios carrying
+    /// a [`ModelSpec`] (loaded from a scenario pack) build it through
+    /// the [`Registry`]; the four built-ins construct their checkpoint
+    /// model directly.
+    pub fn model(&self, trial_rng: &mut SimRng) -> Box<dyn ChannelModel> {
+        match &self.model_spec {
+            Some(spec) => Registry::builtin()
+                .build(spec, self.duration, trial_rng)
+                .expect("scenario-pack specs are validated at load time"),
+            None => Box::new(PiecewiseModel::new(
+                self.name,
+                self.checkpoints.clone(),
+                self.duration,
+                trial_rng,
+            )),
+        }
+    }
+
+    /// `(model family, canonical params)` for manifests/telemetry.
+    pub fn model_info(&self) -> (String, String) {
+        match &self.model_spec {
+            Some(spec) => spec.info(),
+            None => ("piecewise".to_string(), format!("scenario={}", self.name)),
+        }
     }
 
     /// Build one trial's complete wireless channel.
     pub fn channel(&self, trial_rng: &mut SimRng) -> WirelessChannel {
         let model = self.model(trial_rng);
-        let mut ch = WirelessChannel::new(Box::new(model));
+        let mut ch = WirelessChannel::new(model);
         ch.loss_asym_up = self.loss_asym_up;
         if let Some(cfg) = &self.cross {
             // Per-trial activity level: how hard the interfering users
@@ -358,7 +384,6 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::ChannelModel;
     use netsim::SimTime;
 
     #[test]

@@ -136,6 +136,7 @@ impl ScenarioSpec {
             }),
             stationary: self.stationary,
             loss_asym_up: self.loss_asym_up,
+            model_spec: None,
         })
     }
 
@@ -228,7 +229,6 @@ mod tests {
             .unwrap();
         let mut trial = netsim::SimRng::seed_from_u64(1);
         let mut model = sc.model(&mut trial);
-        use crate::model::ChannelModel;
         let mut rng = netsim::SimRng::seed_from_u64(2);
         let early = model.sample(netsim::SimTime::from_secs(1), &mut rng);
         let late = model.sample(netsim::SimTime::from_secs(19), &mut rng);

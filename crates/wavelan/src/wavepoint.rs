@@ -132,7 +132,7 @@ pub struct PhysicalStats {
 
 /// The physical channel model: mobility + propagation + handoff.
 pub struct PhysicalModel {
-    name: &'static str,
+    name: String,
     path: MobilityPath,
     stations: Vec<WavePoint>,
     prop: Propagation,
@@ -147,10 +147,10 @@ pub struct PhysicalModel {
 
 impl PhysicalModel {
     /// Build a model for a walk through a set of stations.
-    pub fn new(name: &'static str, path: MobilityPath, stations: Vec<WavePoint>) -> Self {
+    pub fn new(name: &str, path: MobilityPath, stations: Vec<WavePoint>) -> Self {
         assert!(!stations.is_empty(), "need at least one WavePoint");
         PhysicalModel {
-            name,
+            name: name.to_string(),
             path,
             stations,
             prop: Propagation::default(),
@@ -226,7 +226,9 @@ impl ChannelModel for PhysicalModel {
             .expect("stations is non-empty");
         if best_idx != self.associated && best_level > current + self.handoff.hysteresis {
             self.associated = best_idx;
-            self.outage_until = now + self.handoff.outage;
+            // Saturating: queried at `SimTime::MAX`-ish instants the
+            // outage window must clamp, not overflow.
+            self.outage_until = now.saturating_add(self.handoff.outage);
             self.stats.handoffs += 1;
         }
 
@@ -257,7 +259,7 @@ impl ChannelModel for PhysicalModel {
     }
 
     fn name(&self) -> &str {
-        self.name
+        &self.name
     }
 
     fn handoffs(&self) -> u64 {

@@ -1,0 +1,243 @@
+//! Cross-model conformance suite: the behavioural contract every
+//! registered [`ChannelModel`] family must satisfy, run against each
+//! family through the registry (so adding a family automatically puts
+//! it under test).
+//!
+//! The contract:
+//! * **Determinism** — two models built from identically-seeded RNGs
+//!   produce bitwise-identical condition streams.
+//! * **Sane conditions** — latencies are finite and non-negative, loss
+//!   stays in [0, 1], bandwidth is positive, at every instant.
+//! * **Total in time** — sample() never panics for *any* virtual-time
+//!   query sequence: backwards jumps, repeats, and `u64::MAX`.
+//! * **Honest handoff counter** — `handoffs()` is monotone
+//!   non-decreasing, stays 0 for families without discrete handoffs,
+//!   and for handoff families counts at least the observed full-outage
+//!   onsets on a monotone scan.
+
+use netsim::{SimDuration, SimRng, SimTime};
+use wavelan::registry::{ModelSpec, Registry};
+use wavelan::{ChannelModel, LinkConditions};
+
+const RUN: SimDuration = SimDuration::from_secs(120);
+
+/// Default-parameter specs for every registered family.
+fn all_specs() -> Vec<ModelSpec> {
+    let reg = Registry::builtin();
+    assert!(
+        reg.families().len() >= 5,
+        "registry lost families: {}",
+        reg.families().len()
+    );
+    reg.families()
+        .iter()
+        .map(|f| {
+            let mut spec = ModelSpec::family(f.name);
+            if f.name == "piecewise" {
+                spec.params.set_str("scenario", "porter");
+            }
+            spec
+        })
+        .collect()
+}
+
+fn build(spec: &ModelSpec, seed: u64) -> Box<dyn ChannelModel> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    Registry::builtin()
+        .build(spec, RUN, &mut rng)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.family))
+}
+
+fn assert_sane(family: &str, t: SimTime, c: &LinkConditions) {
+    let lat = c.latency.as_secs_f64();
+    assert!(
+        lat.is_finite() && lat >= 0.0,
+        "{family}: bad latency {lat} at {t:?}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&c.loss),
+        "{family}: loss {} at {t:?}",
+        c.loss
+    );
+    assert!(c.bandwidth_bps > 0, "{family}: zero bandwidth at {t:?}");
+    assert!(
+        c.signal.level.is_finite() && c.signal.level >= 0.0,
+        "{family}: bad signal {} at {t:?}",
+        c.signal.level
+    );
+}
+
+/// A hostile time sequence: monotone ramp, then backwards jumps,
+/// repeats, far-future probes, and the u64::MAX edge.
+fn hostile_times() -> Vec<SimTime> {
+    let mut ts: Vec<SimTime> = (0..200u64).map(|i| SimTime::from_millis(i * 700)).collect();
+    ts.extend([
+        SimTime::from_secs(500),
+        SimTime::from_secs(2),
+        SimTime::from_secs(2),
+        SimTime::ZERO,
+        SimTime::from_nanos(u64::MAX),
+        SimTime::from_nanos(u64::MAX - 1),
+        SimTime::from_secs(1),
+        SimTime::from_nanos(u64::MAX),
+        SimTime::ZERO,
+    ]);
+    ts
+}
+
+#[test]
+fn same_seed_same_conditions() {
+    for spec in all_specs() {
+        let mut a = build(&spec, 42);
+        let mut b = build(&spec, 42);
+        let mut ra = SimRng::seed_from_u64(7);
+        let mut rb = SimRng::seed_from_u64(7);
+        for i in 0..400u64 {
+            let t = SimTime::from_millis(i * 300);
+            let ca = a.sample(t, &mut ra);
+            let cb = b.sample(t, &mut rb);
+            assert_eq!(
+                ca.latency, cb.latency,
+                "{}: latency diverged at {t:?}",
+                spec.family
+            );
+            assert_eq!(
+                ca.bandwidth_bps, cb.bandwidth_bps,
+                "{}: bandwidth diverged at {t:?}",
+                spec.family
+            );
+            assert!(
+                ca.loss.to_bits() == cb.loss.to_bits(),
+                "{}: loss diverged at {t:?}",
+                spec.family
+            );
+            assert!(
+                ca.signal.level.to_bits() == cb.signal.level.to_bits(),
+                "{}: signal diverged at {t:?}",
+                spec.family
+            );
+        }
+        assert_eq!(a.handoffs(), b.handoffs(), "{}", spec.family);
+    }
+}
+
+#[test]
+fn conditions_are_sane_at_every_instant() {
+    for spec in all_specs() {
+        let mut m = build(&spec, 3);
+        let mut rng = SimRng::seed_from_u64(4);
+        for i in 0..1000u64 {
+            let t = SimTime::from_millis(i * 130);
+            let c = m.sample(t, &mut rng);
+            assert_sane(&spec.family, t, &c);
+        }
+    }
+}
+
+#[test]
+fn hostile_time_queries_never_panic() {
+    for spec in all_specs() {
+        let mut m = build(&spec, 9);
+        let mut rng = SimRng::seed_from_u64(10);
+        for t in hostile_times() {
+            let c = m.sample(t, &mut rng);
+            assert_sane(&spec.family, t, &c);
+        }
+    }
+}
+
+#[test]
+fn handoff_counter_is_monotone_under_clock_jumps() {
+    for spec in all_specs() {
+        let mut m = build(&spec, 11);
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut last = m.handoffs();
+        for t in hostile_times() {
+            let _ = m.sample(t, &mut rng);
+            let h = m.handoffs();
+            assert!(
+                h >= last,
+                "{}: handoffs decreased {last} -> {h} at {t:?}",
+                spec.family
+            );
+            last = h;
+        }
+    }
+}
+
+#[test]
+fn handoff_counter_matches_observed_discontinuities() {
+    let reg = Registry::builtin();
+    for spec in all_specs() {
+        let family = reg.get(&spec.family).unwrap();
+        let mut m = build(&spec, 21);
+        let mut rng = SimRng::seed_from_u64(22);
+        // Monotone scan at 50 ms — finer than every family's outage
+        // window — counting transitions into full outage (loss = 1.0),
+        // the observable signature of a discrete handoff.
+        let mut onsets = 0u64;
+        let mut in_outage = false;
+        for i in 0..(RUN.as_nanos() / 50_000_000) {
+            let c = m.sample(SimTime::from_nanos(i * 50_000_000), &mut rng);
+            let outage = c.loss >= 1.0;
+            if outage && !in_outage {
+                onsets += 1;
+            }
+            in_outage = outage;
+        }
+        if family.has_handoffs {
+            assert!(
+                m.handoffs() >= onsets,
+                "{}: {} outage onsets but only {} handoffs counted",
+                spec.family,
+                onsets,
+                m.handoffs()
+            );
+        } else {
+            assert_eq!(
+                m.handoffs(),
+                0,
+                "{}: no-handoff family reported handoffs",
+                spec.family
+            );
+            assert_eq!(
+                onsets, 0,
+                "{}: no-handoff family showed full outages",
+                spec.family
+            );
+        }
+    }
+}
+
+#[test]
+fn model_names_are_stable_identifiers() {
+    // Model identification goes through name() strings (no TypeId
+    // downcasts anywhere): every family's default build must report a
+    // non-empty, stable name, distinct from the generic default.
+    for spec in all_specs() {
+        let m = build(&spec, 31);
+        let name = m.name().to_string();
+        assert!(!name.is_empty());
+        assert_ne!(
+            name, "channel",
+            "{}: default trait name leaked",
+            spec.family
+        );
+        // Building again yields the same identifier.
+        assert_eq!(build(&spec, 77).name(), name, "{}", spec.family);
+    }
+}
+
+#[test]
+fn durations_span_the_requested_run() {
+    for spec in all_specs() {
+        let m = build(&spec, 41);
+        let d = m.duration().as_secs_f64();
+        assert!(
+            (d - RUN.as_secs_f64()).abs() < 1.0,
+            "{}: duration {d}s vs requested {}s",
+            spec.family,
+            RUN.as_secs_f64()
+        );
+    }
+}

@@ -47,7 +47,7 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 use tracekit::io::{read_replay, read_trace, write_replay, write_trace};
 use tracekit::{ReplayTrace, TraceFileStream};
-use wavelan::Scenario;
+use wavelan::{Scenario, ScenarioPack};
 
 /// A command failure: usage errors exit 2, runtime failures exit 1.
 enum CliError {
@@ -160,23 +160,56 @@ fn scenario_arg(args: &Args) -> Result<Scenario, CliError> {
 /// `--scenario` nor `--scenario-file` is given (flight-recorder
 /// commands default to the Porter walk).
 fn scenario_arg_default(args: &Args, default: Option<&str>) -> Result<Scenario, CliError> {
-    let mut sc = if let Some(path) = args.get("scenario-file") {
+    Ok(scenario_or_pack(args, default)?.0)
+}
+
+/// Does a `--scenario` value name a scenario-pack file rather than a
+/// built-in scenario?
+fn is_pack_path(v: &str) -> bool {
+    v.ends_with(".toml") || v.ends_with(".json")
+}
+
+/// Load and validate a scenario pack. A bad pack is a bad invocation
+/// (exit 2): the run has not started yet.
+fn load_pack_arg(path: &str) -> Result<ScenarioPack, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("read scenario pack {path}: {e}")))?;
+    wavelan::load_pack(path, &text).map_err(|e| CliError::usage(format!("{path}: {e}")))
+}
+
+/// Resolve the scenario flags, also returning the [`ScenarioPack`]
+/// when `--scenario` named a pack file (`*.toml` / `*.json`): fleet
+/// runs use the pack's full weighted model mix, while single-channel
+/// commands run the pack's scenario stub (its first model spec).
+fn scenario_or_pack(
+    args: &Args,
+    default: Option<&str>,
+) -> Result<(Scenario, Option<ScenarioPack>), CliError> {
+    let (mut sc, pack) = if let Some(path) = args.get("scenario-file") {
         let json = std::fs::read_to_string(path)
             .map_err(|e| CliError::runtime(format!("read {path}: {e}")))?;
-        wavelan::ScenarioSpec::from_json(&json)
+        let sc = wavelan::ScenarioSpec::from_json(&json)
             .and_then(wavelan::ScenarioSpec::into_scenario)
-            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        (sc, None)
     } else {
         let name = match (args.get("scenario"), default) {
             (Some(n), _) => n,
             (None, Some(d)) => d,
             (None, None) => return Err(CliError::usage("missing required flag --scenario")),
         };
-        Scenario::by_name(name).ok_or_else(|| {
-            CliError::usage(format!(
-                "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox)"
-            ))
-        })?
+        if is_pack_path(name) {
+            let pack = load_pack_arg(name)?;
+            (pack.scenario(), Some(pack))
+        } else {
+            let sc = Scenario::by_name(name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown scenario '{name}' (try: wean, porter, flagstaff, chatterbox, \
+                     or a scenario-pack path ending in .toml/.json)"
+                ))
+            })?;
+            (sc, None)
+        }
     };
     if let Some(secs) = args.get("duration-secs") {
         let secs: u64 = secs
@@ -187,7 +220,7 @@ fn scenario_arg_default(args: &Args, default: Option<&str>) -> Result<Scenario, 
         }
         sc.duration = SimDuration::from_secs(secs);
     }
-    Ok(sc)
+    Ok((sc, pack))
 }
 
 fn cmd_dump_scenario(args: &Args) -> CliResult {
@@ -230,6 +263,19 @@ fn cmd_scenarios(args: &Args) -> CliResult {
                 "stationary (cross traffic)"
             } else {
                 "mobile traversal"
+            }
+        );
+    }
+    println!("\nchannel-model families (for --scenario <pack.toml|pack.json>):");
+    for f in wavelan::Registry::builtin().families() {
+        println!(
+            "{:<12} {}  [params: {}]",
+            f.name,
+            f.describe,
+            if f.param_keys.is_empty() {
+                "none".to_string()
+            } else {
+                f.param_keys.join(", ")
             }
         );
     }
@@ -969,7 +1015,7 @@ fn cmd_fleet(args: &Args) -> CliResult {
         ],
         1,
     )?;
-    let sc = scenario_arg_default(args, Some("porter"))?;
+    let (sc, pack) = scenario_or_pack(args, Some("porter"))?;
     let clients: u32 = args.parse_num("clients", 1000u32)?;
     if clients == 0 {
         return Err(CliError::usage("--clients must be positive"));
@@ -979,6 +1025,9 @@ fn cmd_fleet(args: &Args) -> CliResult {
     let mut plan = FleetPlan::new(sc, clients)
         .with_seed(args.parse_num("seed", 7u64)?)
         .with_shards(shards);
+    // A pack fleet mixes models across clients; single-model runs keep
+    // the scenario path.
+    plan.pack = pack;
     if let Some(stations) = args.get("stations") {
         let n: u32 = stations
             .parse()
@@ -1345,7 +1394,8 @@ fn report_result(r: &emu::RunResult) {
 
 const USAGE: &str = "usage: tracemod <command> [args]
 commands:
-  scenarios                                list the built-in mobile scenarios
+  scenarios                                list the built-in mobile scenarios and the
+                                           registered channel-model families
   dump-scenario --scenario S               print a scenario as editable JSON
   collect  --scenario S --trial N --out F  collect a trace (add --target-out F2 for two-sided;
                                            --scenario-file F.json uses a custom scenario)
@@ -1406,7 +1456,10 @@ commands:
                                            replacement for cmp)
   help                                     print this usage and exit 0 (also --help / -h)
 benchmarks: web, ftp-send, ftp-recv, andrew
-scenario commands also accept --duration-secs N to shorten the traversal";
+scenario commands also accept --duration-secs N to shorten the traversal;
+--scenario also takes a scenario-pack path (*.toml / *.json) built from the
+channel-model registry — fleets split clients across the pack's weighted model
+mix, single-channel commands run the pack's first model";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();

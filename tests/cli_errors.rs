@@ -131,6 +131,112 @@ fn chaos_with_malformed_plan_json_is_a_usage_error() {
 }
 
 #[test]
+fn fleet_with_unreadable_pack_is_a_usage_error() {
+    let out = tracemod(&[
+        "fleet",
+        "--clients",
+        "4",
+        "--scenario",
+        "/nonexistent/pack.toml",
+    ]);
+    assert_exit(&out, 2, "read scenario pack");
+    assert!(stderr_of(&out).contains("usage"), "must print usage help");
+}
+
+#[test]
+fn fleet_with_malformed_pack_toml_is_a_usage_error() {
+    let path = temp_path("bad-pack.toml");
+    std::fs::write(&path, "name = \"x\"\nduration_secs = 9\nwat\n").unwrap();
+    let out = tracemod(&[
+        "fleet",
+        "--clients",
+        "4",
+        "--scenario",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    // Syntax errors carry the offending line number.
+    assert_exit(&out, 2, "pack line 3");
+}
+
+#[test]
+fn fleet_with_unknown_model_family_is_a_usage_error() {
+    let path = temp_path("martian-pack.toml");
+    std::fs::write(
+        &path,
+        "name = \"x\"\nduration_secs = 9\n\n[[model]]\nfamily = \"martian\"\n",
+    )
+    .unwrap();
+    let out = tracemod(&[
+        "fleet",
+        "--clients",
+        "4",
+        "--scenario",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_exit(&out, 2, "unknown model family 'martian'");
+    assert!(
+        stderr_of(&out).contains("registered:"),
+        "error must list the registered families"
+    );
+}
+
+#[test]
+fn live_with_out_of_range_pack_param_is_a_usage_error() {
+    // Pack paths work on single-channel commands too, with the same
+    // exit-2 contract for semantic errors.
+    let path = temp_path("lossy-pack.toml");
+    std::fs::write(
+        &path,
+        "name = \"x\"\nduration_secs = 9\n\n[[model]]\nfamily = \"leo\"\nloss = 3.0\n",
+    )
+    .unwrap();
+    let out = tracemod(&[
+        "live",
+        "--scenario",
+        path.to_str().unwrap(),
+        "--benchmark",
+        "web",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_exit(&out, 2, "loss must be in [0, 1]");
+}
+
+#[test]
+fn fleet_runs_a_valid_pack_end_to_end() {
+    let pack = temp_path("mini-pack.toml");
+    std::fs::write(
+        &pack,
+        "name = \"mini\"\nduration_secs = 8\n\n[[model]]\nfamily = \"leo\"\nshare = 3\n\
+         pass_secs = 6\noutage_ms = 150\n\n[[model]]\nfamily = \"errant\"\noperator = \"op2\"\n",
+    )
+    .unwrap();
+    let report = temp_path("mini-fleet.json");
+    let out = tracemod(&[
+        "fleet",
+        "--clients",
+        "8",
+        "--scenario",
+        pack.to_str().unwrap(),
+        "--obs-out",
+        report.to_str().unwrap(),
+        "--check",
+    ]);
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{stderr}");
+    assert!(stderr.contains("fleet fidelity gate: PASS"), "{stderr}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    std::fs::remove_file(&pack).ok();
+    std::fs::remove_file(&report).ok();
+    // The aggregate report carries the per-family client breakdown.
+    assert!(json.contains("\"family\": \"leo\""), "{json}");
+    assert!(json.contains("\"family\": \"errant\""), "{json}");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("model leo ["), "{stdout}");
+}
+
+#[test]
 fn chaos_fault_budget_exceeded_is_a_runtime_error() {
     let plan = temp_path("busy-plan.json");
     std::fs::write(
